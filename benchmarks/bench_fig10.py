@@ -1,0 +1,22 @@
+"""Regenerate paper Fig 10: VLSI (RTL-calibrated) energy efficiency vs
+performance for the uc kernels, compiled without xi instructions and
+priced with the 40nm table; performance includes post-PnR cycle times.
+
+Expected shape (paper Section V-C): 2.4-4x wall-clock speedup and
+1.6-2.1x energy-efficiency improvement; sgemm suffers most from the
+missing xi encoding.
+"""
+
+from conftest import run_once
+
+from repro.eval import render_fig10
+from repro.eval.figures import fig10_data
+
+
+def test_fig10(benchmark):
+    points = run_once(benchmark, fig10_data, scale="small")
+    print()
+    print(render_fig10(points))
+    for p in points:
+        assert p.performance > 1.2, p.kernel
+        assert p.efficiency > 1.0, p.kernel

@@ -1,0 +1,22 @@
+"""Regenerate paper Fig 5: speedups of io / ooo/2 / ooo/4 and ooo/2+x
+specialized execution, normalized to the GP binary on ooo/2.
+
+Expected shape: ooo/4 modestly above ooo/2; specialized execution on
+ooo/2+x beats both OOO baselines on uc and worklist kernels and loses
+on long-CIR or-kernels.
+"""
+
+from conftest import run_once
+
+from repro.eval import geomean, render_fig5
+from repro.eval.figures import fig5_data
+
+
+def test_fig5(benchmark):
+    series = run_once(benchmark, fig5_data, scale="small")
+    print()
+    print(render_fig5(series))
+    assert geomean(series["ooo/4"].values()) >= 1.0
+    uc = [k for k in series["io"] if k.endswith("-uc")]
+    spec = [series["ooo/2+x:S"][k] for k in uc]
+    assert geomean(spec) > 1.0

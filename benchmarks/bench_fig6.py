@@ -1,0 +1,22 @@
+"""Regenerate paper Fig 6: the specialized-execution lane-cycle
+breakdown on io+x (busy / RAW / memory-port / LLFU / CIB / LSQ /
+commit / squash / idle).
+
+Expected shape: uc kernels are mostly busy with memory-port stalls;
+or kernels show CIB stalls; om/ua kernels show LSQ + commit stalls and
+squashes (ksack-sm >> ksack-lg).
+"""
+
+from conftest import run_once
+
+from repro.eval import render_fig6
+from repro.eval.figures import fig6_data
+
+
+def test_fig6(benchmark):
+    data = run_once(benchmark, fig6_data, scale="small")
+    print()
+    print(render_fig6(data))
+    assert data["sha-or"]["cib"] > data["rgb2cmyk-uc"]["cib"]
+    assert (data["ksack-sm-om"]["squashes"]
+            >= data["ksack-lg-om"]["squashes"])

@@ -1,0 +1,21 @@
+"""Regenerate paper Fig 7: specialized vs adaptive execution on
+ooo/4+x (speedup over the ooo/4 baseline).
+
+Expected shape: where specialized execution loses to the aggressive
+OOO core, adaptive execution migrates back and recovers to ~1x; where
+specialized wins, adaptive pays only a small profiling cost.
+"""
+
+from conftest import run_once
+
+from repro.eval import render_fig7
+from repro.eval.figures import fig7_data
+
+
+def test_fig7(benchmark):
+    series = run_once(benchmark, fig7_data, scale="small")
+    print()
+    print(render_fig7(series))
+    losers = [k for k, s in series["S"].items() if s < 0.8]
+    recovered = [k for k in losers if series["A"][k] > series["S"][k]]
+    assert len(recovered) >= max(1, len(losers) * 2 // 3)

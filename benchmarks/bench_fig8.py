@@ -1,0 +1,28 @@
+"""Regenerate paper Fig 8: dynamic energy efficiency vs performance
+for specialized and adaptive execution on io+x, ooo/2+x, ooo/4+x.
+
+Expected shape: on io+x specialized execution adds performance at
+similar-or-slightly-lower efficiency; on the OOO hosts specialized
+execution is *more* energy efficient across the board (paper: 1.5-3x
+vs ooo/2 and ooo/4).
+"""
+
+from conftest import run_once
+
+from repro.eval import geomean, render_fig8
+from repro.eval.figures import fig8_data
+
+
+def test_fig8(benchmark):
+    points = run_once(benchmark, fig8_data, scale="small")
+    print()
+    print(render_fig8(points))
+    by_cfg = {}
+    for p in points:
+        if p.mode == "specialized":
+            by_cfg.setdefault(p.config, []).append(p.efficiency)
+    print("\ngeomean specialized energy efficiency:")
+    for cfg, effs in by_cfg.items():
+        print("  %-8s %.2f" % (cfg, geomean(effs)))
+    assert geomean(by_cfg["ooo/4+x"]) > 1.2
+    assert geomean(by_cfg["ooo/2+x"]) > 1.0

@@ -1,0 +1,25 @@
+"""Regenerate paper Fig 9: LPSU design-space exploration on select
+kernels (vertical multithreading, eight lanes, doubled memory
+ports/LLFUs, 16-entry LSQs), speedup over ooo/4.
+
+Expected shape: sgemm gains from multithreading, lanes and extra
+LLFU bandwidth; viterbi is memory-port bound until +r; covar-or is
+CIR-bound and gains from nothing; btree-ua gains from bigger LSQs.
+"""
+
+from conftest import run_once
+
+from repro.eval import render_fig9
+from repro.eval.figures import fig9_data
+
+
+def test_fig9(benchmark):
+    series = run_once(benchmark, fig9_data, scale="small")
+    print()
+    print(render_fig9(series))
+    assert (series["ooo/4+x8+r"]["sgemm-uc"]
+            > series["ooo/4+x"]["sgemm-uc"])
+    assert (series["ooo/4+x8+r+m"]["btree-ua"]
+            >= series["ooo/4+x8+r"]["btree-ua"] * 0.95)
+    covar = [series[c]["covar-or"] for c in series]
+    assert max(covar) / min(covar) < 1.6   # largely insensitive

@@ -1,0 +1,21 @@
+"""Quantitative paper-vs-measured agreement for Table II's io:S column.
+
+This is the headline reproduction metric: every kernel's measured
+specialized-execution speedup on io+x against the value published in
+the paper, summarized as directional agreement (same side of 1x,
+with a 5% neutral band) and Spearman rank correlation.
+"""
+
+from conftest import run_once
+
+from repro.eval import (compare_table2, measured_io_s,
+                        render_comparison)
+
+
+def test_paper_agreement(benchmark):
+    measured = run_once(benchmark, measured_io_s, scale="small")
+    comparison = compare_table2(measured)
+    print()
+    print(render_comparison(comparison))
+    assert comparison.direction_agreement >= 0.85
+    assert comparison.spearman_rho >= 0.5

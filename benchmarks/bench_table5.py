@@ -1,0 +1,21 @@
+"""Regenerate paper Table V: VLSI area and cycle time for the LPSU
+configuration sweep (instruction buffer 96-192 entries, 2-8 lanes).
+
+Expected shape: ~0.25 mm^2 scalar baseline; the primary four-lane
+design adds ~40%; overhead grows roughly linearly with lanes (24-77%
+over 2-8 lanes) and only mildly with IB capacity.
+"""
+
+from conftest import run_once
+
+from repro.eval import build_table5, render_table5
+from repro.vlsi import gpp_area, lpsu_area
+
+
+def test_table5(benchmark):
+    rows = run_once(benchmark, build_table5)
+    print()
+    print(render_table5(rows))
+    base = gpp_area()
+    primary = lpsu_area(lanes=4, ib_entries=128)
+    assert 0.35 < primary.overhead_vs(base) < 0.50

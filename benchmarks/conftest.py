@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+``small`` workload scale and prints the reproduced rows/series (run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them).  The
+experiment runner memoizes per process, so one full-table sweep feeds
+the dependent figures.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,111 @@
+"""Compiler tour: how annotations + dependence analysis choose xloop
+encodings (paper Figs 1-3).
+
+Shows, for each inter-iteration dependence pattern, a small annotated
+kernel, the encoding the compiler selects, the detected CIRs, and a
+snippet of the generated assembly (including ``xi`` cross-iteration
+instructions from strength reduction).
+
+Run:  python examples/compiler_tour.py
+"""
+
+from repro.lang import compile_source
+
+EXAMPLES = [
+    ("unordered-concurrent (Fig 1a): element-wise multiply", """
+void vmul(int* a, int* b, int* out, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { out[i] = a[i] * b[i]; }
+}
+"""),
+    ("ordered-through-registers (Fig 1b): prefix sum", """
+void psum(int* a, int* out, int n) {
+    int acc = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) { acc = acc + a[i]; out[i] = acc; }
+}
+"""),
+    ("ordered-through-memory (Fig 1c): linear recurrence", """
+void recur(int* a, int n) {
+    #pragma xloops ordered
+    for (int i = 1; i < n; i++) { a[i] = a[i] + a[i-1]; }
+}
+"""),
+    ("unordered-atomic (Fig 1d): dual histogram update", """
+void hist2(int* data, int* ha, int* hb, int n) {
+    #pragma xloops atomic
+    for (int i = 0; i < n; i++) {
+        int v = data[i];
+        ha[v] = ha[v] + 1;
+        hb[v] = hb[v] + 1;
+    }
+}
+"""),
+    ("dynamic bound (Fig 1e): worklist expansion", """
+void grow(int* wl, int* tail, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        int v = wl[i];
+        if (v < 8) {
+            int slot = amo_add(&tail[0], 1);
+            wl[slot] = v * 2 + 1;
+            n = n + 1;
+        }
+    }
+}
+"""),
+    ("Fig 2: Floyd-Warshall -- analysis maps ordered -> om", """
+void war(int* path, int n) {
+    for (int k = 0; k < n; k++) {
+        #pragma xloops ordered
+        for (int i = 0; i < n; i++) {
+            #pragma xloops unordered
+            for (int j = 0; j < n; j++) {
+                int t = path[i*n+k] + path[k*n+j];
+                if (t < path[i*n+j]) { path[i*n+j] = t; }
+            }
+        }
+    }
+}
+"""),
+    ("Fig 3: maximal matching -- analysis maps ordered -> orm", """
+void mm(int* ev, int* eu, int* vtx, int* out, int m) {
+    int k = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < m; i++) {
+        int v = ev[i];
+        int u = eu[i];
+        if (vtx[v] < 0) {
+            if (vtx[u] < 0) {
+                vtx[v] = u;
+                vtx[u] = v;
+                out[k] = i;
+                k = k + 1;
+            }
+        }
+    }
+}
+"""),
+]
+
+
+def main():
+    for title, source in EXAMPLES:
+        compiled = compile_source(source)
+        print("=" * 72)
+        print(title)
+        for loop in compiled.loops:
+            cirs = ", ".join(loop.cirs) or "(none)"
+            print("  annotation %-10r -> %-12s CIRs: %s%s"
+                  % (loop.annotation, loop.mnemonic, cirs,
+                     "   [dynamic bound]" if loop.dynamic_bound else ""))
+        xloop_lines = [line for line in compiled.asm_text.splitlines()
+                       if "xloop" in line or ".xi" in line]
+        print("  key instructions:")
+        for line in xloop_lines:
+            print("   %s" % line.strip())
+    print("=" * 72)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Domain scenario: energy budgeting for a battery-powered device.
+
+A designer must pick between a simple in-order core, an aggressive
+out-of-order core, and an in-order core with an LPSU for a mixed loop
+workload, under both a performance floor and an energy budget. This
+walks the paper's Fig 8 argument on a concrete kernel mix and prints
+where each platform's dynamic energy goes.
+
+Run:  python examples/energy_study.py
+"""
+
+from repro.energy import MCPAT_45NM, energy_breakdown
+from repro.eval import render_table
+from repro.eval.runner import baseline_run, run
+
+MIX = ("rgb2cmyk-uc", "sha-or", "bfs-uc-db")
+
+PLATFORMS = (
+    ("io", "traditional"),
+    ("ooo/4", "traditional"),
+    ("io+x", "specialized"),
+    ("io+x", "adaptive"),
+)
+
+
+def main():
+    rows = []
+    details = {}
+    for config, mode in PLATFORMS:
+        total_cycles = total_energy = 0.0
+        ref_cycles = ref_energy = 0.0
+        merged = {}
+        for kernel in MIX:
+            base = baseline_run(kernel, "io", scale="small")
+            r = run(kernel, config, mode=mode, scale="small")
+            total_cycles += r.cycles
+            total_energy += r.energy_nj
+            ref_cycles += base.cycles
+            ref_energy += base.energy_nj
+            width = 4 if config.startswith("ooo/4") else 0
+            for part, nj in energy_breakdown(r.events, MCPAT_45NM,
+                                             ooo_width=width).items():
+                merged[part] = merged.get(part, 0.0) + nj
+        label = "%s (%s)" % (config, mode[0].upper())
+        rows.append([label,
+                     "%.2f" % (ref_cycles / total_cycles),
+                     "%.1f" % total_energy,
+                     "%.2f" % (ref_energy / total_energy)])
+        details[label] = merged
+
+    print(render_table(
+        ["Platform", "Speedup vs io", "Energy (nJ)", "Energy eff"],
+        rows,
+        title="Mixed workload (%s): performance vs dynamic energy"
+              % ", ".join(MIX)))
+
+    print("\nWhere the energy goes (top contributors):")
+    for label, merged in details.items():
+        top = sorted(merged.items(), key=lambda kv: -kv[1])[:4]
+        total = sum(merged.values())
+        parts = ", ".join("%s %.0f%%" % (k, 100 * v / total)
+                          for k, v in top)
+        print("  %-22s %s" % (label, parts))
+
+    print("\nReading the table: the OOO core buys speed with per-"
+          "instruction bookkeeping energy; the LPSU buys more speed on "
+          "loop code while *saving* energy (instruction-buffer fetches "
+          "replace I-cache fetches); adaptive trades a little of each "
+          "for robustness on loop-hostile kernels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+"""ISA tour (paper Fig 1): each inter-iteration dependence pattern as
+hand-written assembly, executed specialized on the LPSU with a
+per-cycle lane trace so the machinery is visible.
+
+Run:  python examples/isa_tour.py
+"""
+
+from repro.asm import assemble
+from repro.sim import Memory
+from repro.uarch import IO, LPSUConfig, SystemConfig, simulate
+from repro.uarch.tracelog import trace_specialized
+
+A, B, N = 0x100000, 0x200000, 24
+
+EXAMPLES = [
+    ("Fig 1(a) xloop.uc — element-wise multiply, addiu.xi pointers", """
+main:                       # a0=x, a1=out, a2=n
+    li   t0, 0
+    mv   t1, a0             # MIV: source pointer
+    mv   t2, a1             # MIV: destination pointer
+    ble  a2, zero, done
+body:
+    lw   t3, 0(t1)
+    mul  t3, t3, t3
+    sw   t3, 0(t2)
+    addiu.xi t1, t1, 4
+    addiu.xi t2, t2, 4
+    addi t0, t0, 1
+    xloop.uc t0, a2, body
+done:
+    ret
+"""),
+    ("Fig 1(b) xloop.or — prefix sum through a CIR", """
+main:                       # a0=x, a1=out, a2=n
+    li   t0, 0
+    li   t5, 0              # CIR accumulator
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    add  t5, t5, t3
+    add  t4, a1, t1
+    sw   t5, 0(t4)
+    addi t0, t0, 1
+    xloop.or t0, a2, body
+done:
+    ret
+"""),
+    ("Fig 1(c) xloop.om — recurrence ordered through memory", """
+main:                       # a0=x, a1=out (out[0] preset), a2=n
+    li   t0, 1
+    li   t6, 1
+    bge  t6, a2, done
+body:
+    slli t1, t0, 2
+    add  t2, a1, t1
+    lw   t3, -4(t2)         # out[i-1]: written by the previous iter
+    slli t4, t0, 2
+    add  t4, a0, t4
+    lw   t5, 0(t4)
+    add  t3, t3, t5
+    sw   t3, 0(t2)
+    addi t0, t0, 1
+    xloop.om t0, a2, body
+done:
+    ret
+"""),
+    ("Fig 1(d) xloop.ua — atomic histogram updates", """
+main:                       # a0=data, a1=hist, a2=n
+    li   t0, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    slli t3, t3, 2
+    add  t4, a1, t3
+    lw   t5, 0(t4)
+    addi t5, t5, 1
+    sw   t5, 0(t4)          # whole iteration appears atomic
+    addi t0, t0, 1
+    xloop.ua t0, a2, body
+done:
+    ret
+"""),
+    ("Fig 1(e) xloop.uc.db — worklist with a growing bound", """
+main:                       # a0=worklist, a1=tailptr
+    li   t0, 0
+    lw   t6, 0(a1)          # bound = tail
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)          # v = wl[i]
+    li   t4, 6
+    bge  t3, t4, nopush
+    li   t4, 1
+    amo.add t4, t4, (a1)    # reserve a slot
+    addi t5, t3, 1
+    slli t1, t4, 2
+    add  t1, a0, t1
+    sw   t5, 0(t1)          # wl[slot] = v + 1
+nopush:
+    lw   t6, 0(a1)          # monotonically growing bound
+    addi t0, t0, 1
+    xloop.uc.db t0, t6, body
+done:
+    ret
+"""),
+    ("extension: xloop.uc.de — first-match search with xloop.break", """
+main:                       # a0=data, a1=n, a2=needle
+    li   t0, 0
+    li   t1, -1
+    ble  a1, zero, done
+body:
+    slli t2, t0, 2
+    add  t3, a0, t2
+    lw   t4, 0(t3)
+    bne  t4, a2, miss
+    mv   t1, t0
+    xloop.break done
+miss:
+    addi t0, t0, 1
+    xloop.uc.de t0, a1, body
+done:
+    mv   a0, t1
+    ret
+"""),
+]
+
+
+def setup_memory(title, mem):
+    if "worklist" in title:
+        mem.write_words(A, [0] + [0xFFFFFFFF] * 63)
+        mem.store_word(B, 1)
+        return [A, B]
+    if "histogram" in title:
+        mem.write_words(A, [(i * 3) % 8 for i in range(N)])
+        return [A, B, N]
+    if "search" in title:
+        mem.write_words(A, list(range(100, 100 + N)))
+        return [A, N, 100 + N // 2]
+    mem.write_words(A, range(N))
+    if "recurrence" in title:
+        mem.store_word(B, 0)
+    return [A, B, N]
+
+
+def main():
+    iox = SystemConfig("io+x", IO, lpsu=LPSUConfig())
+    for title, asm in EXAMPLES:
+        print("=" * 72)
+        print(title)
+        prog = assemble(asm)
+        mem = Memory()
+        args = setup_memory(title, mem)
+        result = simulate(prog, iox, entry="main", args=args, mem=mem,
+                          mode="specialized")
+        print("  cycles=%d  lpsu iterations=%d  squashes=%d"
+              % (result.cycles, result.lpsu_stats.iterations,
+                 result.lpsu_stats.squashes))
+        mem2 = Memory()
+        args2 = setup_memory(title, mem2)
+        trace, _ = trace_specialized(prog, "main", args2, mem2)
+        print(trace.render(width=72))
+    print("=" * 72)
+
+
+if __name__ == "__main__":
+    main()

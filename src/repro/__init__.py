@@ -1,0 +1,37 @@
+"""repro — a full-system reproduction of *Architectural Specialization
+for Inter-Iteration Loop Dependence Patterns* (XLOOPS, MICRO 2014).
+
+Top-level convenience API::
+
+    from repro import assemble, run_program, compile_source
+    from repro.eval import run_kernel, CONFIGS
+
+Subpackages
+-----------
+isa      instruction set + xloop dependence-pattern taxonomy
+asm      assembler / disassembler
+lang     annotated-C (MiniC) compiler with XLOOPS passes
+sim      memory + functional golden model
+uarch    cycle-level GPP (in-order, OOO) and LPSU models
+energy   McPAT-style event-based energy model
+vlsi     Table V area/timing model and Fig 10 VLSI energy model
+kernels  the paper's 25 application kernels + datasets + goldens
+eval     experiment harness regenerating every table and figure
+"""
+
+from .asm import assemble
+from .sim import run_program
+
+__version__ = "0.1.0"
+
+__all__ = ["assemble", "run_program", "compile_source", "__version__"]
+
+
+def compile_source(source, **kwargs):
+    """Compile annotated MiniC *source* into an assembled Program.
+
+    Thin wrapper over :func:`repro.lang.compiler.compile_source`,
+    imported lazily to keep ``import repro`` light.
+    """
+    from .lang.compiler import compile_source as _compile
+    return _compile(source, **kwargs)

@@ -1,0 +1,11 @@
+"""Assembler toolchain: tokenizer, two-pass assembler, program model,
+and disassembler for the XLOOPS ISA."""
+
+from .lexer import tokenize, AsmSyntaxError, AsmLine
+from .assembler import Assembler, assemble, split_li
+from .program import Program, TEXT_BASE, DATA_BASE
+from .disasm import format_instr, disassemble
+
+__all__ = ["tokenize", "AsmSyntaxError", "AsmLine", "Assembler", "assemble",
+           "split_li", "Program", "TEXT_BASE", "DATA_BASE", "format_instr",
+           "disassemble"]

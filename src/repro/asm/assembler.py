@@ -1,0 +1,345 @@
+"""Two-pass assembler for the XLOOPS ISA.
+
+Pass 1 expands pseudo-instructions, lays out the text and data
+sections, and binds labels.  Pass 2 resolves symbolic operands and
+produces :class:`~repro.isa.instructions.Instr` objects with PC-relative
+branch offsets already computed.
+
+Supported pseudo-instructions: ``nop mv li la neg not seqz snez beqz
+bnez blez bgez bltz bgtz bgt ble bgtu bleu j jr ret call``.
+
+Supported directives: ``.text .data .globl .word .half .byte .float
+.space .zero .align .ascii .asciiz``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import OPS, Fmt, Instr
+from ..isa.registers import reg_num, is_reg
+from .lexer import AsmSyntaxError, tokenize
+from .program import Program, TEXT_BASE, DATA_BASE
+
+IMM12_MIN, IMM12_MAX = -(1 << 11), (1 << 11) - 1
+LI_MIN, LI_MAX = -(1 << 28), (1 << 28) - 1
+
+
+def _parse_int(text, lineno):
+    text = text.strip()
+    try:
+        if text.lower().startswith("0x") or text.lower().startswith("-0x"):
+            return int(text, 16)
+        if len(text) == 3 and text[0] == text[2] == "'":
+            return ord(text[1])
+        return int(text, 10)
+    except ValueError:
+        raise AsmSyntaxError("bad integer literal %r" % text, lineno)
+
+
+def split_li(imm):
+    """Split *imm* into (hi17, lo12) for a ``lui``/``addi`` pair.
+
+    ``lui`` computes ``rd = sext(hi17) << 12``; ``addi`` adds the signed
+    low part.  Valid for constants in [-2**28, 2**28).
+    """
+    if not LI_MIN <= imm <= LI_MAX:
+        raise ValueError("li constant %d out of range" % imm)
+    lo = ((imm & 0xFFF) ^ 0x800) - 0x800          # sign-extend low 12
+    hi = (imm - lo) >> 12
+    return hi, lo
+
+
+class _Proto:
+    """A pre-layout instruction: mnemonic plus raw operand strings."""
+
+    __slots__ = ("mnemonic", "operands", "lineno", "pc")
+
+    def __init__(self, mnemonic, operands, lineno):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.lineno = lineno
+        self.pc = 0
+
+
+class Assembler:
+    """Assemble XLOOPS assembly source into a :class:`Program`."""
+
+    def __init__(self, text_base=TEXT_BASE, data_base=DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # -- public API ------------------------------------------------------
+
+    def assemble(self, source):
+        protos, data, symbols = self._pass1(tokenize(source))
+        instrs = [self._resolve(p, symbols) for p in protos]
+        return Program(instrs=instrs, data=data, symbols=symbols,
+                       text_base=self.text_base, data_base=self.data_base,
+                       source=source)
+
+    # -- pass 1: layout ----------------------------------------------------
+
+    def _pass1(self, lines):
+        protos: List[_Proto] = []
+        data = bytearray()
+        symbols = {}
+        section = "text"
+
+        def bind(label, lineno):
+            if label in symbols:
+                raise AsmSyntaxError("duplicate label %r" % label, lineno)
+            if section == "text":
+                symbols[label] = self.text_base + 4 * len(protos)
+            else:
+                symbols[label] = self.data_base + len(data)
+
+        for line in lines:
+            for label in line.labels:
+                bind(label, line.lineno)
+            if line.directive:
+                section = self._directive(line, data, section)
+            elif line.mnemonic:
+                if section != "text":
+                    raise AsmSyntaxError("instruction outside .text",
+                                         line.lineno)
+                for proto in self._expand(line):
+                    proto.pc = self.text_base + 4 * len(protos)
+                    protos.append(proto)
+        return protos, data, symbols
+
+    def _directive(self, line, data, section):
+        d, args, lineno = line.directive, line.operands, line.lineno
+        if d == ".text":
+            return "text"
+        if d == ".data":
+            return "data"
+        if d == ".globl":
+            return section
+        if section != "data" and d not in (".align",):
+            raise AsmSyntaxError("%s outside .data" % d, lineno)
+        if d == ".word":
+            for a in args:
+                data += struct.pack("<I", _parse_int(a, lineno) & 0xFFFFFFFF)
+        elif d == ".half":
+            for a in args:
+                data += struct.pack("<h", _parse_int(a, lineno))
+        elif d == ".byte":
+            for a in args:
+                data += struct.pack("<b", _parse_int(a, lineno))
+        elif d == ".float":
+            for a in args:
+                data += struct.pack("<f", float(a))
+        elif d in (".space", ".zero"):
+            data += bytes(_parse_int(args[0], lineno))
+        elif d == ".align":
+            align = 1 << _parse_int(args[0], lineno)
+            while len(data) % align:
+                data.append(0)
+        elif d in (".ascii", ".asciiz"):
+            text = ",".join(args).strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AsmSyntaxError("bad string literal", lineno)
+            payload = text[1:-1].encode().decode("unicode_escape").encode()
+            data += payload
+            if d == ".asciiz":
+                data.append(0)
+        else:
+            raise AsmSyntaxError("unknown directive %r" % d, lineno)
+        return section
+
+    # -- pseudo-instruction expansion --------------------------------------
+
+    def _expand(self, line):
+        m, ops, ln = line.mnemonic, line.operands, line.lineno
+        P = lambda mnemonic, *operands: _Proto(mnemonic, list(operands), ln)
+        if m in OPS:
+            return [_Proto(m, ops, ln)]
+        if m == "nop":
+            return [P("addi", "x0", "x0", "0")]
+        if m == "mv":
+            return [P("addi", ops[0], ops[1], "0")]
+        if m == "li":
+            imm = _parse_int(ops[1], ln)
+            if IMM12_MIN <= imm <= IMM12_MAX:
+                return [P("addi", ops[0], "x0", str(imm))]
+            try:
+                hi, lo = split_li(imm)
+            except ValueError as exc:
+                raise AsmSyntaxError(str(exc), ln)
+            out = [P("lui", ops[0], str(hi))]
+            if lo:
+                out.append(P("addi", ops[0], ops[0], str(lo)))
+            return out
+        if m == "la":
+            # always two words so that layout is symbol-independent
+            return [P("lui", ops[0], "%hi(" + ops[1] + ")"),
+                    P("addi", ops[0], ops[0], "%lo(" + ops[1] + ")")]
+        if m == "neg":
+            return [P("sub", ops[0], "x0", ops[1])]
+        if m == "not":
+            return [P("xori", ops[0], ops[1], "-1")]
+        if m == "seqz":
+            return [P("sltiu", ops[0], ops[1], "1")]
+        if m == "snez":
+            return [P("sltu", ops[0], "x0", ops[1])]
+        if m == "beqz":
+            return [P("beq", ops[0], "x0", ops[1])]
+        if m == "bnez":
+            return [P("bne", ops[0], "x0", ops[1])]
+        if m == "blez":
+            return [P("bge", "x0", ops[0], ops[1])]
+        if m == "bgez":
+            return [P("bge", ops[0], "x0", ops[1])]
+        if m == "bltz":
+            return [P("blt", ops[0], "x0", ops[1])]
+        if m == "bgtz":
+            return [P("blt", "x0", ops[0], ops[1])]
+        if m == "bgt":
+            return [P("blt", ops[1], ops[0], ops[2])]
+        if m == "ble":
+            return [P("bge", ops[1], ops[0], ops[2])]
+        if m == "bgtu":
+            return [P("bltu", ops[1], ops[0], ops[2])]
+        if m == "bleu":
+            return [P("bgeu", ops[1], ops[0], ops[2])]
+        if m == "j":
+            return [P("jal", "x0", ops[0])]
+        if m == "jr":
+            return [P("jalr", "x0", ops[0], "0")]
+        if m == "ret":
+            return [P("jalr", "x0", "ra", "0")]
+        if m == "call":
+            return [P("jal", "ra", ops[0])]
+        raise AsmSyntaxError("unknown mnemonic %r" % m, ln)
+
+    # -- pass 2: operand resolution ------------------------------------------
+
+    def _imm(self, text, symbols, lineno):
+        text = text.strip()
+        if text.startswith("%hi(") and text.endswith(")"):
+            addr = self._symval(text[4:-1], symbols, lineno)
+            return split_li(addr)[0]
+        if text.startswith("%lo(") and text.endswith(")"):
+            addr = self._symval(text[4:-1], symbols, lineno)
+            return split_li(addr)[1]
+        if text in symbols:
+            return symbols[text]
+        return _parse_int(text, lineno)
+
+    def _symval(self, name, symbols, lineno):
+        name = name.strip()
+        if name not in symbols:
+            raise AsmSyntaxError("undefined symbol %r" % name, lineno)
+        return symbols[name]
+
+    def _target(self, text, symbols, proto):
+        """Branch-target operand -> byte offset relative to the branch."""
+        text = text.strip()
+        if text in symbols:
+            return symbols[text] - proto.pc
+        return _parse_int(text, proto.lineno)
+
+    def _reg(self, text, lineno):
+        try:
+            return reg_num(text)
+        except Exception:
+            raise AsmSyntaxError("expected register, got %r" % text, lineno)
+
+    def _memop(self, text, lineno):
+        """Parse ``imm(rs1)`` -> (imm, rs1)."""
+        text = text.strip()
+        if not text.endswith(")") or "(" not in text:
+            raise AsmSyntaxError("expected imm(reg), got %r" % text, lineno)
+        off, base = text[:-1].split("(", 1)
+        imm = _parse_int(off, lineno) if off.strip() else 0
+        return imm, self._reg(base, lineno)
+
+    def _resolve(self, proto, symbols):
+        op = OPS[proto.mnemonic]
+        ops, ln = proto.operands, proto.lineno
+        instr = Instr(op, pc=proto.pc, srcline=ln)
+        fmt = op.fmt
+
+        def need(n):
+            if len(ops) != n:
+                raise AsmSyntaxError(
+                    "%s expects %d operands, got %d"
+                    % (proto.mnemonic, n, len(ops)), ln)
+
+        if fmt in (Fmt.R, Fmt.XI_R):
+            need(3)
+            instr.rd = self._reg(ops[0], ln)
+            instr.rs1 = self._reg(ops[1], ln)
+            instr.rs2 = self._reg(ops[2], ln)
+        elif fmt == Fmt.R2:
+            need(2)
+            instr.rd = self._reg(ops[0], ln)
+            instr.rs1 = self._reg(ops[1], ln)
+        elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.XI_I):
+            need(3)
+            instr.rd = self._reg(ops[0], ln)
+            instr.rs1 = self._reg(ops[1], ln)
+            instr.imm = self._imm(ops[2], symbols, ln)
+        elif fmt == Fmt.LOAD:
+            need(2)
+            instr.rd = self._reg(ops[0], ln)
+            instr.imm, instr.rs1 = self._memop(ops[1], ln)
+        elif fmt == Fmt.STORE:
+            need(2)
+            instr.rs2 = self._reg(ops[0], ln)
+            instr.imm, instr.rs1 = self._memop(ops[1], ln)
+        elif fmt == Fmt.AMO:
+            need(3)
+            instr.rd = self._reg(ops[0], ln)
+            instr.rs2 = self._reg(ops[1], ln)
+            base = ops[2].strip()
+            if base.startswith("(") and base.endswith(")"):
+                base = base[1:-1]
+            instr.rs1 = self._reg(base, ln)
+        elif fmt in (Fmt.BRANCH, Fmt.XLOOP):
+            need(3)
+            instr.rs1 = self._reg(ops[0], ln)
+            instr.rs2 = self._reg(ops[1], ln)
+            instr.imm = self._target(ops[2], symbols, proto)
+            instr.label = ops[2].strip() if ops[2].strip() in symbols else None
+            if op.is_xloop and instr.imm >= 0:
+                raise AsmSyntaxError(
+                    "xloop body label must precede the xloop instruction", ln)
+        elif fmt == Fmt.JAL:
+            if op.is_xbreak:
+                need(1)
+                instr.rd = 0
+                instr.imm = self._target(ops[0], symbols, proto)
+                instr.label = (ops[0].strip()
+                               if ops[0].strip() in symbols else None)
+                if instr.imm <= 0:
+                    raise AsmSyntaxError(
+                        "xloop.break must jump forward past its xloop",
+                        ln)
+            else:
+                need(2)
+                instr.rd = self._reg(ops[0], ln)
+                instr.imm = self._target(ops[1], symbols, proto)
+                instr.label = (ops[1].strip()
+                               if ops[1].strip() in symbols else None)
+        elif fmt == Fmt.JALR:
+            need(3)
+            instr.rd = self._reg(ops[0], ln)
+            instr.rs1 = self._reg(ops[1], ln)
+            instr.imm = self._imm(ops[2], symbols, ln)
+        elif fmt == Fmt.LUI:
+            need(2)
+            instr.rd = self._reg(ops[0], ln)
+            instr.imm = self._imm(ops[1], symbols, ln)
+        elif fmt == Fmt.NONE:
+            need(0)
+        else:  # pragma: no cover
+            raise AsmSyntaxError("bad format %r" % fmt, ln)
+        return instr
+
+
+def assemble(source, text_base=TEXT_BASE, data_base=DATA_BASE):
+    """Convenience wrapper: assemble *source* into a :class:`Program`."""
+    return Assembler(text_base, data_base).assemble(source)

@@ -1,0 +1,43 @@
+"""Disassembly / pretty-printing of XLOOPS instructions."""
+
+from __future__ import annotations
+
+from ..isa.instructions import Fmt
+from ..isa.registers import reg_name
+
+
+def format_instr(instr, abi=True):
+    """Render one instruction in assembly syntax."""
+    r = lambda n: reg_name(n, abi=abi)
+    op = instr.op
+    m = op.mnemonic
+    fmt = op.fmt
+    if fmt in (Fmt.R, Fmt.XI_R):
+        return "%s %s, %s, %s" % (m, r(instr.rd), r(instr.rs1), r(instr.rs2))
+    if fmt == Fmt.R2:
+        return "%s %s, %s" % (m, r(instr.rd), r(instr.rs1))
+    if fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.XI_I, Fmt.JALR):
+        return "%s %s, %s, %d" % (m, r(instr.rd), r(instr.rs1), instr.imm)
+    if fmt == Fmt.LOAD:
+        return "%s %s, %d(%s)" % (m, r(instr.rd), instr.imm, r(instr.rs1))
+    if fmt == Fmt.STORE:
+        return "%s %s, %d(%s)" % (m, r(instr.rs2), instr.imm, r(instr.rs1))
+    if fmt == Fmt.AMO:
+        return "%s %s, %s, (%s)" % (m, r(instr.rd), r(instr.rs2),
+                                    r(instr.rs1))
+    if fmt in (Fmt.BRANCH, Fmt.XLOOP):
+        target = instr.label or ("0x%x" % instr.branch_target())
+        return "%s %s, %s, %s" % (m, r(instr.rs1), r(instr.rs2), target)
+    if fmt == Fmt.JAL:
+        target = instr.label or ("0x%x" % instr.branch_target())
+        if op.is_xbreak:
+            return "%s %s" % (m, target)
+        return "%s %s, %s" % (m, r(instr.rd), target)
+    if fmt == Fmt.LUI:
+        return "%s %s, %d" % (m, r(instr.rd), instr.imm)
+    return m
+
+
+def disassemble(program):
+    """Full-listing convenience wrapper (see Program.listing)."""
+    return program.listing()

@@ -1,0 +1,83 @@
+"""Line-oriented tokenizer for XLOOPS assembly source."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class AsmSyntaxError(SyntaxError):
+    """Assembly could not be tokenized/parsed."""
+
+    def __init__(self, message, lineno=None):
+        if lineno is not None:
+            message = "line %d: %s" % (lineno, message)
+        super().__init__(message)
+        self.lineno = lineno
+
+
+@dataclass
+class AsmLine:
+    """One significant source line, already split into fields."""
+
+    lineno: int
+    labels: List[str]
+    mnemonic: Optional[str]       # None for label-only / directive lines
+    operands: List[str]
+    directive: Optional[str]      # e.g. ".word" (without arguments)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:")
+_COMMENT_RE = re.compile(r"(#|//).*$")
+
+
+def _split_operands(rest):
+    """Split an operand string at top-level commas (parens protected)."""
+    operands, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        operands.append(tail)
+    return [o for o in operands if o]
+
+
+def tokenize(source):
+    """Tokenize assembly *source* into a list of :class:`AsmLine`."""
+    lines = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = _COMMENT_RE.sub("", raw).strip()
+        if not text:
+            continue
+        labels = []
+        while True:
+            m = _LABEL_RE.match(text)
+            if not m:
+                break
+            labels.append(m.group(1))
+            text = text[m.end():].strip()
+        mnemonic = directive = None
+        operands = []
+        if text:
+            parts = text.split(None, 1)
+            head = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            if head.startswith("."):
+                directive = head
+                operands = _split_operands(rest)
+            else:
+                mnemonic = head
+                operands = _split_operands(rest)
+        if labels or mnemonic or directive:
+            lines.append(AsmLine(lineno, labels, mnemonic, operands,
+                                 directive))
+    return lines

@@ -1,0 +1,69 @@
+"""Assembled-program container shared by the assembler, compiler,
+functional simulator, and all timing models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.instructions import Instr
+
+#: default load addresses (flat address space, no MMU)
+TEXT_BASE = 0x0000_1000
+DATA_BASE = 0x0001_0000
+
+
+@dataclass
+class Program:
+    """An assembled unit: text (instructions), data image, symbols.
+
+    ``instrs`` are laid out contiguously starting at ``text_base``;
+    instruction *i* lives at ``text_base + 4*i``.  ``data`` is a byte
+    image placed at ``data_base``.
+    """
+
+    instrs: List[Instr] = field(default_factory=list)
+    data: bytearray = field(default_factory=bytearray)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    source: Optional[str] = None
+
+    def instr_at(self, pc):
+        """Instruction at byte address *pc* (raises on a bad fetch)."""
+        idx = (pc - self.text_base) >> 2
+        if pc & 3 or not 0 <= idx < len(self.instrs):
+            raise IndexError("bad instruction fetch at pc=0x%x" % pc)
+        return self.instrs[idx]
+
+    def in_text(self, pc):
+        return (self.text_base <= pc < self.text_base + 4 * len(self.instrs)
+                and pc % 4 == 0)
+
+    @property
+    def text_size(self):
+        return 4 * len(self.instrs)
+
+    def entry(self, name="main"):
+        """Byte address of label *name*."""
+        return self.symbols[name]
+
+    def label_at(self, pc):
+        """Any label bound to byte address *pc* (for disassembly)."""
+        for name, addr in self.symbols.items():
+            if addr == pc:
+                return name
+        return None
+
+    def listing(self):
+        """Human-readable disassembly listing of the text section."""
+        from .disasm import format_instr
+        addr_labels = {}
+        for name, a in self.symbols.items():
+            addr_labels.setdefault(a, []).append(name)
+        lines = []
+        for instr in self.instrs:
+            for name in addr_labels.get(instr.pc, ()):
+                lines.append("%s:" % name)
+            lines.append("    %08x  %s" % (instr.pc, format_instr(instr)))
+        return "\n".join(lines)

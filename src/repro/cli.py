@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compile   compile an annotated MiniC file to XLOOPS assembly
+disasm    compile and show the encoded words + disassembly
+run       compile a MiniC file and simulate a function call
+kernels   list the bundled Table II / Table IV application kernels
+kernel    run one bundled kernel on a platform and report stats
+table     regenerate one of the paper's tables/figures
+isa       print the XLOOPS instruction-set extensions (Table I)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .eval.configs import CONFIGS
+from .uarch.system import MODES
+
+
+def _add_platform_args(p):
+    p.add_argument("--config", default="io+x", choices=sorted(CONFIGS),
+                   help="platform configuration (default io+x)")
+    p.add_argument("--mode", default="specialized", choices=MODES,
+                   help="execution mode (default specialized)")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XLOOPS (MICRO 2014) reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="MiniC -> XLOOPS assembly")
+    p.add_argument("source", help="MiniC source file")
+    p.add_argument("--gp", action="store_true",
+                   help="compile for the GP ISA (ignore pragmas)")
+    p.add_argument("--no-xi", action="store_true",
+                   help="disable xi cross-iteration instructions")
+    p.add_argument("--schedule", action="store_true",
+                   help="enable automatic CIR-critical-path scheduling")
+
+    p = sub.add_parser("disasm", help="show encodings + disassembly")
+    p.add_argument("source", help="MiniC or .s assembly file")
+
+    p = sub.add_parser("run", help="compile and simulate a call")
+    p.add_argument("source", help="MiniC source file")
+    p.add_argument("entry", help="function to call")
+    p.add_argument("args", nargs="*", type=lambda v: int(v, 0),
+                   help="integer arguments")
+    _add_platform_args(p)
+
+    sub.add_parser("kernels", help="list bundled application kernels")
+
+    p = sub.add_parser("kernel", help="run one bundled kernel")
+    p.add_argument("name", help="kernel name (see 'kernels')")
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--trace", action="store_true",
+                   help="draw a per-cycle lane-occupancy diagram of "
+                        "the first specialized xloop")
+    p.add_argument("--trace-width", type=int, default=120)
+    _add_platform_args(p)
+
+    p = sub.add_parser("table", help="regenerate a paper artifact")
+    p.add_argument("which",
+                   choices=("table2", "table3", "table4", "table5", "fig5", "fig6",
+                            "fig7", "fig9", "fig10"))
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--kernels", nargs="*",
+                   help="restrict to these kernels")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the raw data as JSON")
+
+    sub.add_parser("isa", help="print Table I")
+    return parser
+
+
+def cmd_compile(args):
+    from .lang import compile_source
+    with open(args.source) as f:
+        source = f.read()
+    compiled = compile_source(source, xloops=not args.gp,
+                              xi_enabled=not args.no_xi,
+                              schedule_cirs=args.schedule)
+    for loop in compiled.loops:
+        print("# line %d: %r -> %s%s" % (
+            loop.line, loop.annotation, loop.mnemonic,
+            "  cirs=" + ",".join(loop.cirs) if loop.cirs else ""),
+            file=sys.stderr)
+    print(compiled.asm_text)
+    return 0
+
+
+def cmd_disasm(args):
+    from .isa import encode
+    program = _load_program(args.source)
+    for instr in program.instrs:
+        label = program.label_at(instr.pc)
+        if label:
+            print("%s:" % label)
+        print("    %08x:  %08x  %s"
+              % (instr.pc, encode(instr), instr))
+    return 0
+
+
+def _load_program(path):
+    with open(path) as f:
+        source = f.read()
+    if path.endswith(".s") or path.endswith(".asm"):
+        from .asm import assemble
+        return assemble(source)
+    from .lang import compile_source
+    return compile_source(source).program
+
+
+def cmd_run(args):
+    from .energy import system_energy
+    from .lang import compile_source
+    from .uarch import simulate
+    with open(args.source) as f:
+        source = f.read()
+    compiled = compile_source(source)
+    config = CONFIGS[args.config]
+    if config.lpsu is None and args.mode != "traditional":
+        print("error: config %r has no LPSU; use --mode traditional"
+              % args.config, file=sys.stderr)
+        return 2
+    result = simulate(compiled.program, config, entry=args.entry,
+                      args=args.args, mode=args.mode)
+    print("cycles:        %d" % result.cycles)
+    print("instructions:  %d gpp + %d lpsu"
+          % (result.gpp_instrs, result.lpsu_instrs))
+    print("energy:        %.1f nJ" % system_energy(result, config))
+    print("return value:  %d" % result.return_value)
+    if result.specialized_invocations:
+        print("specialized:   %d invocation(s), %d iterations, "
+              "%d squashes"
+              % (result.specialized_invocations,
+                 result.lpsu_stats.iterations,
+                 result.lpsu_stats.squashes))
+    return 0
+
+
+def cmd_kernels(_args):
+    from .kernels import ALL_KERNELS
+    for spec in ALL_KERNELS:
+        print("%-16s %-3s %-10s %s"
+              % (spec.name, spec.suite, ",".join(spec.loop_types),
+                 spec.description))
+    return 0
+
+
+def cmd_kernel(args):
+    from .eval.runner import baseline_run, run
+    result = run(args.name, args.config, mode=args.mode,
+                 scale=args.scale)
+    base = baseline_run(args.name, args.config, scale=args.scale)
+    print("kernel:     %s on %s (%s)" % (args.name, args.config,
+                                         args.mode))
+    print("cycles:     %d (baseline GPP: %d)" % (result.cycles,
+                                                 base.cycles))
+    print("speedup:    %.2fx" % (base.cycles / result.cycles))
+    print("energy:     %.1f nJ (baseline: %.1f nJ)"
+          % (result.energy_nj, base.energy_nj))
+    print("energy eff: %.2fx" % (base.energy_nj / result.energy_nj))
+    if result.specialized_invocations:
+        stats = result.lpsu_stats
+        print("lpsu:       %d iterations, %d squashes, breakdown %s"
+              % (stats.iterations, stats.squashes, stats.breakdown()))
+    print("verified against the golden model: yes")
+    if args.trace:
+        from .kernels import get_kernel
+        from .lang import compile_source
+        from .sim import Memory
+        from .uarch.tracelog import trace_specialized
+        spec = get_kernel(args.name)
+        compiled = compile_source(spec.source)
+        workload = spec.workload(args.scale)
+        mem = Memory()
+        wargs = workload.apply(mem)
+        config = CONFIGS[args.config]
+        if config.lpsu is None:
+            print("(no LPSU on %r; nothing to trace)" % args.config)
+            return 0
+        trace, _ = trace_specialized(
+            compiled.program, spec.entry, wargs, mem,
+            lpsu_config=config.lpsu, latencies=config.gpp.latencies)
+        print()
+        print(trace.render(width=args.trace_width))
+    return 0
+
+
+def cmd_table(args):
+    from . import eval as ev
+    from .eval import export
+    kw = {"scale": args.scale}
+    if args.kernels:
+        kw["kernels"] = args.kernels
+    payload = None
+    if args.which == "table2":
+        rows = ev.build_table2(**kw)
+        print(ev.render_table2(rows))
+        payload = export.table2_to_dict(rows)
+    elif args.which == "table3":
+        print(ev.render_table3())
+        payload = ev.build_table3()
+    elif args.which == "table4":
+        rows = ev.build_table4(**kw)
+        print(ev.render_table4(rows))
+        payload = [{"kernel": r.kernel, "type": r.loop_type,
+                    "speedups": r.speedups} for r in rows]
+    elif args.which == "table5":
+        rows = ev.build_table5()
+        print(ev.render_table5(rows))
+        payload = export.table5_to_dict(rows)
+    elif args.which == "fig5":
+        series = ev.fig5_data(**kw)
+        print(ev.render_fig5(series))
+        payload = export.series_to_dict(series)
+    elif args.which == "fig6":
+        data = ev.fig6_data(**kw)
+        print(ev.render_fig6(data))
+        payload = data
+    elif args.which == "fig7":
+        series = ev.fig7_data(**kw)
+        print(ev.render_fig7(series))
+        payload = export.series_to_dict(series)
+    elif args.which == "fig9":
+        series = ev.fig9_data(scale=args.scale)
+        print(ev.render_fig9(series))
+        payload = export.series_to_dict(series)
+    elif args.which == "fig10":
+        points = ev.fig10_data(**kw)
+        print(ev.render_fig10(points))
+        payload = export.fig8_to_dict(points)
+    if args.json and payload is not None:
+        export.save_json(args.json, payload)
+        print("wrote %s" % args.json)
+    return 0
+
+
+def cmd_isa(_args):
+    from .isa import PATTERN_DESCRIPTIONS
+    print("XLOOPS instruction-set extensions (paper Table I + the .de "
+          "extension):")
+    for mnemonic, description in PATTERN_DESCRIPTIONS.items():
+        print("  %-14s %s" % (mnemonic, description))
+    print("  %-14s %s" % ("addiu.xi",
+                          "cross-iteration add (immediate stride)"))
+    print("  %-14s %s" % ("addu.xi",
+                          "cross-iteration add (register stride)"))
+    print("  %-14s %s" % ("xloop.break",
+                          "data-dependent exit (.de bodies only)"))
+    return 0
+
+
+_COMMANDS = {
+    "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
+    "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
+    "isa": cmd_isa,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

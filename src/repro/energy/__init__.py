@@ -1,0 +1,9 @@
+"""Event-based energy modeling (McPAT-style, Section IV-A) plus the
+VLSI-calibrated table used for Fig 10."""
+
+from .events import EnergyEvents
+from .mcpat import (EnergyTable, MCPAT_45NM, VLSI_40NM, energy_nj,
+                    energy_breakdown, system_energy)
+
+__all__ = ["EnergyEvents", "EnergyTable", "MCPAT_45NM", "VLSI_40NM",
+           "energy_nj", "energy_breakdown", "system_energy"]

@@ -1,0 +1,72 @@
+"""Microarchitectural event counters used for energy accounting.
+
+The timing models increment these; :mod:`repro.energy.mcpat` prices
+them (McPAT-style event-based accounting, Section IV-A).  Keeping
+counting separate from pricing lets the VLSI evaluation (Fig 10) reuse
+the same counts with a different per-event table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class EnergyEvents:
+    """Integer event counters.  All fields default to zero; adding a
+    field automatically extends pricing, addition, and reporting."""
+
+    # frontend
+    ic_access: int = 0        # GPP instruction-cache fetch
+    ib_write: int = 0         # LPSU instruction-buffer write (scan)
+    ib_read: int = 0          # LPSU instruction-buffer read (lane fetch)
+    rename: int = 0           # scan-phase register rename (amortized)
+    bpred: int = 0            # branch predictor lookup
+    # register file
+    rf_read: int = 0
+    rf_write: int = 0
+    # execution
+    alu_op: int = 0
+    mul_op: int = 0
+    div_op: int = 0
+    fpu_op: int = 0
+    fdiv_op: int = 0
+    miv_mul: int = 0          # xi mutual-induction multiply (narrow; we
+    #                           conservatively price it as a 32-bit mul)
+    # memory hierarchy
+    dc_access: int = 0
+    dc_miss: int = 0
+    lsq_search: int = 0       # associative LSQ lookup / broadcast compare
+    lsq_write: int = 0
+    # cross-iteration communication (priced as extra RF events + wires)
+    cib_read: int = 0
+    cib_write: int = 0
+    # OOO overheads (per dispatched instruction)
+    rob_op: int = 0
+    iq_op: int = 0
+    ooo_rename: int = 0
+    # LPSU bookkeeping
+    idq_op: int = 0
+    squashed_instr: int = 0   # work thrown away on a memory violation
+
+    def add(self, other):
+        """Accumulate *other* into self (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name)
+                    + getattr(other, f.name))
+        return self
+
+    def copy(self):
+        out = EnergyEvents()
+        out.add(self)
+        return out
+
+    def as_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total_events(self):
+        return sum(self.as_dict().values())
+
+    def __repr__(self):
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return "EnergyEvents(%s)" % nonzero

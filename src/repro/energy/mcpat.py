@@ -1,0 +1,116 @@
+"""McPAT-style per-event energy pricing (Section IV-A).
+
+The paper estimates energy with McPAT 1.0 at 45 nm, modelling the LPSU
+lanes as properly-sized simple in-order cores, adding a 5% overhead for
+the LMU/index-queues/arbiters (calibrated against their VLSI
+implementation), pricing ``xi`` instructions conservatively as 32-bit
+multiplies, pricing CIR communication as extra register-file events,
+and pricing the per-lane LSQs as out-of-order LSQs.  We reproduce that
+accounting with a per-event table in picojoules.
+
+A second table (:data:`VLSI_40NM`) is calibrated to the paper's ASIC
+results for Fig 10, whose headline observation is that an LPSU
+instruction-buffer access costs ~10x less than an instruction-cache
+access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from .events import EnergyEvents
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Energy per event, in picojoules."""
+
+    name: str = "mcpat-45nm"
+    ic_access: float = 32.0
+    ib_write: float = 4.0
+    ib_read: float = 3.2          # ~10x cheaper than ic_access
+    rename: float = 2.0
+    bpred: float = 2.0
+    rf_read: float = 1.0
+    rf_write: float = 1.6
+    alu_op: float = 3.0
+    mul_op: float = 12.0
+    div_op: float = 20.0
+    fpu_op: float = 10.0
+    fdiv_op: float = 22.0
+    miv_mul: float = 12.0         # conservatively a full 32-bit multiply
+    dc_access: float = 24.0
+    dc_miss: float = 120.0        # line fill from L2
+    lsq_search: float = 6.0       # OOO-LSQ-class associative search
+    lsq_write: float = 3.0
+    cib_read: float = 1.6         # extra RF-read-equivalent + wires
+    cib_write: float = 1.6
+    rob_op: float = 6.0
+    iq_op: float = 8.0
+    ooo_rename: float = 6.0
+    idq_op: float = 1.0
+    squashed_instr: float = 0.0   # squashed work already counted by its
+    #                               constituent events
+
+    #: events attributed to the LPSU, inflated by the LMU overhead
+    LPSU_EVENTS = ("ib_write", "ib_read", "rename", "miv_mul",
+                   "cib_read", "cib_write", "idq_op", "lsq_search",
+                   "lsq_write")
+    #: events whose per-access cost grows with OOO issue width
+    WIDTH_SCALED = ("rob_op", "iq_op", "ooo_rename")
+
+    def price(self, event_name):
+        return getattr(self, event_name)
+
+
+MCPAT_45NM = EnergyTable()
+
+#: Fig 10 table: our ASIC flow found the IB ~10x cheaper than the I$
+#: and overall LPSU energy savings of 1.6-2.1x, i.e. the McPAT numbers
+#: are "relatively conservative" (Section V-C) -> cheaper LPSU events.
+VLSI_40NM = EnergyTable(
+    name="vlsi-40nm",
+    ic_access=40.0, ib_read=4.0, ib_write=4.5,
+    rf_read=0.9, rf_write=1.4, alu_op=2.6,
+    dc_access=26.0, lsq_search=5.0, lsq_write=2.6,
+    cib_read=1.2, cib_write=1.2, miv_mul=10.0, idq_op=0.8)
+
+#: LMU + index queues + arbiters overhead (Section IV-A: "an
+#: additional energy overhead of 5% ... based on ... our detailed VLSI
+#: implementation")
+LMU_OVERHEAD = 0.05
+
+
+def energy_breakdown(events, table=MCPAT_45NM, ooo_width=0):
+    """Per-event-type energy in nanojoules.
+
+    *ooo_width* > 0 scales the OOO bookkeeping events (bigger
+    ROB/IQ/rename structures cost more per access)."""
+    out = {}
+    scale = max(1.0, ooo_width / 2.0)
+    for f in fields(EnergyEvents):
+        count = getattr(events, f.name)
+        if not count:
+            continue
+        pj = table.price(f.name) * count
+        if f.name in EnergyTable.WIDTH_SCALED:
+            pj *= scale
+        out[f.name] = pj / 1000.0
+    lpsu_pj = sum(out.get(name, 0.0) for name in EnergyTable.LPSU_EVENTS)
+    if lpsu_pj:
+        out["lmu_overhead"] = lpsu_pj * LMU_OVERHEAD
+    return out
+
+
+def energy_nj(events, table=MCPAT_45NM, ooo_width=0):
+    """Total dynamic energy in nanojoules."""
+    return sum(energy_breakdown(events, table, ooo_width).values())
+
+
+def system_energy(result, config, table=MCPAT_45NM):
+    """Dynamic energy (nJ) of a :class:`~repro.uarch.system.RunResult`
+    executed on *config* (a :class:`~repro.uarch.params.SystemConfig`
+    or :class:`~repro.uarch.params.GPPConfig`)."""
+    gpp = getattr(config, "gpp", config)
+    width = gpp.width if gpp.is_ooo else 0
+    return energy_nj(result.events, table, ooo_width=width)

@@ -1,0 +1,67 @@
+"""Named platform configurations for the evaluation (paper Table III
+plus the Fig 9 design-space variants)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..uarch.params import (IO, OOO2, OOO4, AdaptiveConfig, LPSUConfig,
+                            SystemConfig)
+
+#: the primary LPSU: 4 lanes, 128-entry IBs, 8+8 LSQs, shared port+LLFU
+PRIMARY_LPSU = LPSUConfig()
+
+#: paper Section IV-D uses 256 iterations / 2000 cycles.  Our datasets
+#: are scaled ~8x smaller than the paper's (to keep the pure-Python
+#: cycle simulation fast), so the profiling thresholds scale down by
+#: the same factor -- otherwise profiling would consume entire loops.
+ADAPTIVE = AdaptiveConfig(profile_iters=32, profile_cycles=400)
+
+
+def _sys(name, gpp, lpsu=None):
+    return SystemConfig(name=name, gpp=gpp, lpsu=lpsu, adaptive=ADAPTIVE)
+
+
+CONFIGS = {
+    # baselines
+    "io": _sys("io", IO),
+    "ooo/2": _sys("ooo/2", OOO2),
+    "ooo/4": _sys("ooo/4", OOO4),
+    # XLOOPS platforms
+    "io+x": _sys("io+x", IO, PRIMARY_LPSU),
+    "ooo/2+x": _sys("ooo/2+x", OOO2, PRIMARY_LPSU),
+    "ooo/4+x": _sys("ooo/4+x", OOO4, PRIMARY_LPSU),
+    # Fig 9 design space (all on the ooo/4 host)
+    "ooo/4+x4+t": _sys("ooo/4+x4+t", OOO4,
+                       replace(PRIMARY_LPSU, threads_per_lane=2)),
+    "ooo/4+x8": _sys("ooo/4+x8", OOO4,
+                     replace(PRIMARY_LPSU, lanes=8)),
+    "ooo/4+x8+r": _sys("ooo/4+x8+r", OOO4,
+                       replace(PRIMARY_LPSU, lanes=8, mem_ports=2,
+                               llfus=2)),
+    "ooo/4+x8+r+m": _sys("ooo/4+x8+r+m", OOO4,
+                         replace(PRIMARY_LPSU, lanes=8, mem_ports=2,
+                                 llfus=2, lsq_loads=16, lsq_stores=16)),
+}
+
+#: baseline GPP serving as the denominator for each platform
+BASELINE_OF = {
+    "io": "io", "io+x": "io",
+    "ooo/2": "ooo/2", "ooo/2+x": "ooo/2",
+    "ooo/4": "ooo/4", "ooo/4+x": "ooo/4",
+    "ooo/4+x4+t": "ooo/4", "ooo/4+x8": "ooo/4",
+    "ooo/4+x8+r": "ooo/4", "ooo/4+x8+r+m": "ooo/4",
+}
+
+GPP_NAMES = ("io", "ooo/2", "ooo/4")
+XLOOPS_NAMES = ("io+x", "ooo/2+x", "ooo/4+x")
+DESIGN_SPACE_NAMES = ("ooo/4+x", "ooo/4+x4+t", "ooo/4+x8", "ooo/4+x8+r",
+                      "ooo/4+x8+r+m")
+
+
+def config(name):
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise KeyError("unknown config %r (known: %s)"
+                       % (name, ", ".join(sorted(CONFIGS))))

@@ -1,0 +1,87 @@
+"""JSON export/import of experiment results, so downstream tooling
+(plotting scripts, regression dashboards) can consume the reproduced
+tables and figures without re-simulating."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict
+
+from .report import geomean
+from .table2 import Table2Row
+
+
+def run_to_dict(run):
+    """Serialize a :class:`~repro.eval.runner.KernelRun`."""
+    return {
+        "kernel": run.kernel,
+        "config": run.config,
+        "mode": run.mode,
+        "binary": run.binary,
+        "cycles": run.cycles,
+        "gpp_instrs": run.gpp_instrs,
+        "lpsu_instrs": run.lpsu_instrs,
+        "energy_nj": run.energy_nj,
+        "vlsi_energy_nj": run.vlsi_energy_nj,
+        "specialized_invocations": run.specialized_invocations,
+        "cache_miss_rate": run.cache_miss_rate,
+        "static_xloops": list(run.static_xloops),
+        "lpsu": {
+            "iterations": run.lpsu_stats.iterations,
+            "squashes": run.lpsu_stats.squashes,
+            "breakdown": run.lpsu_stats.breakdown(),
+        },
+    }
+
+
+def table2_to_dict(rows):
+    """Serialize a Table II row list, including summary geomeans."""
+    out = {"rows": [], "geomeans": {}}
+    for row in rows:
+        out["rows"].append({
+            "kernel": row.kernel,
+            "suite": row.suite,
+            "loop_types": list(row.loop_types),
+            "xloops": list(row.xloops),
+            "dyn_instrs_gp": row.dyn_instrs_gp,
+            "dyn_instrs_xloops": row.dyn_instrs_xloops,
+            "xg_ratio": row.xg_ratio,
+            "speedups": {"%s:%s" % key: value
+                         for key, value in row.speedups.items()},
+        })
+    if rows:
+        keys = rows[0].speedups.keys()
+        for key in keys:
+            out["geomeans"]["%s:%s" % key] = geomean(
+                [r.speedups[key] for r in rows])
+    return out
+
+
+def fig8_to_dict(points):
+    return [{"kernel": p.kernel, "config": p.config, "mode": p.mode,
+             "performance": p.performance, "efficiency": p.efficiency}
+            for p in points]
+
+
+def series_to_dict(series):
+    """Figures expressed as {series_name: {x: y}}."""
+    return {name: dict(points) for name, points in series.items()}
+
+
+def table5_to_dict(rows):
+    return [{"name": name,
+             "cycle_time_ns": ct,
+             "total_mm2": report.total_mm2,
+             "breakdown": dict(report.breakdown)}
+            for name, report, ct in rows]
+
+
+def save_json(path, payload):
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)

@@ -1,0 +1,212 @@
+"""Figure reproductions (Figs 5-10).
+
+Each ``figN_data`` function returns the series the paper plots; each
+``render_figN`` prints them as aligned text (the textual stand-in for
+the chart).  The bench harness in ``benchmarks/`` regenerates each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..kernels import TABLE2_KERNELS, get_kernel
+from ..vlsi import cycle_time_ns
+from .configs import DESIGN_SPACE_NAMES, GPP_NAMES
+from .report import render_series, render_table
+from .runner import baseline_run, energy_efficiency, run, speedup
+
+_TABLE2_NAMES = tuple(k.name for k in TABLE2_KERNELS)
+
+# ---------------------------------------------------------------------------
+# Fig 5: speedups of the GPP baselines vs ooo/2+x specialized execution,
+# normalized to ooo/2 and to ooo/4
+# ---------------------------------------------------------------------------
+
+
+def fig5_data(kernels=_TABLE2_NAMES, normalize_to="ooo/2",
+              scale="small", seed=0):
+    """Per-kernel speedups of {io, ooo/2, ooo/4, ooo/2+x(S)} relative
+    to the GP binary on *normalize_to*."""
+    series = {name: {} for name in ("io", "ooo/2", "ooo/4",
+                                    "ooo/2+x:S")}
+    for k in kernels:
+        norm = baseline_run(k, normalize_to, scale, seed).cycles
+        for gpp in GPP_NAMES:
+            series[gpp][k] = norm / baseline_run(k, gpp, scale,
+                                                 seed).cycles
+        spec_run = run(k, "ooo/2+x", mode="specialized", scale=scale,
+                       seed=seed)
+        series["ooo/2+x:S"][k] = norm / spec_run.cycles
+    return series
+
+
+def render_fig5(series=None, **kw):
+    series = series or fig5_data(**kw)
+    return render_series(
+        "Fig 5: speedups normalized to the GP binary on ooo/2", series)
+
+
+# ---------------------------------------------------------------------------
+# Fig 6: specialized-execution lane-cycle breakdown on io+x
+# ---------------------------------------------------------------------------
+
+
+def fig6_data(kernels=_TABLE2_NAMES, scale="small", seed=0):
+    """Per-kernel fractional breakdown of LPSU lane cycles."""
+    out = {}
+    for k in kernels:
+        r = run(k, "io+x", mode="specialized", scale=scale, seed=seed)
+        breakdown = r.lpsu_stats.breakdown()
+        lanes_cycles = sum(v for key, v in breakdown.items()
+                           if key != "squash")
+        if lanes_cycles == 0:
+            out[k] = {key: 0.0 for key in breakdown}
+            continue
+        out[k] = {key: value / lanes_cycles
+                  for key, value in breakdown.items()}
+        out[k]["squashes"] = r.lpsu_stats.squashes
+    return out
+
+
+def render_fig6(data=None, **kw):
+    data = data or fig6_data(**kw)
+    cats = ("busy", "raw", "memport", "llfu", "cib", "lsq", "commit",
+            "branch", "idle")
+    headers = ["Kernel"] + list(cats) + ["squashes"]
+    rows = []
+    for k, b in data.items():
+        rows.append([k] + ["%.2f" % b.get(c, 0.0) for c in cats]
+                    + [int(b.get("squashes", 0))])
+    return render_table(headers, rows,
+                        title="Fig 6: LPSU lane-cycle breakdown "
+                              "(fractions) on io+x")
+
+
+# ---------------------------------------------------------------------------
+# Fig 7: specialized vs adaptive execution on ooo/4+x
+# ---------------------------------------------------------------------------
+
+
+def fig7_data(kernels=_TABLE2_NAMES, scale="small", seed=0):
+    series = {"S": {}, "A": {}}
+    for k in kernels:
+        series["S"][k] = speedup(k, "ooo/4+x", "specialized",
+                                 scale=scale, seed=seed)
+        series["A"][k] = speedup(k, "ooo/4+x", "adaptive",
+                                 scale=scale, seed=seed)
+    return series
+
+
+def render_fig7(series=None, **kw):
+    series = series or fig7_data(**kw)
+    return render_series(
+        "Fig 7: specialized vs adaptive execution on ooo/4+x "
+        "(speedup over ooo/4)", series)
+
+
+# ---------------------------------------------------------------------------
+# Fig 8: energy efficiency vs performance
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig8Point:
+    kernel: str
+    config: str
+    mode: str
+    performance: float      # speedup over the baseline GPP
+    efficiency: float       # baseline energy / this energy
+
+    @property
+    def iso_power(self):
+        """Ratio to the iso-power contour (eff == 1/perf line)."""
+        return self.efficiency * self.performance
+
+
+def fig8_data(kernels=_TABLE2_NAMES, configs=("io+x", "ooo/2+x",
+                                              "ooo/4+x"),
+              modes=("specialized", "adaptive"), scale="small", seed=0):
+    points = []
+    for cfg in configs:
+        for mode in modes:
+            for k in kernels:
+                points.append(Fig8Point(
+                    kernel=k, config=cfg, mode=mode,
+                    performance=speedup(k, cfg, mode, scale=scale,
+                                        seed=seed),
+                    efficiency=energy_efficiency(k, cfg, mode,
+                                                 scale=scale,
+                                                 seed=seed)))
+    return points
+
+
+def render_fig8(points=None, **kw):
+    points = points or fig8_data(**kw)
+    headers = ["Config", "Mode", "Kernel", "Perf", "EnergyEff"]
+    rows = [[p.config, p.mode, p.kernel, "%.2f" % p.performance,
+             "%.2f" % p.efficiency] for p in points]
+    return render_table(headers, rows,
+                        title="Fig 8: energy efficiency vs performance")
+
+
+# ---------------------------------------------------------------------------
+# Fig 9: microarchitectural design-space exploration
+# ---------------------------------------------------------------------------
+
+FIG9_KERNELS = ("sgemm-uc", "viterbi-uc", "kmeans-or", "covar-or",
+                "btree-ua")
+
+
+def fig9_data(kernels=FIG9_KERNELS, configs=DESIGN_SPACE_NAMES,
+              scale="small", seed=0):
+    series = {cfg: {} for cfg in configs}
+    for cfg in configs:
+        for k in kernels:
+            series[cfg][k] = speedup(k, cfg, "specialized", scale=scale,
+                                     seed=seed)
+    return series
+
+
+def render_fig9(series=None, **kw):
+    series = series or fig9_data(**kw)
+    return render_series(
+        "Fig 9: LPSU design space (speedup over ooo/4)", series)
+
+
+# ---------------------------------------------------------------------------
+# Fig 10: VLSI energy efficiency vs performance (uc kernels, no xi)
+# ---------------------------------------------------------------------------
+
+FIG10_KERNELS = ("rgb2cmyk-uc", "sgemm-uc", "ssearch-uc", "symm-uc",
+                 "viterbi-uc")
+
+
+def fig10_data(kernels=FIG10_KERNELS, scale="small", seed=0):
+    """RTL-calibrated evaluation: xi disabled (the RTL does not
+    implement it), VLSI energy table, wall-clock performance includes
+    the post-PnR cycle times."""
+    ct_gpp = cycle_time_ns()
+    ct_lpsu = cycle_time_ns(lanes=4, ib_entries=128)
+    points = []
+    for k in kernels:
+        base = run(k, "io", mode="traditional", binary="gp", scale=scale,
+                   seed=seed)
+        spec = run(k, "io+x", mode="specialized", xi_enabled=False,
+                   scale=scale, seed=seed)
+        perf = (base.cycles * ct_gpp) / (spec.cycles * ct_lpsu)
+        eff = base.vlsi_energy_nj / spec.vlsi_energy_nj
+        points.append(Fig8Point(kernel=k, config="io+x(rtl)",
+                                mode="specialized", performance=perf,
+                                efficiency=eff))
+    return points
+
+
+def render_fig10(points=None, **kw):
+    points = points or fig10_data(**kw)
+    headers = ["Kernel", "Perf (wall-clock)", "EnergyEff"]
+    rows = [[p.kernel, "%.2f" % p.performance, "%.2f" % p.efficiency]
+            for p in points]
+    return render_table(headers, rows,
+                        title="Fig 10: VLSI energy efficiency vs "
+                              "performance (uc kernels, no xi)")

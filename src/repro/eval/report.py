@@ -1,0 +1,48 @@
+"""Plain-text rendering helpers for the table/figure reproductions."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers, rows, title=None, floatfmt="%.2f"):
+    """Render an aligned text table."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return floatfmt % cell
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in text_rows))
+              if text_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title, series):
+    """Render named (label -> {x: y}) series as aligned columns (the
+    textual stand-in for a figure)."""
+    keys = sorted({k for points in series.values() for k in points})
+    headers = ["x"] + list(series)
+    rows = []
+    for key in keys:
+        rows.append([key] + [series[name].get(key, "")
+                             for name in series])
+    return render_table(headers, rows, title=title)
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

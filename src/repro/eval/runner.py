@@ -1,0 +1,138 @@
+"""Experiment runner: compile -> simulate -> verify -> collect stats.
+
+All table/figure generators go through :func:`run`, which memoizes
+results per process (one Table II sweep feeds Figs 5-8 without
+re-simulating)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from ..energy import MCPAT_45NM, VLSI_40NM, system_energy
+from ..energy.events import EnergyEvents
+from ..kernels import get_kernel
+from ..lang import compile_source
+from ..sim import Memory
+from ..uarch import SystemSimulator
+from ..uarch.lpsu import LPSUStats
+from .configs import BASELINE_OF, config
+
+#: binaries: the XLOOPS binary, the same source compiled for the GP
+#: ISA, or the paper's separate serial implementation where one exists
+BINARIES = ("xloops", "gp", "serial")
+
+
+@dataclass
+class KernelRun:
+    """Everything recorded from one kernel x config x mode simulation."""
+
+    kernel: str
+    config: str
+    mode: str
+    binary: str
+    cycles: int
+    gpp_instrs: int
+    lpsu_instrs: int
+    energy_nj: float
+    vlsi_energy_nj: float
+    events: "EnergyEvents"
+    lpsu_stats: LPSUStats
+    specialized_invocations: int
+    adaptive_decisions: Dict[int, str]
+    cache_miss_rate: float
+    static_xloops: Tuple[str, ...]
+
+    @property
+    def total_instrs(self):
+        return self.gpp_instrs + self.lpsu_instrs
+
+
+@lru_cache(maxsize=None)
+def _compiled(kernel_name, binary, xi_enabled):
+    spec = get_kernel(kernel_name)
+    if binary == "xloops":
+        return compile_source(spec.source, xloops=True,
+                              xi_enabled=xi_enabled)
+    if binary == "gp":
+        return compile_source(spec.source, xloops=False)
+    if binary == "serial":
+        source = spec.serial_source or spec.source
+        return compile_source(source, xloops=False)
+    raise ValueError("unknown binary kind %r" % binary)
+
+
+_RESULTS: Dict[tuple, KernelRun] = {}
+
+
+def run(kernel_name, config_name, mode="traditional", binary="xloops",
+        xi_enabled=True, scale="small", seed=0, verify=True):
+    """Simulate one (kernel, platform, mode) point; memoized."""
+    key = (kernel_name, config_name, mode, binary, xi_enabled, scale,
+           seed)
+    hit = _RESULTS.get(key)
+    if hit is not None:
+        return hit
+
+    spec = get_kernel(kernel_name)
+    compiled = _compiled(kernel_name, binary, xi_enabled)
+    workload = spec.workload(scale, seed)
+    mem = Memory()
+    args = workload.apply(mem)
+    sysconfig = config(config_name)
+    sim = SystemSimulator(compiled.program, sysconfig, mem=mem)
+    result = sim.run(entry=spec.entry, args=args, mode=mode)
+    if verify:
+        workload.check(mem)
+
+    out = KernelRun(
+        kernel=kernel_name, config=config_name, mode=mode, binary=binary,
+        cycles=result.cycles, gpp_instrs=result.gpp_instrs,
+        lpsu_instrs=result.lpsu_instrs,
+        energy_nj=system_energy(result, sysconfig, MCPAT_45NM),
+        vlsi_energy_nj=system_energy(result, sysconfig, VLSI_40NM),
+        events=result.events,
+        lpsu_stats=result.lpsu_stats,
+        specialized_invocations=result.specialized_invocations,
+        adaptive_decisions=result.adaptive_decisions,
+        cache_miss_rate=(result.cache_misses / result.cache_accesses
+                         if result.cache_accesses else 0.0),
+        static_xloops=compiled.loop_kinds())
+    _RESULTS[key] = out
+    return out
+
+
+def baseline_run(kernel_name, config_name, scale="small", seed=0):
+    """The paper's denominator: the serial/GP binary executed
+    traditionally on the platform's baseline GPP."""
+    spec = get_kernel(kernel_name)
+    binary = "serial" if spec.serial_source else "gp"
+    return run(kernel_name, BASELINE_OF[config_name],
+               mode="traditional", binary=binary, scale=scale, seed=seed)
+
+
+def speedup(kernel_name, config_name, mode, scale="small", seed=0,
+            **run_kw):
+    """Speedup of (config, mode) over the baseline GPP (Table II
+    normalization)."""
+    base = baseline_run(kernel_name, config_name, scale, seed)
+    this = run(kernel_name, config_name, mode=mode, scale=scale,
+               seed=seed, **run_kw)
+    return base.cycles / this.cycles
+
+
+def energy_efficiency(kernel_name, config_name, mode, scale="small",
+                      seed=0, table="mcpat"):
+    """Energy efficiency (baseline energy / this energy, Fig 8)."""
+    base = baseline_run(kernel_name, config_name, scale, seed)
+    this = run(kernel_name, config_name, mode=mode, scale=scale,
+               seed=seed)
+    if table == "vlsi":
+        return base.vlsi_energy_nj / this.vlsi_energy_nj
+    return base.energy_nj / this.energy_nj
+
+
+def clear_cache():
+    _RESULTS.clear()
+    _compiled.cache_clear()

@@ -1,0 +1,80 @@
+"""Table II reproduction: per-kernel loop characteristics and
+traditional / specialized / adaptive speedups on io, ooo/2, ooo/4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..kernels import TABLE2_KERNELS, get_kernel
+from .configs import GPP_NAMES
+from .report import render_table
+from .runner import baseline_run, run, speedup
+
+MODES = (("T", "traditional"), ("S", "specialized"), ("A", "adaptive"))
+
+
+@dataclass
+class Table2Row:
+    kernel: str
+    suite: str
+    loop_types: Tuple[str, ...]
+    xloops: Tuple[str, ...]
+    body_insns: Tuple[int, ...]     # static xloop body sizes
+    dyn_instrs_gp: int
+    dyn_instrs_xloops: int
+    #: {(gpp_name, mode_letter): speedup}
+    speedups: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def xg_ratio(self):
+        """XLOOPS-ISA / GP-ISA dynamic instruction ratio (X/G)."""
+        return self.dyn_instrs_xloops / max(1, self.dyn_instrs_gp)
+
+
+def build_row(name, scale="small", seed=0, modes=MODES,
+              gpps=GPP_NAMES):
+    spec = get_kernel(name)
+    base_io = baseline_run(name, "io", scale, seed)
+    trad_io = run(name, "io", mode="traditional", scale=scale, seed=seed)
+    from ..lang import compile_source
+    compiled = compile_source(spec.source)
+    row = Table2Row(
+        kernel=name, suite=spec.suite, loop_types=spec.loop_types,
+        xloops=trad_io.static_xloops,
+        body_insns=tuple(l.body_insns for l in compiled.loops),
+        dyn_instrs_gp=base_io.total_instrs,
+        dyn_instrs_xloops=trad_io.total_instrs)
+    for gpp in gpps:
+        for letter, mode in modes:
+            cfg = gpp if mode == "traditional" else gpp + "+x"
+            row.speedups[(gpp, letter)] = speedup(
+                name, cfg, mode, scale=scale, seed=seed)
+    return row
+
+
+def build_table2(kernels=None, scale="small", seed=0, modes=MODES,
+                 gpps=GPP_NAMES):
+    names = kernels or [k.name for k in TABLE2_KERNELS]
+    return [build_row(n, scale, seed, modes, gpps) for n in names]
+
+
+def render_table2(rows, gpps=GPP_NAMES, modes=MODES):
+    headers = ["Kernel", "Suite", "Type", "Insns", "DynInsn", "X/G"]
+    for gpp in gpps:
+        for letter, _ in modes:
+            headers.append("%s:%s" % (gpp, letter))
+    body = []
+    for r in rows:
+        insns = ("%d-%d" % (min(r.body_insns), max(r.body_insns))
+                 if len(set(r.body_insns)) > 1
+                 else str(r.body_insns[0]) if r.body_insns else "-")
+        line = [r.kernel, r.suite, ",".join(r.loop_types), insns,
+                r.dyn_instrs_gp, "%.2f" % r.xg_ratio]
+        for gpp in gpps:
+            for letter, _ in modes:
+                line.append("%.2f" % r.speedups[(gpp, letter)])
+        body.append(line)
+    return render_table(headers, body,
+                        title="Table II: XLOOPS application kernels and "
+                              "cycle-level results")

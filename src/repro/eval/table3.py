@@ -1,0 +1,32 @@
+"""Table III reproduction: the cycle-level configuration parameters of
+the baseline GPPs and the LPSU."""
+
+from __future__ import annotations
+
+from .configs import CONFIGS
+from .report import render_table
+
+
+def build_table3():
+    rows = []
+    for name in ("io", "ooo/2", "ooo/4"):
+        gpp = CONFIGS[name].gpp
+        rows.append([
+            name, gpp.kind, gpp.width, gpp.rob_entries, gpp.mem_ports,
+            gpp.llfus, gpp.mispredict_penalty,
+            "%dKB" % (gpp.cache.size_bytes // 1024), "-"])
+    lpsu = CONFIGS["io+x"].lpsu
+    rows.append([
+        "LPSU", "lanes", lpsu.lanes, "-", lpsu.mem_ports, lpsu.llfus,
+        lpsu.branch_penalty,
+        "IB %d" % lpsu.ib_entries,
+        "LSQ %d+%d" % (lpsu.lsq_loads, lpsu.lsq_stores)])
+    return rows
+
+
+def render_table3(rows=None):
+    rows = rows or build_table3()
+    headers = ["Config", "Kind", "Width/Lanes", "ROB", "MemPorts",
+               "LLFUs", "BrPenalty", "Cache/IB", "LSQ"]
+    return render_table(headers, rows,
+                        title="Table III: cycle-level configurations")

@@ -1,0 +1,27 @@
+"""Table V reproduction: VLSI area and cycle-time results for the
+LPSU configuration sweep."""
+
+from __future__ import annotations
+
+from ..vlsi import gpp_area, table5_rows
+from .report import render_table
+
+
+def build_table5():
+    return table5_rows()
+
+
+def render_table5(rows=None):
+    rows = rows or build_table5()
+    base = gpp_area()
+    headers = ["Config", "CT(ns)", "Area(mm2)", "Overhead",
+               "LPSU(mm2)"]
+    body = []
+    for name, report, ct in rows:
+        overhead = ("-" if name == "scalar"
+                    else "%+.0f%%" % (100 * report.overhead_vs(base)))
+        lpsu = "-" if name == "scalar" else "%.3f" % report.lpsu_mm2
+        body.append([name, "%.2f" % ct, "%.3f" % report.total_mm2,
+                     overhead, lpsu])
+    return render_table(headers, body,
+                        title="Table V: VLSI area and cycle time")

@@ -1,0 +1,17 @@
+"""XLOOPS instruction-set architecture: registers, instructions,
+binary encoding, and the inter-iteration dependence-pattern taxonomy."""
+
+from .registers import (NUM_REGS, REG_NAMES, ABI_NAMES, reg_num, reg_name,
+                        is_reg, RegisterError)
+from .instructions import OPS, OpSpec, Instr, FU, Fmt, spec, ALL_MNEMONICS
+from .xloops import (DataPattern, ControlPattern, XLoopKind, refines,
+                     ALL_XLOOP_KINDS, PATTERN_DESCRIPTIONS)
+from .encoding import encode, decode, EncodingError
+
+__all__ = [
+    "NUM_REGS", "REG_NAMES", "ABI_NAMES", "reg_num", "reg_name", "is_reg",
+    "RegisterError", "OPS", "OpSpec", "Instr", "FU", "Fmt", "spec",
+    "ALL_MNEMONICS", "DataPattern", "ControlPattern", "XLoopKind",
+    "refines", "ALL_XLOOP_KINDS", "PATTERN_DESCRIPTIONS", "encode",
+    "decode", "EncodingError",
+]

@@ -1,0 +1,161 @@
+"""32-bit binary encoding for the XLOOPS ISA.
+
+We use a fixed, RISC-V-like field layout so that every instruction fits
+in one 32-bit word and round-trips exactly:
+
+    [31:22] opcode index (10 bits, dense index into the op table)
+    [21:17] rd   (5 bits)
+    [16:12] rs1  (5 bits)
+    [11:7]  rs2  (5 bits)
+    [6:0]   low immediate bits
+
+Immediates wider than 7 bits use the *extended* encoding below.  This is
+not the layout a real tape-out would use (a real design packs fields to
+minimise mux cost), but it preserves the property Table I depends on:
+``xloop`` and ``xi`` instructions are ordinary single-word instructions
+that a traditional decoder can treat as branches/adds.
+
+Because our ISA allows signed 16-bit immediates (loads/stores/addi) and
+21-bit jump offsets, the encoder steals the rs2/rd fields when the
+format does not need them:
+
+=========  =====================================================
+format     immediate bits
+=========  =====================================================
+R/R2/XI_R  none
+I/LOAD/    imm[15:0] in bits [16:12]+[11:7]+[6:1]... -- we instead
+STORE etc  place imm16 in bits [15:0] and move rs2 to [20:16]
+=========  =====================================================
+
+Concretely the layouts are:
+
+* ``R``-class   : opcode[31:22] | rd[21:17] | rs1[16:12] | rs2[11:7] | 0
+* ``I``-class   : opcode[31:22] | rd[21:17] | rs1[16:12] |  imm16 sign-
+                  extended in [15:0]?  -- rd/rs1 overlap imm would clash,
+                  so I-class uses opcode[31:22]|rd[21:17]|rs1[16:12] and
+                  imm12 in [11:0].
+* ``B/X``-class : opcode[31:22] | rs1[21:17] | rs2[16:12] | imm12 [11:0]
+                  (byte offset / 2, since instructions are 4-byte aligned
+                  we store offset>>1 for range)
+* ``J``-class   : opcode[31:22] | rd[21:17] | imm17 [16:0] (offset>>1)
+* ``U``-class   : opcode[31:22] | rd[21:17] | imm17 [16:0] (upper bits)
+
+All immediates are stored two's-complement.
+"""
+
+from __future__ import annotations
+
+from .instructions import OPS, Fmt, Instr
+
+#: dense opcode numbering, stable across runs (sorted mnemonics)
+OPCODE_OF = {m: i for i, m in enumerate(sorted(OPS))}
+MNEMONIC_OF = {i: m for m, i in OPCODE_OF.items()}
+
+_IMM12_MIN, _IMM12_MAX = -(1 << 11), (1 << 11) - 1
+_IMM17_MIN, _IMM17_MAX = -(1 << 16), (1 << 16) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction's fields do not fit its encoding."""
+
+
+def _fit(value, lo, hi, what, instr):
+    if not lo <= value <= hi:
+        raise EncodingError(
+            "%s %d out of range [%d, %d] in %r"
+            % (what, value, lo, hi, instr.mnemonic))
+
+
+def _mask(value, bits):
+    return value & ((1 << bits) - 1)
+
+
+def _sext(value, bits):
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def encode(instr):
+    """Encode one :class:`Instr` into a 32-bit integer."""
+    op = instr.op
+    word = OPCODE_OF[op.mnemonic] << 22
+    fmt = op.fmt
+    if fmt in (Fmt.R, Fmt.XI_R, Fmt.AMO):
+        word |= _mask(instr.rd, 5) << 17
+        word |= _mask(instr.rs1, 5) << 12
+        word |= _mask(instr.rs2, 5) << 7
+    elif fmt == Fmt.R2:
+        word |= _mask(instr.rd, 5) << 17
+        word |= _mask(instr.rs1, 5) << 12
+    elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.XI_I):
+        _fit(instr.imm, _IMM12_MIN, _IMM12_MAX, "imm12", instr)
+        word |= _mask(instr.rd, 5) << 17
+        word |= _mask(instr.rs1, 5) << 12
+        word |= _mask(instr.imm, 12)
+    elif fmt == Fmt.STORE:
+        _fit(instr.imm, _IMM12_MIN, _IMM12_MAX, "imm12", instr)
+        word |= _mask(instr.rs2, 5) << 17
+        word |= _mask(instr.rs1, 5) << 12
+        word |= _mask(instr.imm, 12)
+    elif fmt in (Fmt.BRANCH, Fmt.XLOOP):
+        if instr.imm % 2:
+            raise EncodingError("branch offset must be even")
+        off = instr.imm >> 1
+        _fit(off, _IMM12_MIN, _IMM12_MAX, "branch offset/2", instr)
+        word |= _mask(instr.rs1, 5) << 17
+        word |= _mask(instr.rs2, 5) << 12
+        word |= _mask(off, 12)
+    elif fmt == Fmt.JAL:
+        if instr.imm % 2:
+            raise EncodingError("jump offset must be even")
+        off = instr.imm >> 1
+        _fit(off, _IMM17_MIN, _IMM17_MAX, "jump offset/2", instr)
+        word |= _mask(instr.rd, 5) << 17
+        word |= _mask(off, 17)
+    elif fmt == Fmt.LUI:
+        _fit(instr.imm, _IMM17_MIN, _IMM17_MAX, "imm17", instr)
+        word |= _mask(instr.rd, 5) << 17
+        word |= _mask(instr.imm, 17)
+    elif fmt == Fmt.NONE:
+        pass
+    else:  # pragma: no cover - all formats handled above
+        raise EncodingError("unencodable format %r" % (fmt,))
+    return word
+
+
+def decode(word, pc=0):
+    """Decode a 32-bit integer back into an :class:`Instr`."""
+    opcode = (word >> 22) & 0x3FF
+    try:
+        mnemonic = MNEMONIC_OF[opcode]
+    except KeyError:
+        raise EncodingError("unknown opcode index %d" % opcode)
+    op = OPS[mnemonic]
+    instr = Instr(op, pc=pc)
+    fmt = op.fmt
+    if fmt in (Fmt.R, Fmt.XI_R, Fmt.AMO):
+        instr.rd = (word >> 17) & 0x1F
+        instr.rs1 = (word >> 12) & 0x1F
+        instr.rs2 = (word >> 7) & 0x1F
+    elif fmt == Fmt.R2:
+        instr.rd = (word >> 17) & 0x1F
+        instr.rs1 = (word >> 12) & 0x1F
+    elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.XI_I):
+        instr.rd = (word >> 17) & 0x1F
+        instr.rs1 = (word >> 12) & 0x1F
+        instr.imm = _sext(word & 0xFFF, 12)
+    elif fmt == Fmt.STORE:
+        instr.rs2 = (word >> 17) & 0x1F
+        instr.rs1 = (word >> 12) & 0x1F
+        instr.imm = _sext(word & 0xFFF, 12)
+    elif fmt in (Fmt.BRANCH, Fmt.XLOOP):
+        instr.rs1 = (word >> 17) & 0x1F
+        instr.rs2 = (word >> 12) & 0x1F
+        instr.imm = _sext(word & 0xFFF, 12) << 1
+    elif fmt == Fmt.JAL:
+        instr.rd = (word >> 17) & 0x1F
+        instr.imm = _sext(word & 0x1FFFF, 17) << 1
+    elif fmt == Fmt.LUI:
+        instr.rd = (word >> 17) & 0x1F
+        instr.imm = _sext(word & 0x1FFFF, 17)
+    return instr

@@ -1,0 +1,220 @@
+"""Instruction metadata for the XLOOPS base RISC ISA.
+
+The base ISA is a 32-bit RISC (RISC-V flavoured operand order, MIPS-era
+feature set): unified int/FP register file, no branch delay slot
+(Section III of the paper).  XLOOPS extends it with the ``xloop.*``
+family and the cross-iteration (``.xi``) induction instructions
+(Table I).
+
+This module is pure metadata: mnemonics, operand formats, functional
+unit classes, and behavioural flags.  Semantics live in
+:mod:`repro.sim.functional`; timing lives in :mod:`repro.uarch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .xloops import XLoopKind
+
+
+class FU:
+    """Functional-unit classes used by all timing models."""
+
+    ALU = "alu"      # single-cycle integer ops
+    MUL = "mul"      # LLFU: integer multiply
+    DIV = "div"      # LLFU: integer divide / remainder
+    FPU = "fpu"      # LLFU: FP add/sub/mul/compare/convert
+    FDIV = "fdiv"    # LLFU: FP divide / sqrt
+    MEM = "mem"      # loads/stores/AMOs (shared memory port)
+    BR = "br"        # branches and jumps
+    XLOOP = "xloop"  # xloop.* (a branch on traditional execution)
+
+    LLFU_CLASSES = frozenset({MUL, DIV, FPU, FDIV})
+
+
+class Fmt:
+    """Assembly operand formats."""
+
+    R = "R"          # op rd, rs1, rs2
+    I = "I"          # op rd, rs1, imm
+    I_SHIFT = "IS"   # op rd, rs1, shamt
+    LOAD = "L"       # op rd, imm(rs1)
+    STORE = "S"      # op rs2, imm(rs1)
+    AMO = "A"        # op rd, rs2, (rs1)
+    BRANCH = "B"     # op rs1, rs2, label
+    JAL = "J"        # op rd, label
+    JALR = "JR"      # op rd, rs1, imm
+    LUI = "U"        # op rd, imm
+    XLOOP = "X"      # op rs1(idx), rs2(bound), label
+    XI_I = "XI"      # op rd, rs1, imm      (addiu.xi)
+    XI_R = "XR"      # op rd, rs1, rs2      (addu.xi)
+    R2 = "R2"        # op rd, rs1           (unary: fcvt, fsqrt)
+    NONE = "N"       # op                   (fence, nop)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: str
+    fu: str
+    is_load: bool = False
+    is_store: bool = False
+    is_amo: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    is_xloop: bool = False
+    is_xbreak: bool = False
+    is_xi: bool = False
+    is_fp: bool = False
+    is_fence: bool = False
+    writes_rd: bool = True
+    xloop_kind: Optional[XLoopKind] = None
+
+    @property
+    def is_mem(self):
+        return self.is_load or self.is_store or self.is_amo
+
+    @property
+    def is_llfu(self):
+        return self.fu in FU.LLFU_CLASSES
+
+    @property
+    def is_control(self):
+        return self.is_branch or self.is_jump or self.is_xloop
+
+
+OPS = {}
+
+
+def _op(mnemonic, fmt, fu, **flags):
+    spec = OpSpec(mnemonic, fmt, fu, **flags)
+    OPS[mnemonic] = spec
+    return spec
+
+
+# --- integer register-register -----------------------------------------
+for _m in ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+           "slt", "sltu"):
+    _op(_m, Fmt.R, FU.ALU)
+_op("mul", Fmt.R, FU.MUL)
+_op("mulh", Fmt.R, FU.MUL)
+_op("div", Fmt.R, FU.DIV)
+_op("divu", Fmt.R, FU.DIV)
+_op("rem", Fmt.R, FU.DIV)
+_op("remu", Fmt.R, FU.DIV)
+
+# --- integer register-immediate -----------------------------------------
+for _m in ("addi", "andi", "ori", "xori", "slti", "sltiu"):
+    _op(_m, Fmt.I, FU.ALU)
+for _m in ("slli", "srli", "srai"):
+    _op(_m, Fmt.I_SHIFT, FU.ALU)
+_op("lui", Fmt.LUI, FU.ALU)
+
+# --- floating point (unified register file) ------------------------------
+for _m in ("fadd.s", "fsub.s", "fmul.s", "fmin.s", "fmax.s",
+           "flt.s", "fle.s", "feq.s"):
+    _op(_m, Fmt.R, FU.FPU, is_fp=True)
+_op("fcvt.s.w", Fmt.R2, FU.FPU, is_fp=True)
+_op("fcvt.w.s", Fmt.R2, FU.FPU, is_fp=True)
+_op("fdiv.s", Fmt.R, FU.FDIV, is_fp=True)
+_op("fsqrt.s", Fmt.R2, FU.FDIV, is_fp=True)
+
+# --- memory ---------------------------------------------------------------
+for _m in ("lw", "lh", "lhu", "lb", "lbu"):
+    _op(_m, Fmt.LOAD, FU.MEM, is_load=True)
+for _m in ("sw", "sh", "sb"):
+    _op(_m, Fmt.STORE, FU.MEM, is_store=True, writes_rd=False)
+# AMOs return the *old* memory value in rd (paper uses amo.add et al. for
+# worklists and atomic histogram updates).
+for _m in ("amo.add", "amo.and", "amo.or", "amo.xor",
+           "amo.min", "amo.max", "amo.xchg"):
+    _op(_m, Fmt.AMO, FU.MEM, is_amo=True)
+_op("fence", Fmt.NONE, FU.MEM, is_fence=True, writes_rd=False)
+
+# --- control flow ----------------------------------------------------------
+for _m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+    _op(_m, Fmt.BRANCH, FU.BR, is_branch=True, writes_rd=False)
+_op("jal", Fmt.JAL, FU.BR, is_jump=True)
+_op("jalr", Fmt.JALR, FU.BR, is_jump=True)
+
+# --- XLOOPS extensions (Table I + the data-dependent-exit extension) -------
+for _kind in (XLoopKind.from_mnemonic(m) for m in (
+        "xloop.uc", "xloop.or", "xloop.om", "xloop.orm", "xloop.ua",
+        "xloop.uc.db", "xloop.or.db", "xloop.om.db", "xloop.orm.db",
+        "xloop.ua.db",
+        "xloop.uc.de", "xloop.or.de", "xloop.om.de", "xloop.orm.de",
+        "xloop.ua.de")):
+    _op(_kind.mnemonic, Fmt.XLOOP, FU.XLOOP, is_xloop=True,
+        writes_rd=False, xloop_kind=_kind)
+# xloop.break: inside an xloop.*.de body, terminates the loop after
+# the current iteration commits; a plain forward jump traditionally.
+_op("xloop.break", Fmt.JAL, FU.BR, is_xbreak=True, is_jump=True,
+    writes_rd=False)
+_op("addiu.xi", Fmt.XI_I, FU.ALU, is_xi=True)
+_op("addu.xi", Fmt.XI_R, FU.ALU, is_xi=True)
+
+
+@dataclass
+class Instr:
+    """One assembled instruction.
+
+    ``imm`` holds the immediate (branch/jump targets are byte offsets
+    relative to the instruction's own PC, already resolved by the
+    assembler).  ``label`` keeps the symbolic target for disassembly.
+    """
+
+    op: OpSpec
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: Optional[str] = None
+    pc: int = 0
+    # Scheduling metadata set by the assembler / compiler:
+    last_cir_write: bool = False   # paper II-D: "last CIR write" bit
+    srcline: Optional[int] = None
+
+    @property
+    def mnemonic(self):
+        return self.op.mnemonic
+
+    def src_regs(self):
+        """Architectural source register numbers (may contain duplicates)."""
+        fmt = self.op.fmt
+        if fmt == Fmt.R or fmt == Fmt.XI_R:
+            return (self.rs1, self.rs2)
+        if fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.XI_I, Fmt.R2):
+            return (self.rs1,)
+        if fmt == Fmt.STORE or fmt == Fmt.AMO:
+            return (self.rs1, self.rs2)
+        if fmt == Fmt.BRANCH or fmt == Fmt.XLOOP:
+            return (self.rs1, self.rs2)
+        return ()
+
+    def dst_reg(self):
+        """Destination register number, or None."""
+        if self.op.writes_rd and self.rd != 0:
+            return self.rd
+        return None
+
+    def branch_target(self):
+        """Absolute byte target for branches / jumps / xloops."""
+        return self.pc + self.imm
+
+    def __str__(self):
+        from ..asm.disasm import format_instr
+        return format_instr(self)
+
+
+def spec(mnemonic):
+    """Look up the :class:`OpSpec` for *mnemonic* (raises KeyError)."""
+    return OPS[mnemonic]
+
+
+#: mnemonics accepted by the assembler, sorted longest-first so that the
+#: lexer can match e.g. ``xloop.uc.db`` before ``xloop.uc``.
+ALL_MNEMONICS = tuple(sorted(OPS, key=len, reverse=True))

@@ -1,0 +1,81 @@
+"""Architectural register model for the XLOOPS base RISC ISA.
+
+The paper targets a 32-bit RISC ISA with *no* branch delay slot and a
+**unified** 32-entry register file shared by integer and floating-point
+instructions (Section III).  We follow a RISC-V-flavoured calling
+convention because it is simple and familiar:
+
+====  =========  =============================================
+name  alias      role
+====  =========  =============================================
+x0    zero       hard-wired zero
+x1    ra         return address
+x2    sp         stack pointer
+x3    gp         global pointer (unused by our compiler)
+x4    tp         thread pointer (unused)
+x5-7  t0-t2      caller-saved temporaries
+x8    s0/fp      callee-saved / frame pointer
+x9    s1         callee-saved
+x10-17 a0-a7     arguments / return values
+x18-27 s2-s11    callee-saved
+x28-31 t3-t6     caller-saved temporaries
+====  =========  =============================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+#: canonical register names, indexed by register number
+REG_NAMES = tuple("x%d" % i for i in range(NUM_REGS))
+
+#: ABI aliases, indexed by register number
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_NUM = {}
+for _i, _n in enumerate(REG_NAMES):
+    _NAME_TO_NUM[_n] = _i
+for _i, _n in enumerate(ABI_NAMES):
+    _NAME_TO_NUM[_n] = _i
+_NAME_TO_NUM["fp"] = 8
+
+# Register classes used by the compiler's register allocator.
+ZERO = 0
+RA = 1
+SP = 2
+ARG_REGS = tuple(range(10, 18))
+#: registers the allocator may freely assign inside a function
+CALLER_SAVED = (5, 6, 7, 28, 29, 30, 31) + ARG_REGS
+CALLEE_SAVED = (8, 9) + tuple(range(18, 28))
+ALLOCATABLE = CALLER_SAVED + CALLEE_SAVED
+
+
+class RegisterError(ValueError):
+    """Raised for an unknown register name or out-of-range number."""
+
+
+def reg_num(name):
+    """Map a register name (``x7``, ``t2``, ``a0`` ...) to its number."""
+    key = name.strip().lower()
+    if key in _NAME_TO_NUM:
+        return _NAME_TO_NUM[key]
+    raise RegisterError("unknown register %r" % (name,))
+
+
+def reg_name(num, abi=True):
+    """Map a register number back to a printable name."""
+    if not 0 <= num < NUM_REGS:
+        raise RegisterError("register number %r out of range" % (num,))
+    return ABI_NAMES[num] if abi else REG_NAMES[num]
+
+
+def is_reg(name):
+    """Return True when *name* parses as a register."""
+    return name.strip().lower() in _NAME_TO_NUM

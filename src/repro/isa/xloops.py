@@ -1,0 +1,157 @@
+"""XLOOPS dependence-pattern taxonomy (paper Table I).
+
+Every ``xloop`` instruction names an inter-iteration *data*-dependence
+pattern and an inter-iteration *control*-dependence pattern:
+
+data patterns
+    ``uc``  unordered concurrent - iterations may run in any order,
+            concurrently; races possible; AMOs available for sync.
+    ``or``  ordered through registers - cross-iteration registers (CIRs)
+            must observe serial values.
+    ``om``  ordered through memory - memory reads/writes must match a
+            serial execution.
+    ``orm`` ordered through registers *and* memory.
+    ``ua``  unordered atomic - any iteration order, but each iteration's
+            memory updates appear atomic.
+
+control patterns
+    ``fixed``  loop bound is loop-invariant (default, no suffix).
+    ``db``     dynamic bound - iterations may monotonically increase the
+               bound (worklist-style loops).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DataPattern(enum.Enum):
+    """Inter-iteration data-dependence pattern (``xloop`` suffix 1)."""
+
+    UC = "uc"
+    OR = "or"
+    OM = "om"
+    ORM = "orm"
+    UA = "ua"
+
+    @property
+    def ordered_through_registers(self):
+        return self in (DataPattern.OR, DataPattern.ORM)
+
+    @property
+    def ordered_through_memory(self):
+        return self in (DataPattern.OM, DataPattern.ORM)
+
+    @property
+    def needs_memory_disambiguation(self):
+        """True when specialized execution needs per-lane LSQs."""
+        return self in (DataPattern.OM, DataPattern.ORM, DataPattern.UA)
+
+    @property
+    def unordered(self):
+        return self in (DataPattern.UC, DataPattern.UA)
+
+
+class ControlPattern(enum.Enum):
+    """Inter-iteration control-dependence pattern (``xloop`` suffix 2).
+
+    ``DATA_DEPENDENT_EXIT`` is the extension the paper leaves to future
+    work ("we leave exploring data-dependent-exit control-dependence
+    patterns to future work", Section II-A): an iteration may terminate
+    the loop early via the ``xloop.break`` instruction, and specialized
+    execution control-speculates younger iterations (their memory
+    effects are buffered and discarded when an older iteration exits).
+    """
+
+    FIXED = "fixed"
+    DYNAMIC_BOUND = "db"
+    DATA_DEPENDENT_EXIT = "de"
+
+
+#: Lattice of "least restrictive" encodings (paper II-A): any valid
+#: xloop.uc is a valid xloop.or; any valid xloop.ua is a valid xloop.om;
+#: any fixed-bound xloop is a valid xloop.orm.
+WEAKER_THAN = {
+    DataPattern.UC: (DataPattern.OR, DataPattern.OM, DataPattern.ORM, DataPattern.UA),
+    DataPattern.UA: (DataPattern.OM, DataPattern.ORM),
+    DataPattern.OR: (DataPattern.ORM,),
+    DataPattern.OM: (DataPattern.ORM,),
+    DataPattern.ORM: (),
+}
+
+
+def refines(weak, strong):
+    """Return True when a loop valid under *weak* is also valid under
+    *strong* (i.e. *strong* is at least as restrictive)."""
+    return weak is strong or strong in WEAKER_THAN[weak]
+
+
+class XLoopKind:
+    """The (data, control) pattern pair encoded by one xloop mnemonic."""
+
+    __slots__ = ("data", "control")
+
+    def __init__(self, data, control=ControlPattern.FIXED):
+        self.data = data
+        self.control = control
+
+    @property
+    def mnemonic(self):
+        name = "xloop." + self.data.value
+        if self.control is ControlPattern.DYNAMIC_BOUND:
+            name += ".db"
+        elif self.control is ControlPattern.DATA_DEPENDENT_EXIT:
+            name += ".de"
+        return name
+
+    @classmethod
+    def from_mnemonic(cls, mnemonic):
+        parts = mnemonic.split(".")
+        if parts[0] != "xloop" or len(parts) not in (2, 3):
+            raise ValueError("not an xloop mnemonic: %r" % (mnemonic,))
+        data = DataPattern(parts[1])
+        control = ControlPattern.FIXED
+        if len(parts) == 3:
+            if parts[2] == "db":
+                control = ControlPattern.DYNAMIC_BOUND
+            elif parts[2] == "de":
+                control = ControlPattern.DATA_DEPENDENT_EXIT
+            else:
+                raise ValueError("bad xloop control suffix: %r"
+                                 % (mnemonic,))
+        return cls(data, control)
+
+    def __eq__(self, other):
+        return (isinstance(other, XLoopKind)
+                and self.data is other.data and self.control is other.control)
+
+    def __hash__(self):
+        return hash((self.data, self.control))
+
+    def __repr__(self):
+        return "XLoopKind(%s)" % self.mnemonic
+
+
+#: all xloop mnemonics in the ISA (Table I)
+ALL_XLOOP_KINDS = tuple(
+    XLoopKind(d, c) for d in DataPattern for c in ControlPattern
+)
+
+#: human-readable descriptions, as printed by Table I reproductions
+PATTERN_DESCRIPTIONS = {
+    "xloop.uc": "unordered concurrent inter-iteration data dependence",
+    "xloop.or": "ordered through registers",
+    "xloop.om": "ordered through memory",
+    "xloop.orm": "ordered through registers and memory",
+    "xloop.ua": "unordered atomic",
+    "xloop.uc.db": "unordered concurrent, dynamic bound",
+    "xloop.or.db": "ordered through registers, dynamic bound",
+    "xloop.om.db": "ordered through memory, dynamic bound",
+    "xloop.orm.db": "ordered through registers and memory, dynamic bound",
+    "xloop.ua.db": "unordered atomic, dynamic bound",
+    "xloop.uc.de": "unordered concurrent, data-dependent exit (ext.)",
+    "xloop.or.de": "ordered through registers, data-dependent exit (ext.)",
+    "xloop.om.de": "ordered through memory, data-dependent exit (ext.)",
+    "xloop.orm.de": "ordered regs+memory, data-dependent exit (ext.)",
+    "xloop.ua.de": "unordered atomic, data-dependent exit (ext.)",
+}

@@ -1,0 +1,12 @@
+"""The paper's application kernels (Table II + Table IV case studies):
+annotated MiniC sources, deterministic synthetic datasets, and
+pure-Python golden verifiers."""
+
+from .base import KernelSpec, Workload, region
+from .registry import (ALL_KERNELS, KERNELS, TABLE2_KERNELS,
+                       TABLE4_KERNELS, get_kernel)
+from .sources_ext import EXTENSION_KERNELS
+
+__all__ = ["KernelSpec", "Workload", "region", "ALL_KERNELS", "KERNELS",
+           "TABLE2_KERNELS", "TABLE4_KERNELS", "EXTENSION_KERNELS",
+           "get_kernel"]

@@ -1,0 +1,81 @@
+"""Kernel registry infrastructure.
+
+Each application kernel from Table II is a :class:`KernelSpec`: an
+annotated MiniC source, an entry function, and a workload factory that
+builds deterministic synthetic datasets at several scales and verifies
+the architectural results against a pure-Python golden model.
+
+Scales: ``tiny`` keeps unit tests fast; ``small`` is the default for
+the Table II / figure reproductions (datasets sized to fit the 16 KB
+L1, as the paper did).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: disjoint address regions for workload arrays (heap)
+HEAP_BASE = 0x0010_0000
+REGION = 0x0004_0000
+
+
+def region(index):
+    """Base address of heap region *index* (256 KB apart)."""
+    return HEAP_BASE + index * REGION
+
+
+@dataclass
+class Workload:
+    """One concrete dataset: how to set memory up, what arguments to
+    pass, and how to verify the result."""
+
+    args: List[int]
+    init: Callable
+    verify: Callable
+    name: str = ""
+
+    def apply(self, mem):
+        self.init(mem)
+        return self.args
+
+    def check(self, mem):
+        """Raises AssertionError when the kernel output is wrong."""
+        self.verify(mem)
+
+
+@dataclass
+class KernelSpec:
+    """A Table II application kernel."""
+
+    name: str                     # e.g. "sgemm-uc"
+    suite: str                    # Po / M / P / C (paper's key)
+    loop_types: Tuple[str, ...]   # dependence patterns, dominant first
+    source: str                   # annotated MiniC
+    entry: str
+    make: Callable                # (scale, seed) -> Workload
+    serial_source: Optional[str] = None   # GP-baseline variant, if the
+    #                               paper's serial code differs (AMOs)
+    description: str = ""
+
+    def workload(self, scale="small", seed=0):
+        return self.make(scale, seed)
+
+    @property
+    def dominant(self):
+        return self.loop_types[0]
+
+
+def rng_for(seed, name):
+    return random.Random("%s:%s" % (seed, name))
+
+
+def scale_select(scale, tiny, small, large=None):
+    if scale == "tiny":
+        return tiny
+    if scale == "small":
+        return small
+    if scale == "large":
+        return large if large is not None else small
+    raise ValueError("unknown scale %r" % scale)

@@ -1,0 +1,305 @@
+"""Dynamic-bound (xloop.uc.db) application kernels: bfs-uc-db and
+qsort-uc-db, plus their Table IV loop-transformed and serial variants.
+
+Both use a worklist whose tail is reserved with an AMO and whose bound
+register grows monotonically during the loop (paper Fig 1(e))."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import KernelSpec, Workload, region, rng_for, scale_select
+
+# ---------------------------------------------------------------------------
+# bfs-uc-db: breadth-first distances over a tree (deterministic claims)
+# wl holds node ids; tail[0] is the shared tail pointer.
+# ---------------------------------------------------------------------------
+
+# Publication protocol: the bound may grow (via the shared tail) before
+# a concurrently-pushed entry's data store is visible, so worklist slots
+# start at the -1 sentinel and a consumer spins until its entry is
+# published.  A serial execution never spins (the producing iteration
+# always precedes the consuming one).
+BFS_DB_SRC = """
+void bfs(int* adj_off, int* adj, int* dist, int* wl, int* tail,
+         int src) {
+    wl[0] = src;
+    dist[src] = 0;
+    tail[0] = 1;
+    int bound = 1;
+    #pragma xloops unordered
+    for (int i = 0; i < bound; i++) {
+        int u = wl[i];
+        while (u < 0) { u = wl[i]; }
+        int du = dist[u];
+        int lo = adj_off[u];
+        int hi = adj_off[u+1];
+        for (int e = lo; e < hi; e++) {
+            int v = adj[e];
+            if (dist[v] < 0) {
+                dist[v] = du + 1;
+                int slot = amo_add(&tail[0], 1);
+                wl[slot] = v;
+            }
+        }
+        bound = tail[0];
+    }
+}
+"""
+
+# level-synchronous transformation (Table IV bfs-uc): one uc xloop per
+# frontier, two worklists
+BFS_UC_SRC = """
+void bfs(int* adj_off, int* adj, int* dist, int* wl, int* tail,
+         int src) {
+    wl[0] = src;
+    dist[src] = 0;
+    int head = 0;
+    int level_end = 1;
+    tail[0] = 1;
+    while (head < level_end) {
+        #pragma xloops unordered
+        for (int i = head; i < level_end; i++) {
+            int u = wl[i];
+            int du = dist[u];
+            int lo = adj_off[u];
+            int hi = adj_off[u+1];
+            for (int e = lo; e < hi; e++) {
+                int v = adj[e];
+                if (dist[v] < 0) {
+                    dist[v] = du + 1;
+                    int slot = amo_add(&tail[0], 1);
+                    wl[slot] = v;
+                }
+            }
+        }
+        head = level_end;
+        level_end = tail[0];
+    }
+}
+"""
+
+# serial baseline (no AMOs): plain FIFO queue
+BFS_SERIAL_SRC = """
+void bfs(int* adj_off, int* adj, int* dist, int* wl, int* tail,
+         int src) {
+    wl[0] = src;
+    dist[src] = 0;
+    int bound = 1;
+    for (int i = 0; i < bound; i++) {
+        int u = wl[i];
+        int du = dist[u];
+        int lo = adj_off[u];
+        int hi = adj_off[u+1];
+        for (int e = lo; e < hi; e++) {
+            int v = adj[e];
+            if (dist[v] < 0) {
+                dist[v] = du + 1;
+                wl[bound] = v;
+                bound = bound + 1;
+            }
+        }
+    }
+    tail[0] = bound;
+}
+"""
+
+
+def _make_tree(nv, rng):
+    """Random tree in CSR form (children only)."""
+    parent = [0] * nv
+    children = [[] for _ in range(nv)]
+    for v in range(1, nv):
+        p = rng.randrange(v)
+        parent[v] = p
+        children[p].append(v)
+    off, adj = [0], []
+    for v in range(nv):
+        adj.extend(children[v])
+        off.append(len(adj))
+    return off, adj, children
+
+
+def _bfs_make(scale, seed):
+    nv = scale_select(scale, 16, 48, 192)
+    rng = rng_for(seed, "bfs")
+    off, adj, children = _make_tree(nv, rng)
+    oa, aa, da, wa, ta = (region(i) for i in range(5))
+
+    def init(mem):
+        mem.write_words(oa, off)
+        mem.write_words(aa, adj)
+        mem.write_words(da, [0xFFFFFFFF] * nv)
+        mem.write_words(wa, [0xFFFFFFFF] * (nv + 4))   # -1 sentinels
+
+    def verify(mem):
+        expect = [-1] * nv
+        q = deque([0])
+        expect[0] = 0
+        while q:
+            u = q.popleft()
+            for v in children[u]:
+                if expect[v] < 0:
+                    expect[v] = expect[u] + 1
+                    q.append(v)
+        got = mem.read_words_signed(da, nv)
+        assert got == expect
+        assert mem.load_word(ta) == nv     # every node visited once
+
+    return Workload(args=[oa, aa, da, wa, ta, 0], init=init,
+                    verify=verify)
+
+
+BFS_DB = KernelSpec(
+    name="bfs-uc-db", suite="C", loop_types=("uc", "db"),
+    source=BFS_DB_SRC, entry="bfs", make=_bfs_make,
+    serial_source=BFS_SERIAL_SRC,
+    description="worklist BFS with a dynamically growing bound")
+
+BFS_UC = KernelSpec(
+    name="bfs-uc", suite="C", loop_types=("uc",),
+    source=BFS_UC_SRC, entry="bfs", make=_bfs_make,
+    serial_source=BFS_SERIAL_SRC,
+    description="level-synchronous BFS (split-worklist transformation)")
+
+# ---------------------------------------------------------------------------
+# qsort-uc-db: quicksort over a worklist of partitions
+# ---------------------------------------------------------------------------
+
+# Same publication protocol as bfs: whi is written last by a producer,
+# so a consumer spins on the whi sentinel before trusting wlo.
+QSORT_DB_SRC = """
+void qsort(int* a, int* wlo, int* whi, int* tail) {
+    int bound = tail[0];
+    #pragma xloops unordered
+    for (int i = 0; i < bound; i++) {
+        int hi = whi[i];
+        while (hi < 0) { hi = whi[i]; }
+        int lo = wlo[i];
+        if (hi - lo > 1) {
+            int pivot = a[hi - 1];
+            int mid = lo;
+            for (int j = lo; j < hi - 1; j++) {
+                if (a[j] < pivot) {
+                    int t = a[j];
+                    a[j] = a[mid];
+                    a[mid] = t;
+                    mid = mid + 1;
+                }
+            }
+            int t = a[hi - 1];
+            a[hi - 1] = a[mid];
+            a[mid] = t;
+            int slot = amo_add(&tail[0], 2);
+            wlo[slot] = lo;
+            whi[slot] = mid;
+            wlo[slot + 1] = mid + 1;
+            whi[slot + 1] = hi;
+        }
+        bound = tail[0];
+    }
+}
+"""
+
+# serial baseline: recursive quicksort, no worklist, no AMOs
+QSORT_SERIAL_SRC = """
+void qsort_rec(int* a, int lo, int hi) {
+    if (hi - lo > 1) {
+        int pivot = a[hi - 1];
+        int mid = lo;
+        for (int j = lo; j < hi - 1; j++) {
+            if (a[j] < pivot) {
+                int t = a[j];
+                a[j] = a[mid];
+                a[mid] = t;
+                mid = mid + 1;
+            }
+        }
+        int t = a[hi - 1];
+        a[hi - 1] = a[mid];
+        a[mid] = t;
+        qsort_rec(a, lo, mid);
+        qsort_rec(a, mid + 1, hi);
+    }
+}
+
+void qsort(int* a, int* wlo, int* whi, int* tail) {
+    int lo = wlo[0];
+    int hi = whi[0];
+    qsort_rec(a, lo, hi);
+}
+"""
+
+# fixed-bound transformation (Table IV qsort-uc): process the worklist
+# in uc rounds, one xloop per round over a snapshot of the tail
+QSORT_UC_SRC = """
+void qsort(int* a, int* wlo, int* whi, int* tail) {
+    int head = 0;
+    int snap = tail[0];
+    while (head < snap) {
+        #pragma xloops unordered
+        for (int i = head; i < snap; i++) {
+            int lo = wlo[i];
+            int hi = whi[i];
+            if (hi - lo > 1) {
+                int pivot = a[hi - 1];
+                int mid = lo;
+                for (int j = lo; j < hi - 1; j++) {
+                    if (a[j] < pivot) {
+                        int t = a[j];
+                        a[j] = a[mid];
+                        a[mid] = t;
+                        mid = mid + 1;
+                    }
+                }
+                int t = a[hi - 1];
+                a[hi - 1] = a[mid];
+                a[mid] = t;
+                int slot = amo_add(&tail[0], 2);
+                wlo[slot] = lo;
+                whi[slot] = mid;
+                wlo[slot + 1] = mid + 1;
+                whi[slot + 1] = hi;
+            }
+        }
+        head = snap;
+        snap = tail[0];
+    }
+}
+"""
+
+
+def _qsort_make(scale, seed):
+    n = scale_select(scale, 16, 48, 160)
+    rng = rng_for(seed, "qsort")
+    data = [rng.randrange(1000) for _ in range(n)]
+    aa, la, ha, ta = region(0), region(1), region(2), region(3)
+
+    def init(mem):
+        mem.write_words(aa, data)
+        # whi slots hold the -1 sentinel until a producer publishes
+        mem.write_words(ha, [0xFFFFFFFF] * (2 * n + 4))
+        mem.write_words(la, [0])
+        mem.store_word(ha, n)
+        mem.store_word(ta, 1)
+
+    def verify(mem):
+        assert mem.read_words(aa, n) == sorted(data)
+
+    return Workload(args=[aa, la, ha, ta], init=init, verify=verify)
+
+
+QSORT_DB = KernelSpec(
+    name="qsort-uc-db", suite="C", loop_types=("uc", "db"),
+    source=QSORT_DB_SRC, entry="qsort", make=_qsort_make,
+    serial_source=QSORT_SERIAL_SRC,
+    description="quicksort over a dynamically growing partition worklist")
+
+QSORT_UC = KernelSpec(
+    name="qsort-uc", suite="C", loop_types=("uc",),
+    source=QSORT_UC_SRC, entry="qsort", make=_qsort_make,
+    serial_source=QSORT_SERIAL_SRC,
+    description="quicksort with round-snapshot worklists")
+
+DB_KERNELS = (BFS_DB, QSORT_DB)
+DB_TRANSFORMED = (BFS_UC, QSORT_UC)

@@ -1,0 +1,90 @@
+"""Extension kernels beyond the paper's Table II: exercises for the
+data-dependent-exit (``.de``) control pattern this reproduction adds
+(the paper lists it as future work)."""
+
+from __future__ import annotations
+
+from .base import KernelSpec, Workload, region, rng_for, scale_select
+from .sources_uc import _kmp_fail
+
+# ---------------------------------------------------------------------------
+# ssearch-de: find the FIRST stream containing the pattern, stopping
+# the scan as soon as it is found (xloop.uc.de).
+# ---------------------------------------------------------------------------
+
+SSEARCH_DE_SRC = """
+int ssearch_first(char* text, int* offs, char* pat, int* fail,
+                  int plen, int nstreams, int* res) {
+    int winner = -1;
+    #pragma xloops unordered
+    for (int i = 0; i < nstreams; i++) {
+        int lo = offs[i];
+        int hi = offs[i+1];
+        int q = 0;
+        int hit = 0;
+        int p = lo;
+        while (p < hi) {
+            int ch = text[p];
+            while (q > 0 && pat[q] != ch) { q = fail[q-1]; }
+            if (pat[q] == ch) { q = q + 1; }
+            if (q == plen) { hit = 1; p = hi; }
+            p = p + 1;
+        }
+        if (hit) {
+            winner = i;
+            break;
+        }
+    }
+    res[0] = winner;
+    return winner;
+}
+"""
+
+
+def _ssearch_de_make(scale, seed):
+    nstreams = scale_select(scale, 8, 24)
+    stream_len = scale_select(scale, 24, 64)
+    rng = rng_for(seed, "ssearch-de")
+    pattern = b"abba"
+    # pattern-free streams ('c' breaks any match), except one winner
+    streams = []
+    for _ in range(nstreams):
+        streams.append(bytes(rng.choice(b"abc") for _ in
+                             range(stream_len)).replace(b"abba", b"abca"))
+    winner = nstreams // 2
+    payload = bytearray(streams[winner])
+    payload[3:7] = pattern
+    streams[winner] = bytes(payload)
+    text = b"".join(streams)
+    offs = [i * stream_len for i in range(nstreams + 1)]
+    fail = _kmp_fail(pattern)
+    ta, oa, pa, fa, ra = (region(i) for i in range(5))
+
+    def contains(stream):
+        return pattern in stream
+
+    expect = next((i for i, s in enumerate(streams) if contains(s)), -1)
+
+    def init(mem):
+        mem.write_bytes(ta, list(text))
+        mem.write_words(oa, offs)
+        mem.write_bytes(pa, list(pattern))
+        mem.write_words(fa, fail)
+        mem.store_word(ra, 0)
+
+    def verify(mem):
+        assert mem.read_words_signed(ra, 1) == [expect]
+
+    wl = Workload(args=[ta, oa, pa, fa, len(pattern), nstreams, ra],
+                  init=init, verify=verify)
+    wl.expected_return = expect
+    return wl
+
+
+SSEARCH_DE = KernelSpec(
+    name="ssearch-de", suite="C", loop_types=("uc",),
+    source=SSEARCH_DE_SRC, entry="ssearch_first", make=_ssearch_de_make,
+    description="first-match substring search with a data-dependent "
+                "exit (.de extension)")
+
+EXTENSION_KERNELS = (SSEARCH_DE,)

@@ -1,0 +1,301 @@
+"""Ordered-through-memory (xloop.om / orm) application kernels:
+dynprog-om, knn-om, ksack-{sm,lg}-om, mm-orm, stencil-orm
+(war-om lives with the war sources)."""
+
+from __future__ import annotations
+
+from .base import KernelSpec, Workload, region, rng_for, scale_select
+
+# ---------------------------------------------------------------------------
+# dynprog-om (PolyBench): chain DP -- c[j] = min over k<j of c[k]+w[k][j]
+# ---------------------------------------------------------------------------
+
+DYNPROG_SRC = """
+void dynprog(int* w, int* c, int n) {
+    c[0] = 0;
+    #pragma xloops ordered
+    for (int j = 1; j < n; j++) {
+        int best = 1000000000;
+        for (int k = 0; k < j; k++) {
+            int v = c[k] + w[k*n+j];
+            if (v < best) { best = v; }
+        }
+        c[j] = best;
+    }
+}
+"""
+
+
+def _dynprog_make(scale, seed):
+    n = scale_select(scale, 8, 20, 40)
+    rng = rng_for(seed, "dynprog")
+    w = [rng.randrange(1, 50) for _ in range(n * n)]
+    wa, ca = region(0), region(1)
+
+    def init(mem):
+        mem.write_words(wa, w)
+
+    def verify(mem):
+        c = [0] * n
+        for j in range(1, n):
+            c[j] = min(c[k] + w[k * n + j] for k in range(j))
+        assert mem.read_words(ca, n) == c
+
+    return Workload(args=[wa, ca, n], init=init, verify=verify)
+
+
+DYNPROG = KernelSpec(
+    name="dynprog-om", suite="Po", loop_types=("om",),
+    source=DYNPROG_SRC, entry="dynprog", make=_dynprog_make,
+    description="chain dynamic program over a cost table")
+
+# ---------------------------------------------------------------------------
+# knn-om (PBBS): maintain the k nearest neighbours of a query point in
+# a sorted array updated in place (memory recurrence)
+# ---------------------------------------------------------------------------
+
+KNN_SRC = """
+void knn(int* px, int* py, int* bestd, int* besti,
+         int qx, int qy, int n, int k) {
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) {
+        int dx = px[i] - qx;
+        int dy = py[i] - qy;
+        int d = dx*dx + dy*dy;
+        if (d < bestd[k-1]) {
+            int j = k - 1;
+            while (j > 0 && bestd[j-1] > d) {
+                bestd[j] = bestd[j-1];
+                besti[j] = besti[j-1];
+                j = j - 1;
+            }
+            bestd[j] = d;
+            besti[j] = i;
+        }
+    }
+}
+"""
+
+
+def _knn_make(scale, seed):
+    n = scale_select(scale, 20, 64, 256)
+    k = 4
+    rng = rng_for(seed, "knn")
+    px = [rng.randrange(-100, 101) for _ in range(n)]
+    py = [rng.randrange(-100, 101) for _ in range(n)]
+    qx, qy = 7, -3
+    pxa, pya, da, ia = region(0), region(1), region(2), region(3)
+    BIG = 10 ** 9
+
+    def init(mem):
+        mem.write_words(pxa, [v & 0xFFFFFFFF for v in px])
+        mem.write_words(pya, [v & 0xFFFFFFFF for v in py])
+        mem.write_words(da, [BIG] * k)
+        mem.write_words(ia, [0xFFFFFFFF] * k)
+
+    def verify(mem):
+        dists = sorted((
+            ((px[i] - qx) ** 2 + (py[i] - qy) ** 2, i)
+            for i in range(n)))
+        # serial insertion keeps the first-seen point on ties, which
+        # sorted() with (d, i) also does
+        expect_d = [d for d, _ in dists[:k]]
+        got_d = mem.read_words(da, k)
+        assert got_d == expect_d, (got_d, expect_d)
+
+    return Workload(args=[pxa, pya, da, ia, qx & 0xFFFFFFFF,
+                          qy & 0xFFFFFFFF, n, k],
+                    init=init, verify=verify)
+
+
+KNN = KernelSpec(
+    name="knn-om", suite="P", loop_types=("om", "uc"),
+    source=KNN_SRC, entry="knn", make=_knn_make,
+    description="k nearest neighbours via in-place sorted insertion")
+
+# ---------------------------------------------------------------------------
+# ksack-sm-om / ksack-lg-om: unbounded knapsack DP.  Small weights make
+# nearby iterations touch the same dp entries -> memory-dependence
+# violations and squashes; large weights mostly avoid them (paper IV-C).
+# ---------------------------------------------------------------------------
+
+# Item weights/values are scalar parameters (the invariant table loads
+# are hoisted, as a production compiler would): the dependence distance
+# between iterations equals the item weights, so small weights make
+# nearby concurrent iterations conflict while large weights do not.
+KSACK_SRC = """
+void ksack(int* dp, int cap, int w0, int v0, int w1, int v1) {
+    #pragma xloops ordered
+    for (int c = 1; c < cap; c++) {
+        int best = 0;
+        if (w0 <= c) {
+            int t = dp[c-w0] + v0;
+            if (t > best) { best = t; }
+        }
+        if (w1 <= c) {
+            int t = dp[c-w1] + v1;
+            if (t > best) { best = t; }
+        }
+        dp[c] = best;
+    }
+}
+"""
+
+
+def _ksack_make(weights):
+    def make(scale, seed):
+        cap = scale_select(scale, 24, 96, 384)
+        rng = rng_for(seed, "ksack")
+        (w0, w1) = weights
+        v0 = w0 * 3 + rng.randrange(1, 3)
+        v1 = w1 * 3 + rng.randrange(1, 3)
+        da = region(0)
+
+        def init(mem):
+            pass
+
+        def verify(mem):
+            dp = [0] * cap
+            for c in range(1, cap):
+                best = 0
+                for w, v in ((w0, v0), (w1, v1)):
+                    if w <= c:
+                        best = max(best, dp[c - w] + v)
+                dp[c] = best
+            assert mem.read_words(da, cap) == dp
+
+        return Workload(args=[da, cap, w0, v0, w1, v1],
+                        init=init, verify=verify)
+    return make
+
+
+KSACK_SM = KernelSpec(
+    name="ksack-sm-om", suite="C", loop_types=("om",),
+    source=KSACK_SRC, entry="ksack",
+    make=_ksack_make((3, 5)),
+    description="unbounded knapsack, small weights (conflict-heavy)")
+
+KSACK_LG = KernelSpec(
+    name="ksack-lg-om", suite="C", loop_types=("om",),
+    source=KSACK_SRC, entry="ksack",
+    make=_ksack_make((11, 13)),
+    description="unbounded knapsack, large weights (conflict-light)")
+
+# ---------------------------------------------------------------------------
+# mm-orm (PBBS, paper Fig 3): greedy maximal matching
+# ---------------------------------------------------------------------------
+
+MM_SRC = """
+void mm(int* ev, int* eu, int* vertices, int* out, int m) {
+    int k = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < m; i++) {
+        int v = ev[i];
+        int u = eu[i];
+        if (vertices[v] < 0) {
+            if (vertices[u] < 0) {
+                vertices[v] = u;
+                vertices[u] = v;
+                out[k] = i;
+                k = k + 1;
+            }
+        }
+    }
+    out[m] = k;
+}
+"""
+
+
+def _mm_make(scale, seed):
+    nv = scale_select(scale, 12, 32)
+    m = scale_select(scale, 20, 64)
+    rng = rng_for(seed, "mm")
+    edges = []
+    while len(edges) < m:
+        v, u = rng.randrange(nv), rng.randrange(nv)
+        if v != u:
+            edges.append((v, u))
+    eva, eua, va, oa = region(0), region(1), region(2), region(3)
+
+    def init(mem):
+        mem.write_words(eva, [e[0] for e in edges])
+        mem.write_words(eua, [e[1] for e in edges])
+        mem.write_words(va, [0xFFFFFFFF] * nv)  # -1
+
+    def verify(mem):
+        vertices = [-1] * nv
+        matched, k = [], 0
+        for i, (v, u) in enumerate(edges):
+            if vertices[v] < 0 and vertices[u] < 0:
+                vertices[v] = u
+                vertices[u] = v
+                matched.append(i)
+                k += 1
+        assert mem.load_word(oa + 4 * m) == k
+        assert mem.read_words(oa, k) == matched
+        got_v = mem.read_words_signed(va, nv)
+        assert got_v == vertices
+
+    return Workload(args=[eva, eua, va, oa, m], init=init, verify=verify)
+
+
+MM = KernelSpec(
+    name="mm-orm", suite="P", loop_types=("orm", "uc"),
+    source=MM_SRC, entry="mm", make=_mm_make,
+    description="greedy maximal matching (paper Fig 3)")
+
+# ---------------------------------------------------------------------------
+# stencil-orm: in-place 3-point smoothing with a running checksum CIR
+# ---------------------------------------------------------------------------
+
+STENCIL_SRC = """
+void stencil(int* a, int* chk, int n, int reps) {
+    for (int r = 0; r < reps; r++) {
+        int sum = 0;
+        #pragma xloops ordered
+        for (int i = 1; i < n; i++) {
+            int left = a[i-1];
+            int mid = a[i];
+            int right = a[i+1];
+            int v = (left + 2*mid + right) / 4;
+            a[i] = v;
+            sum = sum + v;
+        }
+        chk[r] = sum;
+    }
+}
+"""
+
+
+def _stencil_make(scale, seed):
+    n = scale_select(scale, 20, 64)
+    reps = scale_select(scale, 2, 4)
+    rng = rng_for(seed, "stencil")
+    a = [rng.randrange(0, 256) for _ in range(n + 1)]
+    aa, ca = region(0), region(1)
+
+    def init(mem):
+        mem.write_words(aa, a)
+
+    def verify(mem):
+        arr = list(a)
+        chk = []
+        for _ in range(reps):
+            total = 0
+            for i in range(1, n):
+                v = (arr[i - 1] + 2 * arr[i] + arr[i + 1]) // 4
+                arr[i] = v
+                total += v
+            chk.append(total)
+        assert mem.read_words(aa, n + 1) == arr
+        assert mem.read_words(ca, reps) == chk
+
+    return Workload(args=[aa, ca, n, reps], init=init, verify=verify)
+
+
+STENCIL = KernelSpec(
+    name="stencil-orm", suite="P", loop_types=("orm", "uc"),
+    source=STENCIL_SRC, entry="stencil", make=_stencil_make,
+    description="in-place smoothing stencil + checksum CIR")
+
+OM_KERNELS = (DYNPROG, KNN, KSACK_SM, KSACK_LG, MM, STENCIL)

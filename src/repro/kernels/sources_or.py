@@ -1,0 +1,553 @@
+"""Ordered-through-registers (xloop.or) application kernels:
+adpcm-or, covar-or, dither-or, kmeans-or, sha-or (symm-or lives with
+the symm sources)."""
+
+from __future__ import annotations
+
+from .base import KernelSpec, Workload, region, rng_for, scale_select
+
+# ---------------------------------------------------------------------------
+# adpcm-or: IMA ADPCM encoder (MiBench) - predictor state is carried in
+# registers across samples (valpred, index)
+# ---------------------------------------------------------------------------
+
+STEPSIZE = [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31,
+            34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+            130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371,
+            408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060,
+            1166, 1282, 1411, 1552]
+INDEXTBL = [-1, -1, -1, -1, 2, 4, 6, 8]
+
+ADPCM_SRC = """
+void adpcm(int* pcm, int* steps, int* itab, char* out, int n) {
+    int valpred = 0;
+    int index = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) {
+        int val = pcm[i];
+        int step = steps[index];
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+        step = step >> 1;
+        if (diff >= step) { delta = delta | 2; diff = diff - step; vpdiff = vpdiff + step; }
+        step = step >> 1;
+        if (diff >= step) { delta = delta | 1; vpdiff = vpdiff + step; }
+        if (sign) { valpred = valpred - vpdiff; }
+        else { valpred = valpred + vpdiff; }
+        if (valpred > 32767) { valpred = 32767; }
+        if (valpred < -32768) { valpred = -32768; }
+        index = index + itab[delta];
+        if (index < 0) { index = 0; }
+        if (index > 56) { index = 56; }
+        out[i] = (char)(delta | sign);
+    }
+}
+"""
+
+
+def _adpcm_golden(pcm):
+    valpred, index = 0, 0
+    out = []
+    for val in pcm:
+        step = STEPSIZE[index]
+        diff = val - valpred
+        sign = 8 if diff < 0 else 0
+        if diff < 0:
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        index = max(0, min(56, index + INDEXTBL[delta]))
+        out.append((delta | sign) & 0xFF)
+    return out
+
+
+def _adpcm_make(scale, seed):
+    n = scale_select(scale, 48, 256, 1024)
+    rng = rng_for(seed, "adpcm")
+    pcm = [int(12000 * _wave(i, rng)) for i in range(n)]
+    pa, sa, ia, oa = region(0), region(1), region(2), region(3)
+
+    def init(mem):
+        mem.write_words(pa, [v & 0xFFFFFFFF for v in pcm])
+        mem.write_words(sa, STEPSIZE)
+        mem.write_words(ia, [v & 0xFFFFFFFF for v in INDEXTBL])
+
+    def verify(mem):
+        assert mem.read_bytes(oa, n) == _adpcm_golden(pcm)
+
+    return Workload(args=[pa, sa, ia, oa, n], init=init, verify=verify)
+
+
+def _wave(i, rng):
+    import math
+    return (math.sin(i / 5.0) * 0.7
+            + math.sin(i / 1.7) * 0.2
+            + (rng.random() - 0.5) * 0.1)
+
+
+ADPCM = KernelSpec(
+    name="adpcm-or", suite="M", loop_types=("or",),
+    source=ADPCM_SRC, entry="adpcm", make=_adpcm_make,
+    description="IMA ADPCM encode; predictor state carried in CIRs")
+
+# ---------------------------------------------------------------------------
+# covar-or: covariance matrix (PolyBench) - ordered accumulation
+# ---------------------------------------------------------------------------
+
+COVAR_SRC = """
+void covar(int* data, int* mean, int* cov, int m, int n) {
+    for (int j = 0; j < m; j++) {
+        int s = 0;
+        #pragma xloops ordered
+        for (int i = 0; i < n; i++) { s = s + data[i*m+j]; }
+        mean[j] = s / n;
+    }
+    for (int j1 = 0; j1 < m; j1++) {
+        for (int j2 = j1; j2 < m; j2++) {
+            int acc = 0;
+            #pragma xloops ordered
+            for (int i = 0; i < n; i++) {
+                acc = acc + (data[i*m+j1] - mean[j1])
+                          * (data[i*m+j2] - mean[j2]);
+            }
+            cov[j1*m+j2] = acc;
+            cov[j2*m+j1] = acc;
+        }
+    }
+}
+"""
+
+
+def _covar_make(scale, seed):
+    m = scale_select(scale, 4, 6)
+    n = scale_select(scale, 12, 32)
+    rng = rng_for(seed, "covar")
+    data = [rng.randrange(-9, 10) for _ in range(n * m)]
+    da, ma, ca = region(0), region(1), region(2)
+
+    def init(mem):
+        mem.write_words(da, [v & 0xFFFFFFFF for v in data])
+
+    def verify(mem):
+        mean = [_cdiv(sum(data[i * m + j] for i in range(n)), n)
+                for j in range(m)]
+        got_mean = mem.read_words_signed(ma, m)
+        assert got_mean == mean
+        got = mem.read_words_signed(ca, m * m)
+        for j1 in range(m):
+            for j2 in range(j1, m):
+                acc = sum((data[i * m + j1] - mean[j1])
+                          * (data[i * m + j2] - mean[j2])
+                          for i in range(n))
+                assert got[j1 * m + j2] == acc
+                assert got[j2 * m + j1] == acc
+
+    return Workload(args=[da, ma, ca, m, n], init=init, verify=verify)
+
+
+def _cdiv(a, b):
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+COVAR = KernelSpec(
+    name="covar-or", suite="Po", loop_types=("or",),
+    source=COVAR_SRC, entry="covar", make=_covar_make,
+    description="covariance matrix with ordered accumulations")
+
+# ---------------------------------------------------------------------------
+# dither-or / dither-or-opt / dither-uc: Floyd-Steinberg dithering
+# The error carried to the right neighbour lives in a register (CIR);
+# errors for the next row go to a separate buffer (no memory ordering).
+# ---------------------------------------------------------------------------
+
+# Down-going error partials are carried in registers (p0/p1 CIRs) so
+# each nxt[] element is written exactly once -- no memory ordering, the
+# dependence is purely through registers (-> xloop.or, as in the paper).
+# Baseline: the critical err CIR update is the *last* thing computed.
+DITHER_OR_SRC = """
+void dither(char* gray, char* out, int* cur, int* nxt, int w, int h) {
+    for (int y = 0; y < h; y++) {
+        int row = y * w;
+        int err = 0;
+        int p0 = 0;
+        int p1 = 0;
+        #pragma xloops ordered
+        for (int x = 0; x < w; x++) {
+            int old = gray[row + x] + cur[x] + err;
+            int pix = 0;
+            if (old > 127) { pix = 255; }
+            out[row + x] = (char)pix;
+            int diff = old - pix;
+            if (x > 0) { nxt[x-1] = p0 + (diff * 3) / 16; }
+            p0 = p1 + (diff * 5) / 16;
+            p1 = (diff * 1) / 16;
+            err = (diff * 7) / 16;
+        }
+        nxt[w-1] = p0;
+        for (int x = 0; x < w; x++) { cur[x] = nxt[x]; nxt[x] = 0; }
+    }
+}
+"""
+
+# hand-scheduled (Section IV-G): the critical err CIR update is hoisted
+# right after diff so the inter-iteration critical path shrinks
+DITHER_OR_OPT_SRC = """
+void dither(char* gray, char* out, int* cur, int* nxt, int w, int h) {
+    for (int y = 0; y < h; y++) {
+        int row = y * w;
+        int err = 0;
+        int p0 = 0;
+        int p1 = 0;
+        #pragma xloops ordered
+        for (int x = 0; x < w; x++) {
+            int old = gray[row + x] + cur[x] + err;
+            int pix = 0;
+            if (old > 127) { pix = 255; }
+            int diff = old - pix;
+            err = (diff * 7) / 16;
+            out[row + x] = (char)pix;
+            if (x > 0) { nxt[x-1] = p0 + (diff * 3) / 16; }
+            p0 = p1 + (diff * 5) / 16;
+            p1 = (diff * 1) / 16;
+        }
+        nxt[w-1] = p0;
+        for (int x = 0; x < w; x++) { cur[x] = nxt[x]; nxt[x] = 0; }
+    }
+}
+"""
+
+# loop-transformed variant (Section IV-G): rows processed serially but
+# the error to the right is *stored through memory per pixel ahead of
+# time* is not possible; instead the transformed kernel privatizes by
+# dithering independent row *blocks* (quality trade-off the paper's
+# transformed kernels also accept)
+DITHER_UC_SRC = """
+void dither(char* gray, char* out, int* errs, int w, int h) {
+    #pragma xloops unordered
+    for (int y = 0; y < h; y++) {
+        int row = y * w;
+        int err = 0;
+        for (int x = 0; x < w; x++) {
+            int old = gray[row + x] + err;
+            int pix = 0;
+            if (old > 127) { pix = 255; }
+            out[row + x] = (char)pix;
+            err = ((old - pix) * 7) / 16;
+        }
+    }
+}
+"""
+
+
+def _dither_golden(gray, w, h):
+    out = [0] * (w * h)
+    cur = [0] * w
+    for y in range(h):
+        nxt = [0] * w
+        err = p0 = p1 = 0
+        for x in range(w):
+            old = gray[y * w + x] + cur[x] + err
+            pix = 255 if old > 127 else 0
+            out[y * w + x] = pix
+            diff = old - pix
+            if x > 0:
+                nxt[x - 1] = p0 + _cdiv(diff * 3, 16)
+            p0 = p1 + _cdiv(diff * 5, 16)
+            p1 = _cdiv(diff * 1, 16)
+            err = _cdiv(diff * 7, 16)
+        nxt[w - 1] = p0
+        cur = nxt
+    return out
+
+
+def _dither_rowwise_golden(gray, w, h):
+    out = [0] * (w * h)
+    for y in range(h):
+        err = 0
+        for x in range(w):
+            old = gray[y * w + x] + err
+            pix = 255 if old > 127 else 0
+            out[y * w + x] = pix
+            err = _cdiv((old - pix) * 7, 16)
+    return out
+
+
+def _dither_make_or(scale, seed):
+    w = scale_select(scale, 12, 24, 48)
+    h = scale_select(scale, 4, 10, 24)
+    rng = rng_for(seed, "dither")
+    gray = [rng.randrange(256) for _ in range(w * h)]
+    ga, oa, ca, na = region(0), region(1), region(2), region(3)
+
+    def init(mem):
+        mem.write_bytes(ga, gray)
+        mem.write_words(ca, [0] * w)
+        mem.write_words(na, [0] * w)
+
+    def verify(mem):
+        assert mem.read_bytes(oa, w * h) == _dither_golden(gray, w, h)
+
+    return Workload(args=[ga, oa, ca, na, w, h], init=init, verify=verify)
+
+
+def _dither_make_uc(scale, seed):
+    w = scale_select(scale, 12, 24, 48)
+    h = scale_select(scale, 4, 10, 24)
+    rng = rng_for(seed, "dither")
+    gray = [rng.randrange(256) for _ in range(w * h)]
+    ga, oa, ea = region(0), region(1), region(2)
+
+    def init(mem):
+        mem.write_bytes(ga, gray)
+
+    def verify(mem):
+        assert mem.read_bytes(oa, w * h) == _dither_rowwise_golden(
+            gray, w, h)
+
+    return Workload(args=[ga, oa, ea, w, h], init=init, verify=verify)
+
+
+DITHER_OR = KernelSpec(
+    name="dither-or", suite="C", loop_types=("or",),
+    source=DITHER_OR_SRC, entry="dither", make=_dither_make_or,
+    description="Floyd-Steinberg dithering, error carried in a CIR")
+
+DITHER_OR_OPT = KernelSpec(
+    name="dither-or-opt", suite="C", loop_types=("or",),
+    source=DITHER_OR_OPT_SRC, entry="dither", make=_dither_make_or,
+    description="dither-or with the CIR update scheduled early")
+
+DITHER_UC = KernelSpec(
+    name="dither-uc", suite="C", loop_types=("uc",),
+    source=DITHER_UC_SRC, entry="dither", make=_dither_make_uc,
+    description="dither transformed to independent rows")
+
+# ---------------------------------------------------------------------------
+# kmeans-or / kmeans-uc: k-means assignment step (custom kernel)
+# ---------------------------------------------------------------------------
+
+KMEANS_OR_SRC = """
+void kmeans(int* px, int* py, int* cx, int* cy, int* assign,
+            int* csum, int n, int k) {
+    int sse = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) {
+        int x = px[i];
+        int y = py[i];
+        int best = 2000000000;
+        int bc = 0;
+        for (int c = 0; c < k; c++) {
+            int dx = x - cx[c];
+            int dy = y - cy[c];
+            int d = dx*dx + dy*dy;
+            if (d < best) { best = d; bc = c; }
+        }
+        assign[i] = bc;
+        sse = sse + best;
+        int old0 = amo_add(&csum[3*bc], x);
+        int old1 = amo_add(&csum[3*bc+1], y);
+        int old2 = amo_add(&csum[3*bc+2], 1);
+    }
+    csum[3*k] = sse;
+}
+"""
+
+KMEANS_UC_SRC = """
+void kmeans(int* px, int* py, int* cx, int* cy, int* assign,
+            int* csum, int n, int k) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        int x = px[i];
+        int y = py[i];
+        int best = 2000000000;
+        int bc = 0;
+        for (int c = 0; c < k; c++) {
+            int dx = x - cx[c];
+            int dy = y - cy[c];
+            int d = dx*dx + dy*dy;
+            if (d < best) { best = d; bc = c; }
+        }
+        assign[i] = bc;
+        int old0 = amo_add(&csum[3*bc], x);
+        int old1 = amo_add(&csum[3*bc+1], y);
+        int old2 = amo_add(&csum[3*bc+2], 1);
+        int old3 = amo_add(&csum[3*k], best);
+    }
+}
+"""
+
+
+def _kmeans_make(scale, seed):
+    n = scale_select(scale, 24, 96, 384)
+    k = 4
+    rng = rng_for(seed, "kmeans")
+    px = [rng.randrange(-100, 101) for _ in range(n)]
+    py = [rng.randrange(-100, 101) for _ in range(n)]
+    cx = [-50, 50, -50, 50]
+    cy = [-50, -50, 50, 50]
+    pxa, pya, cxa, cya, aa, sa = (region(i) for i in range(6))
+
+    def init(mem):
+        mem.write_words(pxa, [v & 0xFFFFFFFF for v in px])
+        mem.write_words(pya, [v & 0xFFFFFFFF for v in py])
+        mem.write_words(cxa, [v & 0xFFFFFFFF for v in cx])
+        mem.write_words(cya, [v & 0xFFFFFFFF for v in cy])
+
+    def verify(mem):
+        assign = mem.read_words(aa, n)
+        sums = mem.read_words_signed(sa, 3 * k + 1)
+        exp_sum = [0] * (3 * k)
+        sse = 0
+        for i in range(n):
+            dists = [(px[i] - cx[c]) ** 2 + (py[i] - cy[c]) ** 2
+                     for c in range(k)]
+            best = min(dists)
+            bc = dists.index(best)
+            assert assign[i] == bc, i
+            exp_sum[3 * bc] += px[i]
+            exp_sum[3 * bc + 1] += py[i]
+            exp_sum[3 * bc + 2] += 1
+            sse += best
+        assert sums[:3 * k] == exp_sum
+        assert sums[3 * k] == sse
+
+    return Workload(args=[pxa, pya, cxa, cya, aa, sa, n, k],
+                    init=init, verify=verify)
+
+
+KMEANS_OR = KernelSpec(
+    name="kmeans-or", suite="C", loop_types=("or", "uc"),
+    source=KMEANS_OR_SRC, entry="kmeans", make=_kmeans_make,
+    description="k-means assignment; distortion accumulated in a CIR")
+
+KMEANS_UC = KernelSpec(
+    name="kmeans-uc", suite="C", loop_types=("uc",),
+    source=KMEANS_UC_SRC, entry="kmeans", make=_kmeans_make,
+    description="k-means assignment transformed to AMO reductions")
+
+# ---------------------------------------------------------------------------
+# sha-or / sha-or-opt: SHA-1-style round loop (MiBench)
+# five state registers rotate through the rounds -> CIR chain
+# ---------------------------------------------------------------------------
+
+SHA_SRC = """
+void sha(int* w, int* digest, int rounds) {
+    int a = 1732584193;
+    int b = -271733879;
+    int c = -1732584194;
+    int d = 271733878;
+    int e = -1009589776;
+    #pragma xloops ordered
+    for (int t = 0; t < rounds; t++) {
+        int f = (b & c) | (~b & d);
+        int rot5 = (a << 5) | ((a >> 27) & 31);
+        int tmp = rot5 + f + e + w[t] + 1518500249;
+        e = d;
+        d = c;
+        c = (b << 30) | ((b >> 2) & 1073741823);
+        b = a;
+        a = tmp;
+    }
+    digest[0] = a;
+    digest[1] = b;
+    digest[2] = c;
+    digest[3] = d;
+    digest[4] = e;
+}
+"""
+
+# hand-scheduled: same dataflow, but the new 'a' (the critical CIR) is
+# produced before the cheap state rotations
+SHA_OPT_SRC = """
+void sha(int* w, int* digest, int rounds) {
+    int a = 1732584193;
+    int b = -271733879;
+    int c = -1732584194;
+    int d = 271733878;
+    int e = -1009589776;
+    #pragma xloops ordered
+    for (int t = 0; t < rounds; t++) {
+        int rot5 = (a << 5) | ((a >> 27) & 31);
+        int f = (b & c) | (~b & d);
+        int tmp = rot5 + f + e + w[t] + 1518500249;
+        int olda = a;
+        a = tmp;
+        e = d;
+        d = c;
+        c = (b << 30) | ((b >> 2) & 1073741823);
+        b = olda;
+    }
+    digest[0] = a;
+    digest[1] = b;
+    digest[2] = c;
+    digest[3] = d;
+    digest[4] = e;
+}
+"""
+
+
+def _sha_golden(w, rounds):
+    M = 0xFFFFFFFF
+    a, b, c, d, e = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                     0xC3D2E1F0)
+    for t in range(rounds):
+        f = (b & c) | (~b & d & M)
+        rot5 = ((a << 5) & M) | ((a >> 27) & 31)
+        tmp = (rot5 + f + e + w[t] + 0x5A827999) & M
+        e = d
+        d = c
+        c = ((b << 30) & M) | ((b >> 2) & 0x3FFFFFFF)
+        b = a
+        a = tmp
+    return [a, b, c, d, e]
+
+
+def _sha_make(scale, seed):
+    rounds = scale_select(scale, 40, 160, 640)
+    rng = rng_for(seed, "sha")
+    w = [rng.randrange(1 << 32) for _ in range(rounds)]
+    wa, da = region(0), region(1)
+
+    def init(mem):
+        mem.write_words(wa, w)
+
+    def verify(mem):
+        assert mem.read_words(da, 5) == _sha_golden(w, rounds)
+
+    return Workload(args=[wa, da, rounds], init=init, verify=verify)
+
+
+SHA = KernelSpec(
+    name="sha-or", suite="M", loop_types=("or", "uc"),
+    source=SHA_SRC, entry="sha", make=_sha_make,
+    description="SHA-1-style rounds with a rotating CIR chain")
+
+SHA_OPT = KernelSpec(
+    name="sha-or-opt", suite="M", loop_types=("or",),
+    source=SHA_OPT_SRC, entry="sha", make=_sha_make,
+    description="sha-or with the critical CIR scheduled first")
+
+OR_KERNELS = (ADPCM, COVAR, DITHER_OR, KMEANS_OR, SHA)
+OR_OPT_KERNELS = (DITHER_OR_OPT, SHA_OPT)
+UC_TRANSFORMED = (DITHER_UC, KMEANS_UC)

@@ -1,0 +1,336 @@
+"""Unordered-atomic (xloop.ua) application kernels: btree-ua,
+hsort-ua, huffman-ua, rsort-ua (+ the rsort-uc loop transformation)."""
+
+from __future__ import annotations
+
+import heapq
+
+from .base import KernelSpec, Workload, region, rng_for, scale_select
+
+# ---------------------------------------------------------------------------
+# btree-ua: build a binary search tree from integer keys.  Iterations
+# may run in any order but each insertion must appear atomic; the tree
+# *shape* is order-dependent, so verification checks the in-order
+# traversal (always the sorted keys) and structural invariants.
+# ---------------------------------------------------------------------------
+
+BTREE_SRC = """
+void btree(int* key, int* left, int* right, int n) {
+    #pragma xloops atomic
+    for (int i = 1; i < n; i++) {
+        int k = key[i];
+        int j = 0;
+        int done = 0;
+        while (done == 0) {
+            if (k < key[j]) {
+                if (left[j] < 0) { left[j] = i; done = 1; }
+                else { j = left[j]; }
+            } else {
+                if (right[j] < 0) { right[j] = i; done = 1; }
+                else { j = right[j]; }
+            }
+        }
+    }
+}
+"""
+
+
+def _btree_make(scale, seed):
+    n = scale_select(scale, 16, 64, 256)
+    rng = rng_for(seed, "btree")
+    keys = rng.sample(range(10 * n), n)
+    ka, la, ra = region(0), region(1), region(2)
+
+    def init(mem):
+        mem.write_words(ka, keys)
+        mem.write_words(la, [0xFFFFFFFF] * n)
+        mem.write_words(ra, [0xFFFFFFFF] * n)
+
+    def verify(mem):
+        left = mem.read_words_signed(la, n)
+        right = mem.read_words_signed(ra, n)
+        seen = []
+
+        def walk(j):
+            if j < 0:
+                return
+            walk(left[j])
+            seen.append(keys[j])
+            walk(right[j])
+
+        walk(0)
+        assert seen == sorted(keys)   # all nodes linked, BST order
+
+    return Workload(args=[ka, la, ra, n], init=init, verify=verify)
+
+
+BTREE = KernelSpec(
+    name="btree-ua", suite="C", loop_types=("ua", "uc"),
+    source=BTREE_SRC, entry="btree", make=_btree_make,
+    description="binary-search-tree construction, atomic insertions")
+
+# ---------------------------------------------------------------------------
+# hsort-ua: concurrent heap construction (sift-up insertions must be
+# atomic), then a serial extraction pass that emits sorted output.
+# ---------------------------------------------------------------------------
+
+HSORT_SRC = """
+void hsort(int* data, int* heap, int* size, int* out, int n) {
+    #pragma xloops atomic
+    for (int i = 0; i < n; i++) {
+        int v = data[i];
+        int slot = size[0];
+        size[0] = slot + 1;
+        heap[slot] = v;
+        while (slot > 0) {
+            int parent = (slot - 1) / 2;
+            if (heap[parent] > heap[slot]) {
+                int t = heap[parent];
+                heap[parent] = heap[slot];
+                heap[slot] = t;
+                slot = parent;
+            } else {
+                slot = 0;
+            }
+        }
+    }
+    for (int i = 0; i < n; i++) {
+        out[i] = heap[0];
+        int last = n - 1 - i;
+        heap[0] = heap[last];
+        int j = 0;
+        int done = 0;
+        while (done == 0) {
+            int l = 2*j + 1;
+            int r = 2*j + 2;
+            int m = j;
+            if (l <= last - 1 && heap[l] < heap[m]) { m = l; }
+            if (r <= last - 1 && heap[r] < heap[m]) { m = r; }
+            if (m == j) { done = 1; }
+            else {
+                int t = heap[m];
+                heap[m] = heap[j];
+                heap[j] = t;
+                j = m;
+            }
+        }
+    }
+}
+"""
+
+
+def _hsort_make(scale, seed):
+    n = scale_select(scale, 16, 48, 192)
+    rng = rng_for(seed, "hsort")
+    data = [rng.randrange(1000) for _ in range(n)]
+    da, ha, sa, oa = region(0), region(1), region(2), region(3)
+
+    def init(mem):
+        mem.write_words(da, data)
+        mem.store_word(sa, 0)
+
+    def verify(mem):
+        assert mem.read_words(oa, n) == sorted(data)
+
+    return Workload(args=[da, ha, sa, oa, n], init=init, verify=verify)
+
+
+HSORT = KernelSpec(
+    name="hsort-ua", suite="C", loop_types=("ua",),
+    source=HSORT_SRC, entry="hsort", make=_hsort_make,
+    description="heap sort: atomic heap insertions + serial drain")
+
+# ---------------------------------------------------------------------------
+# huffman-ua: symbol histogram built with atomic updates, then a serial
+# Huffman tree construction computing the total encoded length.
+# ---------------------------------------------------------------------------
+
+HUFFMAN_SRC = """
+void huffman(char* text, int* freq, int* node_f, int* alive, int* out,
+             int n, int nsym) {
+    #pragma xloops atomic
+    for (int i = 0; i < n; i++) {
+        int s = text[i];
+        freq[s] = freq[s] + 1;
+    }
+    int count = 0;
+    for (int s = 0; s < nsym; s++) {
+        if (freq[s] > 0) {
+            node_f[count] = freq[s];
+            alive[count] = 1;
+            count = count + 1;
+        }
+    }
+    int total = 0;
+    int live = count;
+    while (live > 1) {
+        int a = -1;
+        int b = -1;
+        for (int j = 0; j < count; j++) {
+            if (alive[j]) {
+                if (a < 0 || node_f[j] < node_f[a]) { b = a; a = j; }
+                else { if (b < 0 || node_f[j] < node_f[b]) { b = j; } }
+            }
+        }
+        int merged = node_f[a] + node_f[b];
+        total = total + merged;
+        node_f[a] = merged;
+        alive[b] = 0;
+        live = live - 1;
+    }
+    out[0] = total;
+}
+"""
+
+
+def _huffman_make(scale, seed):
+    n = scale_select(scale, 48, 192, 768)
+    nsym = 16
+    rng = rng_for(seed, "huffman")
+    text = [min(nsym - 1, int(rng.expovariate(0.4))) for _ in range(n)]
+    ta, fa, nfa, ava, oa = (region(i) for i in range(5))
+
+    def golden_total(freqs):
+        # mirrors the kernel's deterministic lowest-two selection
+        node_f = [f for f in freqs if f > 0]
+        alive = [True] * len(node_f)
+        total = 0
+        live = len(node_f)
+        while live > 1:
+            a = b = -1
+            for j in range(len(node_f)):
+                if not alive[j]:
+                    continue
+                if a < 0 or node_f[j] < node_f[a]:
+                    b = a
+                    a = j
+                elif b < 0 or node_f[j] < node_f[b]:
+                    b = j
+            merged = node_f[a] + node_f[b]
+            total += merged
+            node_f[a] = merged
+            alive[b] = False
+            live -= 1
+        return total
+
+    def init(mem):
+        mem.write_bytes(ta, text)
+
+    def verify(mem):
+        freqs = [0] * nsym
+        for s in text:
+            freqs[s] += 1
+        assert mem.read_words(fa, nsym) == freqs
+        assert mem.load_word(oa) == golden_total(freqs)
+
+    return Workload(args=[ta, fa, nfa, ava, oa, n, nsym],
+                    init=init, verify=verify)
+
+
+HUFFMAN = KernelSpec(
+    name="huffman-ua", suite="C", loop_types=("ua",),
+    source=HUFFMAN_SRC, entry="huffman", make=_huffman_make,
+    description="Huffman coding: atomic histogram + serial tree build")
+
+# ---------------------------------------------------------------------------
+# rsort-ua: counting/radix sort over 8-bit keys.  Histogram updates are
+# atomic iterations; the scatter phase claims slots with AMOs.
+# ---------------------------------------------------------------------------
+
+RSORT_UA_SRC = """
+void rsort(int* data, int* hist, int* cursor, int* out, int n) {
+    #pragma xloops atomic
+    for (int i = 0; i < n; i++) {
+        int d = data[i] & 255;
+        hist[d] = hist[d] + 1;
+    }
+    int acc = 0;
+    #pragma xloops ordered
+    for (int b = 0; b < 256; b++) {
+        cursor[b] = acc;
+        acc = acc + hist[b];
+    }
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        int d = data[i] & 255;
+        int slot = amo_add(&cursor[d], 1);
+        out[slot] = data[i];
+    }
+}
+"""
+
+# loop transformation (Table IV): histogram via AMOs -> plain uc
+RSORT_UC_SRC = """
+void rsort(int* data, int* hist, int* cursor, int* out, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        int d = data[i] & 255;
+        int old = amo_add(&hist[d], 1);
+    }
+    int acc = 0;
+    #pragma xloops ordered
+    for (int b = 0; b < 256; b++) {
+        cursor[b] = acc;
+        acc = acc + hist[b];
+    }
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        int d = data[i] & 255;
+        int slot = amo_add(&cursor[d], 1);
+        out[slot] = data[i];
+    }
+}
+"""
+
+RSORT_SERIAL_SRC = """
+void rsort(int* data, int* hist, int* cursor, int* out, int n) {
+    for (int i = 0; i < n; i++) {
+        int d = data[i] & 255;
+        hist[d] = hist[d] + 1;
+    }
+    int acc = 0;
+    for (int b = 0; b < 256; b++) {
+        cursor[b] = acc;
+        acc = acc + hist[b];
+    }
+    for (int i = 0; i < n; i++) {
+        int d = data[i] & 255;
+        int slot = cursor[d];
+        cursor[d] = slot + 1;
+        out[slot] = data[i];
+    }
+}
+"""
+
+
+def _rsort_make(scale, seed):
+    n = scale_select(scale, 24, 96, 384)
+    rng = rng_for(seed, "rsort")
+    data = [rng.randrange(256) for _ in range(n)]
+    da, ha, ca, oa = region(0), region(1), region(2), region(3)
+
+    def init(mem):
+        mem.write_words(da, data)
+
+    def verify(mem):
+        # keys equal their values here, so any stable/unstable scatter
+        # yields exactly the sorted sequence
+        assert mem.read_words(oa, n) == sorted(data)
+
+    return Workload(args=[da, ha, ca, oa, n], init=init, verify=verify)
+
+
+RSORT_UA = KernelSpec(
+    name="rsort-ua", suite="C", loop_types=("ua", "or", "uc"),
+    source=RSORT_UA_SRC, entry="rsort", make=_rsort_make,
+    serial_source=RSORT_SERIAL_SRC,
+    description="radix/counting sort: atomic histogram, AMO scatter")
+
+RSORT_UC = KernelSpec(
+    name="rsort-uc", suite="C", loop_types=("uc", "or"),
+    source=RSORT_UC_SRC, entry="rsort", make=_rsort_make,
+    serial_source=RSORT_SERIAL_SRC,
+    description="radix sort transformed to AMO histogram updates")
+
+UA_KERNELS = (BTREE, HSORT, HUFFMAN, RSORT_UA)
+UA_TRANSFORMED = (RSORT_UC,)

@@ -1,0 +1,435 @@
+"""Unordered-concurrent (xloop.uc) application kernels (Table II):
+rgb2cmyk-uc, sgemm-uc, ssearch-uc, symm-uc, viterbi-uc, war-uc."""
+
+from __future__ import annotations
+
+from .base import KernelSpec, Workload, region, rng_for, scale_select
+
+# ---------------------------------------------------------------------------
+# rgb2cmyk-uc: color-space conversion on a test image (custom kernel)
+# ---------------------------------------------------------------------------
+
+RGB2CMYK_SRC = """
+void rgb2cmyk(char* r, char* g, char* b, char* out, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        int rv = r[i];
+        int gv = g[i];
+        int bv = b[i];
+        int w = rv;
+        if (gv > w) { w = gv; }
+        if (bv > w) { w = bv; }
+        int k = 255 - w;
+        int c = 0;
+        int m = 0;
+        int y = 0;
+        if (w > 0) {
+            c = 255 - rv - k;
+            m = 255 - gv - k;
+            y = 255 - bv - k;
+        }
+        out[4*i]   = (char)c;
+        out[4*i+1] = (char)m;
+        out[4*i+2] = (char)y;
+        out[4*i+3] = (char)k;
+    }
+}
+"""
+
+
+def _rgb2cmyk_make(scale, seed):
+    n = scale_select(scale, 48, 512, 2048)
+    rng = rng_for(seed, "rgb2cmyk")
+    r = [rng.randrange(256) for _ in range(n)]
+    g = [rng.randrange(256) for _ in range(n)]
+    b = [rng.randrange(256) for _ in range(n)]
+    ra, ga, ba, oa = region(0), region(1), region(2), region(3)
+
+    def init(mem):
+        mem.write_bytes(ra, r)
+        mem.write_bytes(ga, g)
+        mem.write_bytes(ba, b)
+
+    def verify(mem):
+        out = mem.read_bytes(oa, 4 * n)
+        for i in range(n):
+            w = max(r[i], g[i], b[i])
+            k = 255 - w
+            c = m = y = 0
+            if w > 0:
+                c = (255 - r[i] - k) & 0xFF
+                m = (255 - g[i] - k) & 0xFF
+                y = (255 - b[i] - k) & 0xFF
+            assert out[4 * i:4 * i + 4] == [c, m, y, k], i
+
+    return Workload(args=[ra, ga, ba, oa, n], init=init, verify=verify)
+
+
+RGB2CMYK = KernelSpec(
+    name="rgb2cmyk-uc", suite="C", loop_types=("uc",),
+    source=RGB2CMYK_SRC, entry="rgb2cmyk", make=_rgb2cmyk_make,
+    description="RGB to CMYK color-space conversion over pixels")
+
+# ---------------------------------------------------------------------------
+# sgemm-uc: single-precision matrix multiply (custom kernel)
+# ---------------------------------------------------------------------------
+
+SGEMM_SRC = """
+void sgemm(float* a, float* b, float* c, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k++) {
+                acc = acc + a[i*n+k] * b[k*n+j];
+            }
+            c[i*n+j] = acc;
+        }
+    }
+}
+"""
+
+
+def _sgemm_make(scale, seed):
+    n = scale_select(scale, 6, 12, 20)
+    rng = rng_for(seed, "sgemm")
+    a = [rng.randrange(-4, 5) * 0.5 for _ in range(n * n)]
+    b = [rng.randrange(-4, 5) * 0.25 for _ in range(n * n)]
+    aa, ba, ca = region(0), region(1), region(2)
+
+    def init(mem):
+        mem.write_floats(aa, a)
+        mem.write_floats(ba, b)
+
+    def verify(mem):
+        # operands are small multiples of 0.25: every product and sum
+        # is exactly representable in binary32, so compare exactly
+        got = mem.read_floats(ca, n * n)
+        for i in range(n):
+            for j in range(n):
+                acc = 0.0
+                for k in range(n):
+                    acc += a[i * n + k] * b[k * n + j]
+                assert got[i * n + j] == acc, (i, j)
+
+    return Workload(args=[aa, ba, ca, n], init=init, verify=verify)
+
+
+SGEMM = KernelSpec(
+    name="sgemm-uc", suite="C", loop_types=("uc",),
+    source=SGEMM_SRC, entry="sgemm", make=_sgemm_make,
+    description="dense single-precision matrix multiply")
+
+# ---------------------------------------------------------------------------
+# ssearch-uc: Knuth-Morris-Pratt over a collection of byte streams
+# ---------------------------------------------------------------------------
+
+SSEARCH_SRC = """
+void ssearch(char* text, int* offs, char* pat, int* fail, int plen,
+             int* hits, int nstreams) {
+    #pragma xloops unordered
+    for (int i = 0; i < nstreams; i++) {
+        int lo = offs[i];
+        int hi = offs[i+1];
+        int q = 0;
+        int count = 0;
+        int p = lo;
+        while (p < hi) {
+            int ch = text[p];
+            while (q > 0 && pat[q] != ch) { q = fail[q-1]; }
+            if (pat[q] == ch) { q = q + 1; }
+            if (q == plen) {
+                count = count + 1;
+                q = fail[q-1];
+            }
+            p = p + 1;
+        }
+        hits[i] = count;
+    }
+}
+"""
+
+
+def _kmp_fail(pattern):
+    fail = [0] * len(pattern)
+    k = 0
+    for q in range(1, len(pattern)):
+        while k > 0 and pattern[k] != pattern[q]:
+            k = fail[k - 1]
+        if pattern[k] == pattern[q]:
+            k += 1
+        fail[q] = k
+    return fail
+
+
+def _ssearch_make(scale, seed):
+    nstreams = scale_select(scale, 4, 12, 32)
+    stream_len = scale_select(scale, 24, 96, 192)
+    rng = rng_for(seed, "ssearch")
+    pattern = b"abab"
+    text = bytes(rng.choice(b"ab") for _ in range(nstreams * stream_len))
+    offs = [i * stream_len for i in range(nstreams + 1)]
+    fail = _kmp_fail(pattern)
+    ta, oa, pa, fa, ha = (region(i) for i in range(5))
+
+    def init(mem):
+        mem.write_bytes(ta, list(text))
+        mem.write_words(oa, offs)
+        mem.write_bytes(pa, list(pattern))
+        mem.write_words(fa, fail)
+
+    def golden(stream):
+        count, q = 0, 0
+        for ch in stream:
+            while q > 0 and pattern[q] != ch:
+                q = fail[q - 1]
+            if pattern[q] == ch:
+                q += 1
+            if q == len(pattern):
+                count += 1
+                q = fail[q - 1]
+        return count
+
+    def verify(mem):
+        got = mem.read_words(ha, nstreams)
+        for i in range(nstreams):
+            expect = golden(text[offs[i]:offs[i + 1]])
+            assert got[i] == expect, (i, got[i], expect)
+
+    return Workload(args=[ta, oa, pa, fa, len(pattern), ha, nstreams],
+                    init=init, verify=verify)
+
+
+SSEARCH = KernelSpec(
+    name="ssearch-uc", suite="C", loop_types=("uc",),
+    source=SSEARCH_SRC, entry="ssearch", make=_ssearch_make,
+    description="KMP substring search over independent byte streams")
+
+# ---------------------------------------------------------------------------
+# symm-uc / symm-or: symmetric matrix multiply (PolyBench)
+# C = A*B with A symmetric (only the lower triangle of A stored)
+# ---------------------------------------------------------------------------
+
+SYMM_UC_SRC = """
+void symm(int* a, int* b, int* c, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            int acc = 0;
+            for (int k = 0; k < n; k++) {
+                int aik = 0;
+                if (k <= i) { aik = a[i*n+k]; } else { aik = a[k*n+i]; }
+                acc = acc + aik * b[k*n+j];
+            }
+            c[i*n+j] = acc;
+        }
+    }
+}
+"""
+
+SYMM_OR_SRC = """
+void symm(int* a, int* b, int* c, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            int acc = 0;
+            #pragma xloops ordered
+            for (int k = 0; k < n; k++) {
+                int aik = 0;
+                if (k <= i) { aik = a[i*n+k]; } else { aik = a[k*n+i]; }
+                acc = acc + aik * b[k*n+j];
+            }
+            c[i*n+j] = acc;
+        }
+    }
+}
+"""
+
+
+def _symm_make(scale, seed):
+    n = scale_select(scale, 6, 10, 16)
+    rng = rng_for(seed, "symm")
+    a = [rng.randrange(-5, 6) for _ in range(n * n)]
+    b = [rng.randrange(-5, 6) for _ in range(n * n)]
+    aa, ba, ca = region(0), region(1), region(2)
+
+    def init(mem):
+        mem.write_words(aa, [v & 0xFFFFFFFF for v in a])
+        mem.write_words(ba, [v & 0xFFFFFFFF for v in b])
+
+    def verify(mem):
+        got = mem.read_words_signed(ca, n * n)
+        for i in range(n):
+            for j in range(n):
+                acc = 0
+                for k in range(n):
+                    aik = a[i * n + k] if k <= i else a[k * n + i]
+                    acc += aik * b[k * n + j]
+                assert got[i * n + j] == acc, (i, j)
+
+    return Workload(args=[aa, ba, ca, n], init=init, verify=verify)
+
+
+SYMM_UC = KernelSpec(
+    name="symm-uc", suite="Po", loop_types=("uc",),
+    source=SYMM_UC_SRC, entry="symm", make=_symm_make,
+    description="symmetric matrix multiply, parallel over rows")
+
+SYMM_OR = KernelSpec(
+    name="symm-or", suite="Po", loop_types=("or",),
+    source=SYMM_OR_SRC, entry="symm", make=_symm_make,
+    description="symmetric matrix multiply, ordered accumulation")
+
+# ---------------------------------------------------------------------------
+# viterbi-uc: convolutional decoding of independent frames
+# ---------------------------------------------------------------------------
+
+# each frame gets a private slice of the scratch buffer (2*ns words):
+# stack-allocated scratch would be shared across LPSU lanes
+VITERBI_SRC = """
+void viterbi(int* obs, int* trans, int* emit, int* scratch, int* out,
+             int nframes, int steps, int ns) {
+    #pragma xloops unordered
+    for (int f = 0; f < nframes; f++) {
+        int base = f * 2 * ns;
+        for (int s = 0; s < ns; s++) { scratch[base + s] = 0; }
+        for (int t = 0; t < steps; t++) {
+            int o = obs[f*steps + t];
+            for (int s = 0; s < ns; s++) {
+                int best = 1000000;
+                for (int p = 0; p < ns; p++) {
+                    int c = scratch[base + p] + trans[p*ns + s];
+                    if (c < best) { best = c; }
+                }
+                scratch[base + ns + s] = best + emit[s*ns + o];
+            }
+            for (int s = 0; s < ns; s++) {
+                scratch[base + s] = scratch[base + ns + s];
+            }
+        }
+        int best = scratch[base];
+        int arg = 0;
+        for (int s = 1; s < ns; s++) {
+            if (scratch[base + s] < best) {
+                best = scratch[base + s];
+                arg = s;
+            }
+        }
+        out[f] = arg * 1000000 + best;
+    }
+}
+"""
+
+
+def _viterbi_make(scale, seed):
+    ns = 4
+    nframes = scale_select(scale, 3, 8, 24)
+    steps = scale_select(scale, 6, 16, 32)
+    rng = rng_for(seed, "viterbi")
+    obs = [rng.randrange(ns) for _ in range(nframes * steps)]
+    trans = [rng.randrange(1, 10) for _ in range(ns * ns)]
+    emit = [rng.randrange(1, 10) for _ in range(ns * ns)]
+    oa, ta, ea, sa, ra = (region(i) for i in range(5))
+
+    def init(mem):
+        mem.write_words(oa, obs)
+        mem.write_words(ta, trans)
+        mem.write_words(ea, emit)
+
+    def verify(mem):
+        got = mem.read_words(ra, nframes)
+        for f in range(nframes):
+            cost = [0] * ns
+            for t in range(steps):
+                o = obs[f * steps + t]
+                nxt = []
+                for s in range(ns):
+                    best = min(cost[p] + trans[p * ns + s]
+                               for p in range(ns))
+                    nxt.append(best + emit[s * ns + o])
+                cost = nxt
+            best = min(cost)
+            arg = cost.index(best)
+            assert got[f] == arg * 1000000 + best, f
+
+    return Workload(args=[oa, ta, ea, sa, ra, nframes, steps, ns],
+                    init=init, verify=verify)
+
+
+VITERBI = KernelSpec(
+    name="viterbi-uc", suite="C", loop_types=("uc",),
+    source=VITERBI_SRC, entry="viterbi", make=_viterbi_make,
+    description="Viterbi decoding of independent frames")
+
+# ---------------------------------------------------------------------------
+# war-uc / war-om: Floyd-Warshall (PolyBench, paper Fig 2)
+# ---------------------------------------------------------------------------
+
+WAR_OM_SRC = """
+void war(int* path, int n) {
+    for (int k = 0; k < n; k++) {
+        #pragma xloops ordered
+        for (int i = 0; i < n; i++) {
+            #pragma xloops unordered
+            for (int j = 0; j < n; j++) {
+                int through = path[i*n+k] + path[k*n+j];
+                if (through < path[i*n+j]) { path[i*n+j] = through; }
+            }
+        }
+    }
+}
+"""
+
+WAR_UC_SRC = """
+void war(int* path, int n) {
+    for (int k = 0; k < n; k++) {
+        for (int i = 0; i < n; i++) {
+            #pragma xloops unordered
+            for (int j = 0; j < n; j++) {
+                int through = path[i*n+k] + path[k*n+j];
+                if (through < path[i*n+j]) { path[i*n+j] = through; }
+            }
+        }
+    }
+}
+"""
+
+
+def _war_make(scale, seed):
+    n = scale_select(scale, 6, 10, 16)
+    rng = rng_for(seed, "war")
+    INF = 1 << 20
+    dist = [[0 if i == j else (rng.randrange(1, 30)
+                               if rng.random() < 0.45 else INF)
+             for j in range(n)] for i in range(n)]
+    flat = [dist[i][j] for i in range(n) for j in range(n)]
+    pa = region(0)
+
+    def init(mem):
+        mem.write_words(pa, flat)
+
+    def verify(mem):
+        expect = [row[:] for row in dist]
+        for k in range(n):
+            for i in range(n):
+                for j in range(n):
+                    through = expect[i][k] + expect[k][j]
+                    if through < expect[i][j]:
+                        expect[i][j] = through
+        got = mem.read_words(pa, n * n)
+        flat_e = [expect[i][j] for i in range(n) for j in range(n)]
+        assert got == flat_e
+
+    return Workload(args=[pa, n], init=init, verify=verify)
+
+
+WAR_OM = KernelSpec(
+    name="war-om", suite="Po", loop_types=("om", "uc"),
+    source=WAR_OM_SRC, entry="war", make=_war_make,
+    description="Floyd-Warshall, middle loop ordered-through-memory")
+
+WAR_UC = KernelSpec(
+    name="war-uc", suite="Po", loop_types=("uc",),
+    source=WAR_UC_SRC, entry="war", make=_war_make,
+    description="Floyd-Warshall, inner loop unordered")
+
+UC_KERNELS = (RGB2CMYK, SGEMM, SSEARCH, SYMM_UC, VITERBI, WAR_UC)

@@ -1,0 +1,13 @@
+"""MiniC: the annotated C subset and XLOOPS compiler (paper II-B).
+
+Public entry point: :func:`compile_source`."""
+
+from .lexer import CompileError, tokenize
+from .parser import parse
+from .sema import Sema, Symbol, analyze
+from .compiler import CompiledProgram, LoopInfo, compile_source
+from .codegen import CodegenOptions
+
+__all__ = ["CompileError", "tokenize", "parse", "Sema", "Symbol",
+           "analyze", "CompiledProgram", "LoopInfo", "compile_source",
+           "CodegenOptions"]

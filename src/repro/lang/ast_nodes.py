@@ -1,0 +1,261 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """MiniC type: a base (``int``/``float``/``char``/``void``) plus an
+    optional pointer level (0 or 1)."""
+
+    base: str
+    ptr: int = 0
+
+    @property
+    def is_pointer(self):
+        return self.ptr > 0
+
+    @property
+    def elem_size(self):
+        """Size of the pointee (for indexing)."""
+        return 1 if self.base == "char" else 4
+
+    def deref(self):
+        if not self.is_pointer:
+            raise ValueError("dereferencing non-pointer %s" % (self,))
+        return Type(self.base, self.ptr - 1)
+
+    def __str__(self):
+        return self.base + "*" * self.ptr
+
+
+INT = Type("int")
+FLOAT = Type("float")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    type: Optional[Type] = None   # filled by sema
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``base[subscript]`` — base is a pointer or local array."""
+
+    base: Optional[Expr] = None
+    subscript: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""                 # '-', '!', '~'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    target: Optional[Type] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class AddrOf(Expr):
+    """``&lvalue`` — only valid as an AMO builtin argument."""
+
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Decl(Stmt):
+    """``int x = e;`` or ``int buf[16];``"""
+
+    type: Optional[Type] = None
+    name: str = ""
+    init: Optional[Expr] = None
+    array_size: Optional[int] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``lvalue = expr`` (compound ops are desugared by the parser)."""
+
+    target: Optional[Expr] = None     # Var or Index
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: List[Stmt] = field(default_factory=list)
+    orelse: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """Canonical counted loop: ``for (init; cond; step) body``.
+
+    ``annotation`` carries the ``#pragma xloops`` keyword (or None for
+    an ordinary loop).  ``xloop`` is filled in by the dependence
+    analysis with the selected :class:`~repro.isa.xloops.XLoopKind`.
+    """
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+    annotation: Optional[str] = None
+    xloop = None                 # XLoopKind, set by analysis
+    induction: Optional[str] = None
+    bound_is_dynamic: bool = False
+    cir_names: Tuple[str, ...] = ()
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    type: Type
+    name: str
+
+
+@dataclass
+class Function:
+    name: str
+    return_type: Type
+    params: List[Param]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Unit:
+    """One translation unit (a kernel source file)."""
+
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name):
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+def walk_exprs(node):
+    """Yield every sub-expression of an expression tree."""
+    yield node
+    for child_name in ("base", "subscript", "operand", "left", "right",
+                       "value", "cond"):
+        child = getattr(node, child_name, None)
+        if isinstance(child, Expr):
+            yield from walk_exprs(child)
+    for arg in getattr(node, "args", ()):
+        yield from walk_exprs(arg)
+
+
+def stmt_exprs(stmt):
+    """Yield the top-level expressions of one statement."""
+    for name in ("init", "cond", "step", "value", "expr", "target"):
+        child = getattr(stmt, name, None)
+        if isinstance(child, Expr):
+            yield child
+        elif isinstance(child, Stmt):
+            yield from stmt_exprs(child)
+
+
+def walk_stmts(stmts):
+    """Yield every statement in a statement list, recursively."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then)
+            yield from walk_stmts(stmt.orelse)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                yield stmt.init
+            if stmt.step is not None:
+                yield stmt.step
+            yield from walk_stmts(stmt.body)

@@ -1,0 +1,103 @@
+"""Compiler driver: annotated MiniC source -> assembled Program.
+
+Pipeline: lex/parse -> sema -> xloop dependence analysis -> per-function
+codegen (with linear-scan allocation) -> assembly -> Program.
+
+``compile_source(..., xloops=False)`` produces the paper's GP-ISA
+baseline binary from the *same* source (annotations ignored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asm import assemble
+from ..asm.program import DATA_BASE, TEXT_BASE, Program
+from .ast_nodes import For, Function, Unit, walk_stmts
+from .codegen import CodegenOptions, FuncCodegen
+from .lexer import CompileError
+from .parser import parse
+from .passes.depend import analyze_unit_loops
+from .sema import Sema
+
+
+@dataclass
+class LoopInfo:
+    """Per-annotated-loop compilation record (for tests / reports)."""
+
+    function: str
+    line: int
+    annotation: str
+    mnemonic: str              # e.g. "xloop.om"
+    cirs: Tuple[str, ...]
+    dynamic_bound: bool
+    body_insns: int = 0        # static body size (Table II "Num Insns")
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled kernel: the assembled program plus compiler metadata."""
+
+    program: Program
+    asm_text: str
+    loops: List[LoopInfo] = field(default_factory=list)
+    unit: Optional[Unit] = None
+
+    def entry(self, name="main"):
+        return self.program.entry(name)
+
+    def loop_kinds(self):
+        return tuple(l.mnemonic for l in self.loops)
+
+
+def compile_source(source, xloops=True, xi_enabled=True, sr_enabled=True,
+                   schedule_cirs=False, text_base=TEXT_BASE,
+                   data_base=DATA_BASE):
+    """Compile MiniC *source*; returns a :class:`CompiledProgram`."""
+    unit = parse(source)
+    sema = Sema(unit)
+    sema.run()
+    analyze_unit_loops(unit)
+
+    options = CodegenOptions(xloops=xloops, xi_enabled=xi_enabled,
+                             sr_enabled=sr_enabled,
+                             schedule_cirs=schedule_cirs)
+    text_lines: List[str] = ["    .text"]
+    data_lines: List[str] = []
+    loops: List[LoopInfo] = []
+    for func in unit.functions:
+        func._symbols = sema.symbols_of[func.name]
+        cg = FuncCodegen(func, unit, options)
+        lines, data = cg.run()
+        text_lines.extend(lines)
+        data_lines.extend(data)
+        for stmt in walk_stmts(func.body):
+            if isinstance(stmt, For) and stmt.annotation:
+                loops.append(LoopInfo(
+                    function=func.name, line=stmt.line,
+                    annotation=stmt.annotation,
+                    mnemonic=stmt.xloop.mnemonic,
+                    cirs=stmt.cir_names,
+                    dynamic_bound=stmt.bound_is_dynamic))
+
+    asm_text = "\n".join(text_lines)
+    if data_lines:
+        asm_text += "\n    .data\n" + "\n".join(
+            "    " + line if not line.rstrip().endswith(":") else line
+            for line in data_lines)
+    asm_text += "\n"
+    program = assemble(asm_text, text_base=text_base, data_base=data_base)
+    # static body sizes: pair each LoopInfo with an emitted xloop of the
+    # same mnemonic (nesting flips emission order vs. source order)
+    sizes_by_mnemonic = {}
+    for ins in program.instrs:
+        if ins.op.is_xloop:
+            sizes_by_mnemonic.setdefault(ins.mnemonic, []).append(
+                (ins.pc - ins.branch_target()) // 4)
+    for info in loops:
+        bucket = sizes_by_mnemonic.get(info.mnemonic)
+        if bucket:
+            info.body_insns = bucket.pop(0)
+    return CompiledProgram(program=program, asm_text=asm_text,
+                           loops=loops, unit=unit)

@@ -1,0 +1,98 @@
+"""Lexer for MiniC, the annotated C subset the XLOOPS compiler accepts.
+
+MiniC covers what the paper's application kernels need: ``int`` /
+``float`` / ``char`` scalars and pointers, fixed-size local arrays,
+``for`` / ``while`` / ``if`` / ``else``, the usual operators, function
+calls, AMO builtins, and ``#pragma xloops <annotation>`` directives
+(``unordered``, ``ordered``, ``atomic`` — paper Section II-B).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class CompileError(Exception):
+    """Raised for any front-end or back-end compilation failure."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+KEYWORDS = frozenset({
+    "void", "int", "float", "char", "if", "else", "for", "while",
+    "return", "break", "continue",
+})
+
+#: multi-char operators, longest first
+_OPERATORS = (
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<pragma>\#pragma[^\n]*)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>%s)
+""" % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE | re.DOTALL)
+
+
+@dataclass
+class Token:
+    kind: str          # 'int' | 'float' | 'char' | 'ident' | 'kw' |
+    #                    'op' | 'pragma' | 'eof'
+    text: str
+    line: int
+    value: object = None
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.text)
+
+
+def tokenize(source):
+    """Tokenize MiniC *source*; returns a list ending with an EOF token."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise CompileError("unexpected character %r" % source[pos], line)
+        text = m.group(0)
+        kind = m.lastgroup
+        if kind == "ws" or kind == "comment":
+            pass
+        elif kind == "pragma":
+            tokens.append(Token("pragma", text.strip(), line))
+        elif kind == "float":
+            literal = text.rstrip("fF")
+            tokens.append(Token("float", text, line, float(literal)))
+        elif kind == "int":
+            tokens.append(Token("int", text, line, int(text, 0)))
+        elif kind == "char":
+            body = text[1:-1]
+            value = ord(body.encode().decode("unicode_escape"))
+            tokens.append(Token("char", text, line, value))
+        elif kind == "ident":
+            tokens.append(Token(
+                "kw" if text in KEYWORDS else "ident", text, line))
+        else:
+            tokens.append(Token("op", text, line))
+        line += text.count("\n")
+        pos = m.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

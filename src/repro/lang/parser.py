@@ -1,0 +1,367 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (precedence climbing for expressions)::
+
+    unit      := function*
+    function  := type ident '(' params ')' block
+    block     := '{' stmt* '}'
+    stmt      := decl | if | while | for | return | break | continue
+               | assign/expr ';' | block
+    pragma    := '#pragma' 'xloops' ('unordered'|'ordered'|'atomic')
+
+Compound assignments (``+=`` etc.), ``++``/``--``, and ``for`` headers
+are desugared here so later passes see one canonical form.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+from .ast_nodes import (AddrOf, Assign, Binary, Break, Call, Cast, CHAR,
+                        Continue, Decl, Expr, ExprStmt, FLOAT, FloatLit,
+                        For, Function, If, Index, INT, IntLit, Param,
+                        Return, Stmt, Type, Unary, Unit, Var, VOID, While)
+from .lexer import CompileError, Token, tokenize
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+_ANNOTATIONS = ("unordered", "ordered", "atomic")
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self._pending_pragma: Optional[str] = None
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def tok(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind, text=None):
+        tok = self.tok
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        tok = self.accept(kind, text)
+        if tok is None:
+            raise CompileError(
+                "expected %s, got %r" % (text or kind, self.tok.text),
+                self.tok.line)
+        return tok
+
+    def _error(self, message):
+        raise CompileError(message, self.tok.line)
+
+    # -- pragmas ---------------------------------------------------------
+
+    def _take_pragmas(self):
+        while self.tok.kind == "pragma":
+            tok = self.advance()
+            parts = tok.text.split()
+            if len(parts) < 3 or parts[1] != "xloops":
+                raise CompileError("malformed pragma %r" % tok.text,
+                                   tok.line)
+            keyword = parts[2]
+            if keyword not in _ANNOTATIONS:
+                raise CompileError(
+                    "unknown xloops annotation %r (expected one of %s)"
+                    % (keyword, ", ".join(_ANNOTATIONS)), tok.line)
+            if self._pending_pragma is not None:
+                raise CompileError("duplicate #pragma xloops", tok.line)
+            self._pending_pragma = keyword
+
+    def _consume_pragma(self):
+        pragma, self._pending_pragma = self._pending_pragma, None
+        return pragma
+
+    # -- types ----------------------------------------------------------------
+
+    def _try_type(self):
+        tok = self.tok
+        if tok.kind == "kw" and tok.text in ("void", "int", "float", "char"):
+            self.advance()
+            ptr = 0
+            while self.accept("op", "*"):
+                ptr += 1
+            if ptr > 1:
+                self._error("only single-level pointers are supported")
+            return Type(tok.text, ptr)
+        return None
+
+    def _expect_type(self):
+        ty = self._try_type()
+        if ty is None:
+            self._error("expected a type")
+        return ty
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_unit(self):
+        unit = Unit()
+        self._take_pragmas()
+        if self._pending_pragma:
+            self._error("#pragma xloops must precede a for loop")
+        while self.tok.kind != "eof":
+            unit.functions.append(self._function())
+            self._take_pragmas()
+            if self._pending_pragma:
+                self._error("#pragma xloops must precede a for loop")
+        return unit
+
+    def _function(self):
+        line = self.tok.line
+        rtype = self._expect_type()
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            while True:
+                ptype = self._expect_type()
+                pname = self.expect("ident").text
+                if ptype == VOID:
+                    self._error("void parameter")
+                params.append(Param(ptype, pname))
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self._block()
+        return Function(name, rtype, params, body, line)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _block(self):
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            if self.tok.kind == "eof":
+                self._error("unterminated block")
+            stmts.extend(self._statement())
+        return stmts
+
+    def _statement(self):
+        """Parse one statement; returns a list (desugaring may split)."""
+        self._take_pragmas()
+        tok = self.tok
+        if self._pending_pragma and not (tok.kind == "kw"
+                                         and tok.text == "for"):
+            self._error("#pragma xloops must precede a for loop")
+        if tok.kind == "op" and tok.text == "{":
+            return self._block()
+        if tok.kind == "kw":
+            if tok.text in ("int", "float", "char", "void"):
+                return self._decl()
+            if tok.text == "if":
+                return [self._if()]
+            if tok.text == "while":
+                return [self._while()]
+            if tok.text == "for":
+                return [self._for()]
+            if tok.text == "return":
+                line = self.advance().line
+                value = None
+                if not self.accept("op", ";"):
+                    value = self._expr()
+                    self.expect("op", ";")
+                return [Return(line=line, value=value)]
+            if tok.text == "break":
+                line = self.advance().line
+                self.expect("op", ";")
+                return [Break(line=line)]
+            if tok.text == "continue":
+                line = self.advance().line
+                self.expect("op", ";")
+                return [Continue(line=line)]
+        return [self._simple_stmt(expect_semi=True)]
+
+    def _decl(self):
+        line = self.tok.line
+        ty = self._expect_type()
+        if ty == VOID:
+            self._error("cannot declare void variable")
+        name = self.expect("ident").text
+        if self.accept("op", "["):
+            size_tok = self.expect("int")
+            self.expect("op", "]")
+            self.expect("op", ";")
+            return [Decl(line=line, type=ty, name=name,
+                         array_size=size_tok.value)]
+        init = None
+        if self.accept("op", "="):
+            init = self._expr()
+        self.expect("op", ";")
+        return [Decl(line=line, type=ty, name=name, init=init)]
+
+    def _if(self):
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        then = self._statement_or_block()
+        orelse = []
+        if self.accept("kw", "else"):
+            orelse = self._statement_or_block()
+        return If(line=line, cond=cond, then=then, orelse=orelse)
+
+    def _while(self):
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        body = self._statement_or_block()
+        return While(line=line, cond=cond, body=body)
+
+    def _for(self):
+        pragma = self._consume_pragma()
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.accept("op", ";"):
+            if self.tok.kind == "kw" and self.tok.text in ("int", "float",
+                                                           "char"):
+                decls = self._decl()   # consumes ';'
+                init = decls[0]
+            else:
+                init = self._simple_stmt(expect_semi=True)
+        cond = None
+        if not self.accept("op", ";"):
+            cond = self._expr()
+            self.expect("op", ";")
+        step = None
+        if not self.accept("op", ")"):
+            step = self._simple_stmt(expect_semi=False)
+            self.expect("op", ")")
+        body = self._statement_or_block()
+        return For(line=line, init=init, cond=cond, step=step, body=body,
+                   annotation=pragma)
+
+    def _statement_or_block(self):
+        if self.tok.kind == "op" and self.tok.text == "{":
+            return self._block()
+        return self._statement()
+
+    def _simple_stmt(self, expect_semi):
+        """Assignment, ++/--, or bare expression."""
+        line = self.tok.line
+        expr = self._expr()
+        tok = self.tok
+        if tok.kind == "op" and tok.text == "=":
+            self.advance()
+            value = self._expr()
+            stmt = Assign(line=line, target=expr, value=value)
+        elif tok.kind == "op" and tok.text in _COMPOUND_OPS:
+            op = _COMPOUND_OPS[self.advance().text]
+            value = self._expr()
+            stmt = Assign(line=line, target=expr,
+                          value=Binary(line=line, op=op,
+                                       left=copy.deepcopy(expr),
+                                       right=value))
+        elif tok.kind == "op" and tok.text in ("++", "--"):
+            op = "+" if self.advance().text == "++" else "-"
+            stmt = Assign(line=line, target=expr,
+                          value=Binary(line=line, op=op,
+                                       left=copy.deepcopy(expr),
+                                       right=IntLit(line=line, value=1)))
+        else:
+            stmt = ExprStmt(line=line, expr=expr)
+        if expect_semi:
+            self.expect("op", ";")
+        return stmt
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, min_prec=1):
+        left = self._unary()
+        while True:
+            tok = self.tok
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._expr(prec + 1)
+            left = Binary(line=tok.line, op=tok.text, left=left,
+                          right=right)
+
+    def _unary(self):
+        tok = self.tok
+        if tok.kind == "op" and tok.text in ("-", "!", "~"):
+            self.advance()
+            return Unary(line=tok.line, op=tok.text,
+                         operand=self._unary())
+        if tok.kind == "op" and tok.text == "&":
+            self.advance()
+            return AddrOf(line=tok.line, operand=self._unary())
+        if tok.kind == "op" and tok.text == "(":
+            # cast or parenthesized expression
+            save = self.pos
+            self.advance()
+            ty = self._try_type()
+            if ty is not None and self.accept("op", ")"):
+                return Cast(line=tok.line, target=ty,
+                            operand=self._unary())
+            self.pos = save
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        while True:
+            if self.accept("op", "["):
+                sub = self._expr()
+                self.expect("op", "]")
+                expr = Index(line=expr.line, base=expr, subscript=sub)
+            else:
+                return expr
+
+    def _primary(self):
+        tok = self.tok
+        if tok.kind == "int" or tok.kind == "char":
+            self.advance()
+            return IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "float":
+            self.advance()
+            return FloatLit(line=tok.line, value=tok.value)
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return Call(line=tok.line, name=tok.text, args=args)
+            return Var(line=tok.line, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            expr = self._expr()
+            self.expect("op", ")")
+            return expr
+        self._error("expected expression, got %r" % tok.text)
+
+
+def parse(source):
+    """Parse MiniC *source* into a :class:`Unit`."""
+    return Parser(source).parse_unit()

@@ -1,0 +1,7 @@
+"""Compiler analysis passes (dependence analysis, pattern selection)."""
+
+from .depend import (LinForm, MemAccess, analyze_loop, analyze_unit_loops,
+                     decompose, expr_key, has_cross_iteration_dep)
+
+__all__ = ["LinForm", "MemAccess", "analyze_loop", "analyze_unit_loops",
+           "decompose", "expr_key", "has_cross_iteration_dep"]

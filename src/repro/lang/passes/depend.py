@@ -1,0 +1,525 @@
+"""XLOOPS dependence analysis (paper Section II-B).
+
+For every ``#pragma xloops``-annotated ``for`` loop this pass:
+
+* validates the canonical counted-loop shape and the body's legality
+  for specialized execution (no ``break``/``return`` out of the loop,
+  no user-function calls inside the body);
+* identifies inter-iteration **register** dependences (CIRs) through
+  use-def scanning — scalars read before they are written in the body;
+* tests inter-iteration **memory** dependences with the classic zero-,
+  single-, and multiple-index-variable tests on array subscripts,
+  falling back conservatively when subscripts are not affine in the
+  induction variable;
+* detects **dynamic bounds** (the loop-bound variable is updated in
+  the body) and appends the ``.db`` control-dependence suffix;
+* selects the xloop encoding: ``unordered``->``uc``, ``atomic``->``ua``,
+  ``ordered``->``or``/``om``/``orm`` depending on which dependences are
+  present (programmers "need not specify whether this data-dependence
+  is through registers or memory or both").
+
+Annotates each ``For`` node in place (``xloop``, ``induction``,
+``cir_names``, ``bound_is_dynamic``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ...isa.xloops import ControlPattern, DataPattern, XLoopKind
+from ..ast_nodes import (AddrOf, Assign, Binary, Break, Call, Cast, Decl,
+                         Expr, ExprStmt, For, Function, If, Index, IntLit,
+                         Return, Unary, Var, While, walk_exprs)
+from ..lexer import CompileError
+from ..sema import AMO_BUILTINS, FLOAT_BUILTINS
+
+
+# ---------------------------------------------------------------------------
+# canonical expression keys (for symbolic comparison)
+# ---------------------------------------------------------------------------
+
+def expr_key(expr):
+    """Canonical string for structural comparison of expressions."""
+    if isinstance(expr, IntLit):
+        return "#%d" % expr.value
+    if isinstance(expr, Var):
+        return "v%d" % expr.symbol.sid
+    if isinstance(expr, Index):
+        return "ix(%s,%s)" % (expr_key(expr.base), expr_key(expr.subscript))
+    if isinstance(expr, Unary):
+        return "u%s(%s)" % (expr.op, expr_key(expr.operand))
+    if isinstance(expr, Cast):
+        return "c%s(%s)" % (expr.target, expr_key(expr.operand))
+    if isinstance(expr, Binary):
+        return "b%s(%s,%s)" % (expr.op, expr_key(expr.left),
+                               expr_key(expr.right))
+    if isinstance(expr, Call):
+        return "f%s(%s)" % (expr.name,
+                            ",".join(expr_key(a) for a in expr.args))
+    return "?%r" % (expr,)
+
+
+# ---------------------------------------------------------------------------
+# linear (affine) forms:  coef * i + const + sum(sym terms)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LinForm:
+    """``coef*i + const + syms`` where *coef* is an int or a canonical
+    key of a loop-invariant expression; ``syms`` is a sorted tuple of
+    (key, count) pairs.  ``affine`` is False when decomposition failed.
+    ``coef_expr`` keeps the AST of a symbolic coefficient so strength
+    reduction can materialize the stride (``addu.xi``)."""
+
+    affine: bool = True
+    coef: object = 0            # int | str
+    const: int = 0
+    syms: Tuple = ()
+    variant: bool = False       # offset references body-written symbols
+    coef_expr: Optional[Expr] = None
+
+    @classmethod
+    def non_affine(cls):
+        return cls(affine=False)
+
+
+def _merge_syms(a, b, sign=1):
+    counts = dict(a)
+    for key, cnt in b:
+        counts[key] = counts.get(key, 0) + sign * cnt
+    return tuple(sorted((k, c) for k, c in counts.items() if c))
+
+
+def _mentions(expr, ivar):
+    for node in walk_exprs(expr):
+        if isinstance(node, Var) and node.symbol == ivar:
+            return True
+    return False
+
+
+def _invariant_atom(expr, written):
+    """Treat an induction-free expression as an opaque offset term."""
+    if isinstance(expr, IntLit):
+        return LinForm(const=expr.value)
+    for node in walk_exprs(expr):
+        if isinstance(node, (Index, Call, AddrOf)):
+            return LinForm.non_affine()   # may read mutable memory
+    variant = any(isinstance(node, Var) and node.symbol in written
+                  for node in walk_exprs(expr))
+    return LinForm(syms=((expr_key(expr), 1),), variant=variant)
+
+
+def decompose(expr, ivar, written):
+    """Decompose *expr* into a :class:`LinForm` in terms of induction
+    symbol *ivar*.  *written* is the set of symbols assigned anywhere
+    in the loop body (anything mentioning them is iteration-variant)."""
+    if not _mentions(expr, ivar):
+        return _invariant_atom(expr, written)
+    if isinstance(expr, Var):          # must be the induction variable
+        return LinForm(coef=1)
+    if isinstance(expr, Unary) and expr.op == "-":
+        inner = decompose(expr.operand, ivar, written)
+        if not inner.affine or not isinstance(inner.coef, int):
+            return LinForm.non_affine()
+        return LinForm(coef=-inner.coef, const=-inner.const,
+                       syms=_merge_syms((), inner.syms, -1),
+                       variant=inner.variant)
+    if isinstance(expr, Binary) and expr.op in ("+", "-"):
+        left = decompose(expr.left, ivar, written)
+        right = decompose(expr.right, ivar, written)
+        if not (left.affine and right.affine):
+            return LinForm.non_affine()
+        sign = 1 if expr.op == "+" else -1
+        if isinstance(left.coef, int) and isinstance(right.coef, int):
+            coef = left.coef + sign * right.coef
+            coef_expr = None
+        elif right.coef == 0:
+            coef, coef_expr = left.coef, left.coef_expr
+        elif left.coef == 0 and sign == 1:
+            coef, coef_expr = right.coef, right.coef_expr
+        else:
+            return LinForm.non_affine()
+        return LinForm(coef=coef, const=left.const + sign * right.const,
+                       syms=_merge_syms(left.syms, right.syms, sign),
+                       variant=left.variant or right.variant,
+                       coef_expr=coef_expr)
+    if isinstance(expr, Binary) and expr.op in ("*", "<<"):
+        left = decompose(expr.left, ivar, written)
+        right = decompose(expr.right, ivar, written)
+        if not (left.affine and right.affine):
+            return LinForm.non_affine()
+        if expr.op == "<<":
+            if right.coef != 0 or right.syms or right.variant:
+                return LinForm.non_affine()
+            right = LinForm(const=1 << right.const)
+        # pure-integer-constant side scales the other
+        for a, b in ((left, right), (right, left)):
+            if a.coef == 0 and not a.syms:
+                c = a.const
+                if isinstance(b.coef, int):
+                    coef, coef_expr = b.coef * c, None
+                elif c == 1:
+                    coef, coef_expr = b.coef, b.coef_expr
+                else:
+                    return LinForm.non_affine()
+                return LinForm(coef=coef, const=b.const * c,
+                               syms=tuple((k, n * c) for k, n in b.syms),
+                               variant=b.variant, coef_expr=coef_expr)
+        # invariant * i  (e.g. i*n): symbolic coefficient
+        if not _mentions(expr.left, ivar):
+            inv_expr, ivar_form = expr.left, right
+        else:
+            inv_expr, ivar_form = expr.right, left
+        if (ivar_form.coef == 1 and not ivar_form.syms
+                and ivar_form.const == 0):
+            atom = _invariant_atom(inv_expr, written)
+            if atom.affine and not atom.variant:
+                return LinForm(coef=expr_key(inv_expr),
+                               coef_expr=inv_expr)
+        return LinForm.non_affine()
+    return LinForm.non_affine()
+
+
+# ---------------------------------------------------------------------------
+# body scanning
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MemAccess:
+    base_sid: int
+    base_name: str
+    form: LinForm
+    is_write: bool
+    is_amo: bool
+    line: int
+
+
+class _BodyScan:
+    """Collect scalar and memory access information from a loop body."""
+
+    def __init__(self, ivar):
+        self.ivar = ivar
+        self.read_first: Set = set()
+        self.written: Set = set()
+        self.declared_inside: Set = set()
+        self.mem: List[MemAccess] = []
+        self.has_break = False
+        self.has_return = False
+        self.calls: List[str] = []
+        self.nested_annotated: List[For] = []
+        self._loop_depth = 0
+
+    # -- statement walk (tracks definitely-written scalars per path) -------
+
+    def scan(self, stmts):
+        self._stmts(stmts, set())
+
+    def _stmts(self, stmts, definite):
+        for stmt in stmts:
+            self._stmt(stmt, definite)
+
+    def _stmt(self, stmt, definite):
+        if isinstance(stmt, Decl):
+            self.declared_inside.add(stmt.symbol)
+            if stmt.init is not None:
+                self._expr(stmt.init, definite)
+            self._write(stmt.symbol, definite)
+        elif isinstance(stmt, Assign):
+            self._expr(stmt.value, definite)
+            target = stmt.target
+            if isinstance(target, Var):
+                self._write(target.symbol, definite)
+            else:
+                self._expr(target.subscript, definite)
+                self._expr(target.base, definite)
+                self._mem(target, is_write=True)
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr, definite)
+        elif isinstance(stmt, If):
+            self._expr(stmt.cond, definite)
+            then_set = set(definite)
+            else_set = set(definite)
+            self._stmts(stmt.then, then_set)
+            self._stmts(stmt.orelse, else_set)
+            definite |= (then_set & else_set)
+        elif isinstance(stmt, While):
+            self._expr(stmt.cond, definite)
+            inner = set(definite)
+            self._loop_depth += 1
+            self._stmts(stmt.body, inner)   # may run zero times
+            self._loop_depth -= 1
+            self._expr(stmt.cond, definite)
+        elif isinstance(stmt, For):
+            if stmt.annotation:
+                self.nested_annotated.append(stmt)
+            if stmt.init is not None:
+                self._stmt(stmt.init, definite)
+            if stmt.cond is not None:
+                self._expr(stmt.cond, definite)
+            inner = set(definite)
+            self._loop_depth += 1
+            self._stmts(stmt.body, inner)
+            self._loop_depth -= 1
+            if stmt.step is not None:
+                self._stmt(stmt.step, inner)
+        elif isinstance(stmt, Break):
+            if self._loop_depth == 0:
+                self.has_break = True
+        elif isinstance(stmt, Return):
+            self.has_return = True
+            if stmt.value is not None:
+                self._expr(stmt.value, definite)
+
+    def _write(self, sym, definite):
+        self.written.add(sym)
+        definite.add(sym)
+
+    def _read(self, sym, definite):
+        if sym not in definite and sym not in self.read_first:
+            self.read_first.add(sym)
+
+    def _expr(self, expr, definite):
+        if expr is None:
+            return
+        if isinstance(expr, Var):
+            if expr.symbol.in_register:
+                self._read(expr.symbol, definite)
+            return
+        if isinstance(expr, Index):
+            self._expr(expr.base, definite)
+            self._expr(expr.subscript, definite)
+            self._mem(expr, is_write=False)
+            return
+        if isinstance(expr, Call):
+            if expr.name in AMO_BUILTINS:
+                target = expr.args[0]
+                if isinstance(target, AddrOf):
+                    inner = target.operand
+                    self._expr(inner.base, definite)
+                    self._expr(inner.subscript, definite)
+                    self._mem(inner, is_write=True, is_amo=True)
+                else:
+                    self._expr(target, definite)
+                    # pointer-typed AMO target: unknown location
+                    self.mem.append(MemAccess(
+                        base_sid=-1, base_name="<ptr>",
+                        form=LinForm.non_affine(), is_write=True,
+                        is_amo=True, line=expr.line))
+                self._expr(expr.args[1], definite)
+                return
+            if expr.name not in FLOAT_BUILTINS:
+                self.calls.append(expr.name)
+            for a in expr.args:
+                self._expr(a, definite)
+            return
+        for name in ("operand", "left", "right"):
+            child = getattr(expr, name, None)
+            if isinstance(child, Expr):
+                self._expr(child, definite)
+
+    def _mem(self, index_node, is_write, is_amo=False):
+        base = index_node.base
+        sid = base.symbol.sid if isinstance(base, Var) else -1
+        name = base.symbol.name if isinstance(base, Var) else "<expr>"
+        form = decompose(index_node.subscript, self.ivar, self.written)
+        self.mem.append(MemAccess(sid, name, form, is_write, is_amo,
+                                  index_node.line))
+
+
+# ---------------------------------------------------------------------------
+# dependence tests (ZIV / strong SIV / conservative MIV)
+# ---------------------------------------------------------------------------
+
+def has_cross_iteration_dep(a, b):
+    """True when accesses *a*, *b* (same array, at least one a write)
+    may touch the same location in different iterations."""
+    fa, fb = a.form, b.form
+    if not fa.affine or not fb.affine or fa.variant or fb.variant:
+        return True
+    if fa.syms != fb.syms:
+        return True                      # differing symbolic offsets
+    delta = fa.const - fb.const
+    if fa.coef == fb.coef:
+        if fa.coef == 0:
+            # ZIV: loop-invariant location
+            return delta == 0            # same location every iteration
+        if delta == 0:
+            return False                 # strong SIV, distance 0
+        if isinstance(fa.coef, int):
+            return delta % fa.coef == 0  # integer dependence distance
+        return True                      # symbolic stride: conservative
+    return True                          # weak SIV/MIV: conservative
+
+
+# ---------------------------------------------------------------------------
+# the pass
+# ---------------------------------------------------------------------------
+
+def _canonical_loop(loop):
+    """Extract (induction symbol, bound expr) or raise."""
+    init = loop.init
+    if isinstance(init, Decl):
+        ivar = init.symbol
+    elif isinstance(init, Assign) and isinstance(init.target, Var):
+        ivar = init.target.symbol
+    else:
+        raise CompileError(
+            "xloops loop needs 'i = start' or 'int i = start' init",
+            loop.line)
+    cond = loop.cond
+    if not (isinstance(cond, Binary) and cond.op == "<"
+            and isinstance(cond.left, Var)
+            and cond.left.symbol == ivar):
+        raise CompileError("xloops loop condition must be 'i < bound'",
+                           loop.line)
+    step = loop.step
+    ok = (isinstance(step, Assign) and isinstance(step.target, Var)
+          and step.target.symbol == ivar
+          and isinstance(step.value, Binary) and step.value.op == "+"
+          and isinstance(step.value.left, Var)
+          and step.value.left.symbol == ivar
+          and isinstance(step.value.right, IntLit)
+          and step.value.right.value == 1)
+    if not ok:
+        raise CompileError("xloops loop step must be 'i++' (unit stride; "
+                           "normalize the loop)", loop.line)
+    return ivar, cond.right
+
+
+def analyze_loop(loop, function):
+    """Classify one annotated loop; annotates the For node in place."""
+    ivar, bound = _canonical_loop(loop)
+    scan = _BodyScan(ivar)
+    scan.scan(loop.body)
+
+    # break selects the data-dependent-exit control pattern (the
+    # .de extension; the paper's ISA left this to future work)
+    has_exit = scan.has_break
+    if scan.has_return:
+        raise CompileError("return inside an xloops loop", loop.line)
+    if scan.calls:
+        raise CompileError(
+            "call to %r inside an xloops loop body (bodies must be "
+            "self-contained for the LPSU instruction buffer)"
+            % scan.calls[0], loop.line)
+    for sym in scan.declared_inside:
+        if sym.is_array:
+            raise CompileError(
+                "local array %r inside an xloops loop body would be "
+                "shared across LPSU lanes; use a per-iteration slice "
+                "of a buffer parameter instead" % sym.name, loop.line)
+
+    # dynamic bound: the bound variable is updated inside the body
+    dynamic = (isinstance(bound, Var) and bound.symbol in scan.written)
+    bound_sym = bound.symbol if isinstance(bound, Var) else None
+    if dynamic and has_exit:
+        raise CompileError(
+            "a loop cannot combine a dynamic bound with a "
+            "data-dependent exit", loop.line)
+
+    cirs = (scan.read_first & scan.written) - {ivar}
+    if bound_sym is not None:
+        cirs.discard(bound_sym)
+
+    # register live-out discipline: outside-declared scalars written in
+    # the body must be CIRs (everything else is undefined after an
+    # xloop finishes -- Section II-A)
+    outside_written = {
+        s for s in scan.written
+        if s not in scan.declared_inside and s != ivar
+        and s != bound_sym and s.in_register}
+    bad = outside_written - cirs
+
+    annotation = loop.annotation
+    # In a .de loop the exiting iteration's register state is
+    # architecturally live-out (the LMU copies the exiting lane's
+    # body-written registers back, generalizing the paper's CIR
+    # copy-back), so outside-declared written scalars are permitted.
+    # Contract: such scalars must be written either unconditionally
+    # every iteration or only by the iteration that breaks; otherwise
+    # their post-loop value is undefined.
+    if annotation in ("unordered", "atomic"):
+        if cirs:
+            raise CompileError(
+                "scalar(s) %s carry values across iterations of an "
+                "'%s' loop; use 'ordered', an AMO, or privatize"
+                % (sorted(c.name for c in cirs), annotation), loop.line)
+        if bad and not has_exit:
+            raise CompileError(
+                "scalar(s) %s written in an '%s' loop body are undefined "
+                "after the loop; declare them inside the loop"
+                % (sorted(b.name for b in bad), annotation), loop.line)
+        data = DataPattern.UC if annotation == "unordered" else \
+            DataPattern.UA
+    else:  # ordered
+        if bad and not has_exit:
+            raise CompileError(
+                "scalar(s) %s written in the loop body are neither CIRs "
+                "nor loop-local; declare them inside the loop"
+                % sorted(b.name for b in bad), loop.line)
+        has_reg = bool(cirs)
+        has_mem = _memory_dependence(scan)
+        if has_reg and has_mem:
+            data = DataPattern.ORM
+        elif has_reg:
+            data = DataPattern.OR
+        elif has_mem:
+            data = DataPattern.OM
+        else:
+            # least-restrictive legal encoding (Section II-A)
+            data = DataPattern.UC
+
+    if has_exit:
+        control = ControlPattern.DATA_DEPENDENT_EXIT
+    elif dynamic:
+        control = ControlPattern.DYNAMIC_BOUND
+    else:
+        control = ControlPattern.FIXED
+    loop.xloop = XLoopKind(data, control)
+    loop.induction = ivar
+    loop.bound_is_dynamic = dynamic
+    loop.cir_names = tuple(sorted(c.name for c in cirs))
+    loop.cir_symbols = tuple(sorted(cirs, key=lambda s: s.sid))
+    return loop
+
+
+def _memory_dependence(scan):
+    writes = [m for m in scan.mem if m.is_write and not m.is_amo]
+    reads_writes = [m for m in scan.mem if not m.is_amo]
+    for w in writes:
+        for other in reads_writes:
+            if other is w:
+                continue
+            if w.base_sid != other.base_sid:
+                continue   # distinct arrays never alias (restrict)
+            if has_cross_iteration_dep(w, other):
+                return True
+        # a write can also conflict with itself across iterations
+        if w.form.affine and not w.form.variant and w.form.coef == 0:
+            return True    # same invariant location stored every iter
+        if not w.form.affine or w.form.variant:
+            return True
+    return False
+
+
+def analyze_unit_loops(unit):
+    """Run the loop analysis over every annotated loop in the unit."""
+    for func in unit.functions:
+        _walk(func.body, func)
+    return unit
+
+
+def _walk(stmts, func):
+    for stmt in stmts:
+        if isinstance(stmt, For):
+            if stmt.annotation:
+                analyze_loop(stmt, func)
+            if stmt.init is not None:
+                pass
+            _walk(stmt.body, func)
+        elif isinstance(stmt, If):
+            _walk(stmt.then, func)
+            _walk(stmt.orelse, func)
+        elif isinstance(stmt, While):
+            _walk(stmt.body, func)

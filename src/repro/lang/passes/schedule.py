@@ -1,0 +1,342 @@
+"""CIR-aware instruction scheduling (paper Section IV-G, automated).
+
+The performance of an ``xloop.or`` is limited by the *inter-iteration
+critical path*: the distance between the first instruction that reads a
+cross-iteration register and the last instruction that updates it.  The
+paper shortens this path by hand ("Future work can improve the XLOOPS
+compiler to schedule instructions more optimally"); this pass does it
+automatically.
+
+It list-schedules each basic block inside an annotated loop body,
+giving priority to the backward dataflow slice of the CIR updates so
+that CIR-producing work issues as early as dependences allow and
+CIR-independent work (output stores, next-row error distribution...)
+sinks below the last CIR write.
+
+The pass runs on virtual-register assembly *before* register
+allocation, so no false dependences from register reuse constrain it.
+Memory operations conservatively keep their relative order; control
+flow pins block boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ...isa.instructions import OPS
+from ..vasm import VInstr
+
+
+def _is_barrier(ins):
+    """Instructions that end a basic block (or must not move)."""
+    if ins.is_label:
+        return True
+    spec = OPS.get(ins.mn)
+    if spec is None:
+        return ins.mn not in ("li", "la", "mv")
+    return spec.is_control or spec.is_fence
+
+
+def _is_mem(ins):
+    spec = OPS.get(ins.mn)
+    return spec is not None and spec.is_mem
+
+
+def _blocks(instrs):
+    """Split [instrs] into runs of schedulable instructions.  Yields
+    (start, end) half-open index ranges containing no labels/branches."""
+    start = None
+    for i, ins in enumerate(instrs):
+        if _is_barrier(ins):
+            if start is not None and i - start > 1:
+                yield (start, i)
+            start = None
+        elif start is None:
+            start = i
+    if start is not None and len(instrs) - start > 1:
+        yield (start, len(instrs))
+
+
+def _build_dag(block):
+    """Dependence edges (i -> j means i must precede j).  Returns
+    (preds, data_preds): *preds* carries every legality edge
+    (RAW/WAR/WAW/memory order); *data_preds* carries only RAW value
+    flow, which is what the criticality slice must follow (an
+    anti-dependence does not make its source part of the CIR
+    computation)."""
+    n = len(block)
+    preds: List[Set[int]] = [set() for _ in range(n)]
+    data_preds: List[Set[int]] = [set() for _ in range(n)]
+    last_def: Dict[Tuple, int] = {}
+    last_uses: Dict[Tuple, List[int]] = {}
+    last_mem = None
+    for j, ins in enumerate(block):
+        for r in ins.uses():
+            d = last_def.get(r)
+            if d is not None:
+                preds[j].add(d)            # RAW
+                data_preds[j].add(d)
+            last_uses.setdefault(r, []).append(j)
+        for r in ins.defs():
+            d = last_def.get(r)
+            if d is not None:
+                preds[j].add(d)            # WAW
+            for u in last_uses.get(r, ()):
+                if u != j:
+                    preds[j].add(u)        # WAR
+            last_def[r] = j
+            last_uses[r] = []
+        if _is_mem(block[j]):
+            if last_mem is not None:
+                preds[j].add(last_mem)     # conservative mem chain
+            last_mem = j
+    return preds, data_preds
+
+
+def _critical_set(block, preds, cir_vregs):
+    """Backward slice from instructions defining a CIR vreg."""
+    critical = set()
+    work = [j for j, ins in enumerate(block)
+            if any(r in cir_vregs for r in ins.defs())]
+    while work:
+        j = work.pop()
+        if j in critical:
+            continue
+        critical.add(j)
+        work.extend(preds[j])
+    return critical
+
+
+def _schedule_block(block, cir_vregs):
+    """Return a new ordering of *block* (list of VInstr)."""
+    preds, data_preds = _build_dag(block)
+    critical = _critical_set(block, data_preds, cir_vregs)
+    if not critical or len(critical) == len(block):
+        return block
+    n = len(block)
+    succs: List[Set[int]] = [set() for _ in range(n)]
+    indeg = [0] * n
+    for j, ps in enumerate(preds):
+        indeg[j] = len(ps)
+        for p in ps:
+            succs[p].add(j)
+    ready = sorted(j for j in range(n) if indeg[j] == 0)
+    order = []
+    while ready:
+        # critical instructions first; ties broken by original order
+        ready.sort(key=lambda j: (j not in critical, j))
+        j = ready.pop(0)
+        order.append(j)
+        for s in succs[j]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    assert len(order) == n, "scheduling dropped instructions"
+    return [block[j] for j in order]
+
+
+def schedule_xloop_bodies(instrs, xloop_regions, cir_vregs_by_region):
+    """Reschedule each xloop body region in *instrs*.
+
+    *xloop_regions* is a list of (start, end) index pairs (the body
+    label through the xloop instruction), and *cir_vregs_by_region*
+    maps each region to the set of vreg operands holding CIRs.
+    Returns a new instruction list (same length).
+    """
+    out = list(instrs)
+    for region, cir_vregs in zip(xloop_regions, cir_vregs_by_region):
+        if not cir_vregs:
+            continue
+        lo, hi = region
+        for bs, be in _blocks(out[lo:hi + 1]):
+            block = out[lo + bs:lo + be]
+            out[lo + bs:lo + be] = _schedule_block(block, cir_vregs)
+    return out
+
+
+def cir_write_span(instrs, region, cir_vregs):
+    """Diagnostic: (first CIR read index, last CIR write index) within
+    a region — the quantity the scheduler minimizes."""
+    lo, hi = region
+    first_read = None
+    last_write = None
+    for i in range(lo, hi + 1):
+        ins = instrs[i]
+        if ins.is_label:
+            continue
+        if first_read is None and any(r in cir_vregs
+                                      for r in ins.uses()):
+            first_read = i
+        if any(r in cir_vregs for r in ins.defs()):
+            last_write = i
+    return first_read, last_write
+
+
+# ---------------------------------------------------------------------------
+# statement-level scheduling (AST): hoist the CIR-critical slice of an
+# annotated loop body above CIR-independent statements (output stores,
+# error distribution...) -- the granularity at which the paper's hand
+# optimizations operate.
+# ---------------------------------------------------------------------------
+
+from ..ast_nodes import (AddrOf, Assign, Break, Call, Continue, Decl,
+                         Expr, ExprStmt, For, If, Index, Return, Var,
+                         While, walk_exprs)
+from ..sema import AMO_BUILTINS
+
+
+class _StmtEffects:
+    """Scalar reads/writes + memory effects of one statement subtree."""
+
+    __slots__ = ("reads", "writes", "mem_read", "mem_write", "barrier")
+
+    def __init__(self):
+        self.reads = set()
+        self.writes = set()
+        self.mem_read = False
+        self.mem_write = False
+        self.barrier = False
+
+
+def _collect_expr(expr, fx):
+    for node in walk_exprs(expr):
+        if isinstance(node, Var) and node.symbol.in_register:
+            fx.reads.add(node.symbol)
+        elif isinstance(node, Index):
+            fx.mem_read = True
+        elif isinstance(node, Call):
+            if node.name in AMO_BUILTINS:
+                fx.mem_read = fx.mem_write = True
+            else:
+                fx.barrier = True   # user calls never appear in xloops
+
+
+def _collect_stmt(stmt, fx):
+    if isinstance(stmt, Decl):
+        fx.writes.add(stmt.symbol)
+        if stmt.init is not None:
+            _collect_expr(stmt.init, fx)
+    elif isinstance(stmt, Assign):
+        _collect_expr(stmt.value, fx)
+        target = stmt.target
+        if isinstance(target, Var):
+            fx.writes.add(target.symbol)
+        else:
+            _collect_expr(target.base, fx)
+            _collect_expr(target.subscript, fx)
+            fx.mem_write = True
+    elif isinstance(stmt, ExprStmt):
+        _collect_expr(stmt.expr, fx)
+    elif isinstance(stmt, If):
+        _collect_expr(stmt.cond, fx)
+        for s in stmt.then:
+            _collect_stmt(s, fx)
+        for s in stmt.orelse:
+            _collect_stmt(s, fx)
+    elif isinstance(stmt, While):
+        _collect_expr(stmt.cond, fx)
+        for s in stmt.body:
+            _collect_stmt(s, fx)
+    elif isinstance(stmt, For):
+        for part in (stmt.init, stmt.step):
+            if part is not None:
+                _collect_stmt(part, fx)
+        if stmt.cond is not None:
+            _collect_expr(stmt.cond, fx)
+        for s in stmt.body:
+            _collect_stmt(s, fx)
+    elif isinstance(stmt, (Break, Continue, Return)):
+        fx.barrier = True
+
+
+def stmt_effects(stmt):
+    fx = _StmtEffects()
+    _collect_stmt(stmt, fx)
+    return fx
+
+
+def _contains_exit(stmt):
+    fx = stmt_effects(stmt)
+    return fx.barrier
+
+
+def reorder_loop_statements(body, cir_symbols):
+    """Reorder the top-level statements of an xloop body so the
+    CIR-critical dataflow slice issues as early as dependences allow.
+    Returns a new statement list (same members).
+
+    Statements containing break/continue/return act as barriers: no
+    statement moves across them (a break's side-effect visibility
+    would otherwise change).
+    """
+    if not cir_symbols:
+        return body
+    cirs = set(cir_symbols)
+
+    # split into runs at barrier statements
+    runs, current, out = [], [], []
+    for stmt in body:
+        if _contains_exit(stmt):
+            if current:
+                runs.append(current)
+            runs.append([stmt])     # the barrier, pinned
+            current = []
+        else:
+            current.append(stmt)
+    if current:
+        runs.append(current)
+
+    for chunk in runs:
+        if len(chunk) <= 1 or _contains_exit(chunk[0]):
+            out.extend(chunk)
+            continue
+        out.extend(_reorder_run(chunk, cirs))
+    return out
+
+
+def _reorder_run(stmts, cirs):
+    n = len(stmts)
+    effects = [stmt_effects(s) for s in stmts]
+    preds = [set() for _ in range(n)]
+    data_preds = [set() for _ in range(n)]
+    for j in range(n):
+        for i in range(j):
+            fi, fj = effects[i], effects[j]
+            if fi.writes & fj.reads:
+                preds[j].add(i)            # RAW: value flow
+                data_preds[j].add(i)
+            if fi.reads & fj.writes or fi.writes & fj.writes:
+                preds[j].add(i)            # WAR / WAW: legality only
+            if ((fi.mem_write and (fj.mem_read or fj.mem_write))
+                    or (fi.mem_read and fj.mem_write)):
+                preds[j].add(i)            # conservative memory order
+
+    # criticality follows only RAW value flow
+    critical = set()
+    work = [j for j in range(n) if effects[j].writes & cirs]
+    while work:
+        j = work.pop()
+        if j in critical:
+            continue
+        critical.add(j)
+        work.extend(data_preds[j])
+    if not critical or len(critical) == n:
+        return stmts
+
+    succs = [set() for _ in range(n)]
+    indeg = [len(p) for p in preds]
+    for j, ps in enumerate(preds):
+        for p in ps:
+            succs[p].add(j)
+    ready = [j for j in range(n) if indeg[j] == 0]
+    order = []
+    while ready:
+        ready.sort(key=lambda j: (j not in critical, j))
+        j = ready.pop(0)
+        order.append(j)
+        for s in succs[j]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    assert len(order) == n
+    return [stmts[j] for j in order]

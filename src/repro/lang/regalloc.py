@@ -1,0 +1,253 @@
+"""Linear-scan register allocation for the MiniC code generator.
+
+Design notes
+------------
+* The allocatable pool deliberately excludes the argument registers
+  (``a0-a7`` are only touched by ABI moves the codegen pins itself) and
+  two scratch registers (``t5``/``t6``) reserved for spill reloads.
+* Live intervals are conservative: an interval that is live into a loop
+  (defined before it, or whose first access inside the loop is a read)
+  is extended to cover the whole loop, which makes loop-carried values
+  safe under a single-pass linear scan.
+* Intervals that cross a call site are restricted to callee-saved
+  registers.
+* Spill slots live in the function frame.  A spill inside an
+  ``xloop`` body is a compile error: lanes of the LPSU would race on
+  the shared stack slot, so kernels must keep xloop bodies within the
+  physical register budget (the paper's kernels all do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .lexer import CompileError
+from .vasm import VInstr
+
+#: x5, x6, x7, x28, x29  (t0-t4)
+CALLER_POOL = (5, 6, 7, 28, 29)
+#: x8, x9, x18..x27      (s0-s11)
+CALLEE_POOL = (8, 9) + tuple(range(18, 28))
+#: a0-a7: usable in call-free functions, subject to ABI pinning rules
+ARG_POOL = tuple(range(10, 18))
+#: spill scratch registers (never allocated)
+SCRATCH = (30, 31)
+
+SP = 2
+
+
+@dataclass
+class Interval:
+    vreg: int
+    start: int
+    end: int
+    crosses_call: bool = False
+    reg: Optional[int] = None
+    spilled: bool = False
+    accesses: Tuple[int, ...] = ()   # def/use positions (spill checks)
+
+
+@dataclass
+class AllocationResult:
+    mapping: Dict[int, int]
+    instrs: List[VInstr]
+    spill_slots: Dict[int, int]
+    used_callee_saved: Tuple[int, ...]
+    spill_bytes: int
+
+
+def _accesses(instrs):
+    """Per-vreg ordered (position, is_def) access lists."""
+    acc: Dict[int, List[Tuple[int, bool]]] = {}
+    for pos, ins in enumerate(instrs):
+        for kind, num in ins.uses():
+            if kind == "v":
+                acc.setdefault(num, []).append((pos, False))
+        for kind, num in ins.defs():
+            if kind == "v":
+                acc.setdefault(num, []).append((pos, True))
+    return acc
+
+
+def _build_intervals(instrs, call_positions, loop_regions):
+    acc = _accesses(instrs)
+    intervals = {}
+    for v, events in acc.items():
+        start = min(p for p, _ in events)
+        end = max(p for p, _ in events)
+        intervals[v] = Interval(v, start, end,
+                                accesses=tuple(p for p, _ in events))
+
+    # loop-carried extension to a fixpoint (nested regions interact)
+    regions = sorted(loop_regions)
+    changed = True
+    while changed:
+        changed = False
+        for v, itv in intervals.items():
+            events = acc[v]
+            for lo, hi in regions:
+                inside = [(p, d) for p, d in events if lo <= p <= hi]
+                if not inside:
+                    continue
+                first_inside_is_use = not inside[0][1]
+                if itv.start < lo or first_inside_is_use:
+                    new_start = min(itv.start, lo)
+                    new_end = max(itv.end, hi)
+                    if (new_start, new_end) != (itv.start, itv.end):
+                        itv.start, itv.end = new_start, new_end
+                        changed = True
+
+    for itv in intervals.values():
+        itv.crosses_call = any(itv.start < c < itv.end
+                               for c in call_positions)
+    return intervals
+
+
+def allocate(instrs, call_positions=(), loop_regions=(),
+             xloop_regions=(), spill_base=0, num_params=0,
+             return_positions=()):
+    """Run linear scan; returns an :class:`AllocationResult`.
+
+    In call-free functions the argument registers join the caller-saved
+    pool, subject to ABI pinning: ``aK`` (K < num_params) only for
+    intervals starting after the entry parameter moves, and ``a0``
+    never across a return-value move."""
+    intervals = _build_intervals(instrs, call_positions, loop_regions)
+    order = sorted(intervals.values(), key=lambda i: (i.start, i.end))
+
+    free_caller = list(CALLER_POOL)
+    if not call_positions:
+        free_caller += list(ARG_POOL)
+    free_callee = list(CALLEE_POOL)
+    active: List[Interval] = []
+    used_callee = set()
+    callee_set = frozenset(CALLEE_POOL)
+
+    def eligible(reg, itv):
+        if reg in ARG_POOL:
+            k = reg - 10
+            if k < num_params and itv.start < num_params:
+                return False   # original aK still holds the parameter
+            if reg == 10 and any(itv.start < p < itv.end
+                                 for p in return_positions):
+                return False   # a0 is written by a return-value move
+        return True
+
+    def expire(now):
+        for itv in list(active):
+            if itv.end < now:
+                active.remove(itv)
+                (free_callee if itv.reg in callee_set
+                 else free_caller).append(itv.reg)
+
+    def take(itv):
+        pools = [free_callee] if itv.crosses_call else [free_caller,
+                                                        free_callee]
+        for pool in pools:
+            for i, reg in enumerate(pool):
+                if eligible(reg, itv):
+                    itv.reg = pool.pop(i)
+                    if itv.reg in callee_set:
+                        used_callee.add(itv.reg)
+                    active.append(itv)
+                    return True
+        return False
+
+    def accesses_xloop(itv):
+        return any(lo <= p <= hi for lo, hi in xloop_regions
+                   for p in itv.accesses)
+
+    spilled: List[Interval] = []
+    for itv in order:
+        expire(itv.start)
+        if take(itv):
+            continue
+        # steal a register: prefer victims not touched inside an xloop
+        # body (their spill code stays outside the body), then the one
+        # ending last
+        candidates = [a for a in active
+                      if a.end > itv.end
+                      and (not itv.crosses_call or a.reg in callee_set)
+                      and eligible(a.reg, itv)]
+        if candidates:
+            victim = max(candidates,
+                         key=lambda a: (not accesses_xloop(a), a.end))
+            itv.reg = victim.reg
+            victim.reg = None
+            victim.spilled = True
+            spilled.append(victim)
+            active.remove(victim)
+            active.append(itv)
+        else:
+            itv.spilled = True
+            spilled.append(itv)
+
+    # -- spill legality + slot assignment ---------------------------------
+    spill_slots: Dict[int, int] = {}
+    offset = spill_base
+    for itv in spilled:
+        for lo, hi in xloop_regions:
+            if any(lo <= p <= hi for p in itv.accesses):
+                raise CompileError(
+                    "register pressure too high inside an xloop body "
+                    "(virtual register v%d would spill; simplify the "
+                    "loop body)" % itv.vreg)
+        spill_slots[itv.vreg] = offset
+        offset += 4
+
+    mapping = {itv.vreg: itv.reg for itv in intervals.values()
+               if not itv.spilled}
+
+    out = _rewrite_spills(instrs, spill_slots) if spill_slots else instrs
+    return AllocationResult(mapping=mapping, instrs=out,
+                            spill_slots=spill_slots,
+                            used_callee_saved=tuple(sorted(used_callee)),
+                            spill_bytes=offset - spill_base)
+
+
+def _rewrite_spills(instrs, slots):
+    """Replace spilled vreg operands with scratch-register load/store
+    sequences around each instruction."""
+    out: List[VInstr] = []
+    for ins in instrs:
+        if ins.is_label:
+            out.append(ins)
+            continue
+        use_map = {}
+        scratch_iter = iter(SCRATCH)
+        pre: List[VInstr] = []
+        post: List[VInstr] = []
+        for operand in ins.uses():
+            kind, num = operand
+            if kind == "v" and num in slots and num not in use_map:
+                reg = ("p", next(scratch_iter))
+                use_map[num] = reg
+                pre.append(VInstr("lw", rd=reg, rs1=("p", SP),
+                                  imm=slots[num],
+                                  comment="reload v%d" % num))
+        def_map = {}
+        for operand in ins.defs():
+            kind, num = operand
+            if kind == "v" and num in slots:
+                reg = use_map.get(num) or ("p", SCRATCH[0])
+                def_map[num] = reg
+                post.append(VInstr("sw", rs2=reg, rs1=("p", SP),
+                                   imm=slots[num],
+                                   comment="spill v%d" % num))
+
+        def sub(operand):
+            if operand is None:
+                return None
+            kind, num = operand
+            if kind == "v" and num in slots:
+                return def_map.get(num) or use_map[num]
+            return operand
+
+        new = VInstr(ins.mn, rd=sub(ins.rd), rs1=sub(ins.rs1),
+                     rs2=sub(ins.rs2), imm=ins.imm, label=ins.label,
+                     comment=ins.comment)
+        out.extend(pre)
+        out.append(new)
+        out.extend(post)
+    return out

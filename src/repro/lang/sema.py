@@ -1,0 +1,344 @@
+"""Semantic analysis for MiniC: scoped symbol resolution and type
+checking.  Annotates the AST in place (``Var.symbol``, ``Expr.type``)
+for the dependence analysis and code generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ast_nodes import (AddrOf, Assign, Binary, Break, Call, Cast, CHAR,
+                        Continue, Decl, Expr, ExprStmt, FLOAT, FloatLit,
+                        For, Function, If, Index, INT, IntLit, Return,
+                        Type, Unary, Unit, Var, VOID, While)
+from .lexer import CompileError
+
+#: builtins: name -> (param types or None for AMO pointer, return type)
+AMO_BUILTINS = {
+    "amo_add": "amo.add", "amo_and": "amo.and", "amo_or": "amo.or",
+    "amo_xor": "amo.xor", "amo_min": "amo.min", "amo_max": "amo.max",
+    "amo_xchg": "amo.xchg",
+}
+FLOAT_BUILTINS = {"sqrtf": 1}
+
+_ARITH_OPS = frozenset("+-*/%")
+_BITWISE_OPS = frozenset({"&", "|", "^", "<<", ">>"})
+_COMPARE_OPS = frozenset({"<", ">", "<=", ">=", "==", "!="})
+_LOGICAL_OPS = frozenset({"&&", "||"})
+
+
+@dataclass
+class Symbol:
+    """One resolved variable."""
+
+    name: str
+    type: Type
+    sid: int
+    is_param: bool = False
+    is_array: bool = False
+    array_size: int = 0
+
+    @property
+    def in_register(self):
+        """Scalars live in registers; local arrays live on the stack."""
+        return not self.is_array
+
+    def __hash__(self):
+        return self.sid
+
+    def __eq__(self, other):
+        return isinstance(other, Symbol) and self.sid == other.sid
+
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names: Dict[str, Symbol] = {}
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, symbol, line):
+        if symbol.name in self.names:
+            raise CompileError("redeclaration of %r" % symbol.name, line)
+        self.names[symbol.name] = symbol
+
+
+class Sema:
+    """Run semantic analysis over a :class:`Unit`."""
+
+    def __init__(self, unit):
+        self.unit = unit
+        self._next_sid = 0
+        self._functions = {f.name: f for f in unit.functions}
+        self.symbols_of: Dict[str, List[Symbol]] = {}
+
+    def run(self):
+        for func in self.unit.functions:
+            self._function(func)
+        return self.unit
+
+    # ------------------------------------------------------------------
+
+    def _new_symbol(self, name, ty, **kw):
+        sym = Symbol(name, ty, self._next_sid, **kw)
+        self._next_sid += 1
+        return sym
+
+    def _function(self, func):
+        scope = _Scope()
+        self._current = func
+        self._fn_symbols: List[Symbol] = []
+        if len(func.params) > 8:
+            raise CompileError("more than 8 parameters", func.line)
+        for p in func.params:
+            sym = self._new_symbol(p.name, p.type, is_param=True)
+            scope.declare(sym, func.line)
+            self._fn_symbols.append(sym)
+        self._stmts(func.body, scope)
+        self.symbols_of[func.name] = self._fn_symbols
+
+    def _stmts(self, stmts, scope):
+        inner = _Scope(scope)
+        for stmt in stmts:
+            self._stmt(stmt, inner)
+
+    def _stmt(self, stmt, scope):
+        if isinstance(stmt, Decl):
+            self._decl(stmt, scope)
+        elif isinstance(stmt, Assign):
+            self._assign(stmt, scope)
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr, scope)
+        elif isinstance(stmt, If):
+            self._cond(stmt.cond, scope, stmt.line)
+            self._stmts(stmt.then, scope)
+            self._stmts(stmt.orelse, scope)
+        elif isinstance(stmt, While):
+            self._cond(stmt.cond, scope, stmt.line)
+            self._stmts(stmt.body, scope)
+        elif isinstance(stmt, For):
+            loop_scope = _Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, loop_scope)
+            if stmt.cond is not None:
+                self._cond(stmt.cond, loop_scope, stmt.line)
+            body_scope = _Scope(loop_scope)
+            for s in stmt.body:
+                self._stmt(s, body_scope)
+            if stmt.step is not None:
+                self._stmt(stmt.step, loop_scope)
+        elif isinstance(stmt, Return):
+            rt = self._current.return_type
+            if stmt.value is None:
+                if rt != VOID:
+                    raise CompileError("missing return value", stmt.line)
+            else:
+                vt = self._expr(stmt.value, scope)
+                self._check_compatible(rt, vt, stmt.line, "return")
+        elif isinstance(stmt, (Break, Continue)):
+            pass
+        else:  # pragma: no cover
+            raise CompileError("unknown statement %r" % stmt, stmt.line)
+
+    def _decl(self, stmt, scope):
+        if stmt.array_size is not None:
+            if stmt.type.is_pointer:
+                raise CompileError("array of pointers unsupported",
+                                   stmt.line)
+            sym = self._new_symbol(stmt.name, Type(stmt.type.base, 1),
+                                   is_array=True,
+                                   array_size=stmt.array_size)
+        else:
+            sym = self._new_symbol(stmt.name, stmt.type)
+            if stmt.init is not None:
+                it = self._expr(stmt.init, scope)
+                self._coerce_literal(stmt, "init", stmt.type, it)
+                self._check_compatible(stmt.type,
+                                       stmt.init.type, stmt.line, "init")
+        scope.declare(sym, stmt.line)
+        stmt.symbol = sym
+        self._fn_symbols.append(sym)
+
+    def _assign(self, stmt, scope):
+        tt = self._lvalue(stmt.target, scope)
+        vt = self._expr(stmt.value, scope)
+        self._coerce_literal(stmt, "value", tt, vt)
+        self._check_compatible(tt, stmt.value.type, stmt.line,
+                               "assignment")
+
+    def _lvalue(self, expr, scope):
+        if isinstance(expr, Var):
+            ty = self._expr(expr, scope)
+            sym = expr.symbol
+            if sym.is_array:
+                raise CompileError("cannot assign to array %r" % sym.name,
+                                   expr.line)
+            return ty
+        if isinstance(expr, Index):
+            return self._expr(expr, scope)
+        raise CompileError("invalid assignment target", expr.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _cond(self, expr, scope, line):
+        if expr is None:
+            raise CompileError("missing condition", line)
+        ty = self._expr(expr, scope)
+        if ty == FLOAT:
+            raise CompileError("condition must be integer "
+                               "(compare floats explicitly)", line)
+
+    def _coerce_literal(self, owner, attr, target_ty, value_ty):
+        """Allow `float x = 0;` style integer literals in float slots."""
+        node = getattr(owner, attr)
+        if (target_ty == FLOAT and isinstance(node, IntLit)):
+            new = FloatLit(line=node.line, value=float(node.value))
+            new.type = FLOAT
+            setattr(owner, attr, new)
+
+    def _check_compatible(self, expected, got, line, what):
+        if expected == got:
+            return
+        # char and int interconvert freely (loads widen, stores truncate)
+        ints = (INT, CHAR)
+        if expected in ints and got in ints:
+            return
+        raise CompileError("%s type mismatch: expected %s, got %s"
+                           % (what, expected, got), line)
+
+    def _expr(self, expr, scope):
+        ty = self._expr_inner(expr, scope)
+        expr.type = ty
+        return ty
+
+    def _expr_inner(self, expr, scope):
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, FloatLit):
+            return FLOAT
+        if isinstance(expr, Var):
+            sym = scope.lookup(expr.name)
+            if sym is None:
+                raise CompileError("undeclared variable %r" % expr.name,
+                                   expr.line)
+            expr.symbol = sym
+            return sym.type
+        if isinstance(expr, Index):
+            bt = self._expr(expr.base, scope)
+            if not bt.is_pointer:
+                raise CompileError("indexing non-pointer %s" % bt,
+                                   expr.line)
+            st = self._expr(expr.subscript, scope)
+            if st == FLOAT:
+                raise CompileError("array subscript must be integer",
+                                   expr.line)
+            elem = bt.deref()
+            return INT if elem == CHAR else elem
+        if isinstance(expr, Unary):
+            ot = self._expr(expr.operand, scope)
+            if expr.op == "-":
+                return ot
+            if ot == FLOAT:
+                raise CompileError("%r requires integer operand"
+                                   % expr.op, expr.line)
+            return INT
+        if isinstance(expr, Cast):
+            self._expr(expr.operand, scope)
+            if expr.target == VOID or expr.target.is_pointer:
+                raise CompileError("unsupported cast to %s"
+                                   % expr.target, expr.line)
+            return expr.target
+        if isinstance(expr, Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, Call):
+            return self._call(expr, scope)
+        if isinstance(expr, AddrOf):
+            raise CompileError("& only valid as an AMO builtin argument",
+                               expr.line)
+        raise CompileError("unknown expression %r" % expr,
+                           expr.line)  # pragma: no cover
+
+    def _binary(self, expr, scope):
+        lt = self._expr(expr.left, scope)
+        rt = self._expr(expr.right, scope)
+        # literal coercion for mixed float/int-literal arithmetic
+        if lt == FLOAT and isinstance(expr.right, IntLit):
+            self._coerce_literal(expr, "right", FLOAT, rt)
+            rt = FLOAT
+        if rt == FLOAT and isinstance(expr.left, IntLit):
+            self._coerce_literal(expr, "left", FLOAT, lt)
+            lt = FLOAT
+        op = expr.op
+        if op in _LOGICAL_OPS:
+            if FLOAT in (lt, rt):
+                raise CompileError("logical ops require integers",
+                                   expr.line)
+            return INT
+        if FLOAT in (lt, rt):
+            if lt != rt:
+                raise CompileError(
+                    "mixed int/float arithmetic needs an explicit cast",
+                    expr.line)
+            if op in _BITWISE_OPS or op == "%":
+                raise CompileError("%r undefined for float" % op,
+                                   expr.line)
+            return INT if op in _COMPARE_OPS else FLOAT
+        return INT
+
+    def _call(self, expr, scope):
+        name = expr.name
+        if name in AMO_BUILTINS:
+            if len(expr.args) != 2:
+                raise CompileError("%s(ptr, value) takes 2 arguments"
+                                   % name, expr.line)
+            target = expr.args[0]
+            if isinstance(target, AddrOf):
+                inner = target.operand
+                if not isinstance(inner, Index):
+                    raise CompileError(
+                        "AMO target must be &array[index]", expr.line)
+                it = self._expr(inner, scope)
+                if it == FLOAT or inner.base.type.deref() == CHAR:
+                    raise CompileError("AMO target must be int memory",
+                                       expr.line)
+                target.type = inner.base.type
+            else:
+                tt = self._expr(target, scope)
+                if not tt.is_pointer or tt.deref() != INT:
+                    raise CompileError("AMO target must be an int*",
+                                       expr.line)
+            vt = self._expr(expr.args[1], scope)
+            self._check_compatible(INT, vt, expr.line, name)
+            return INT
+        if name in FLOAT_BUILTINS:
+            if len(expr.args) != FLOAT_BUILTINS[name]:
+                raise CompileError("wrong arity for %s" % name, expr.line)
+            for a in expr.args:
+                if self._expr(a, scope) != FLOAT:
+                    raise CompileError("%s requires float" % name,
+                                       expr.line)
+            return FLOAT
+        func = self._functions.get(name)
+        if func is None:
+            raise CompileError("call to undefined function %r" % name,
+                               expr.line)
+        if len(expr.args) != len(func.params):
+            raise CompileError(
+                "%s expects %d arguments, got %d"
+                % (name, len(func.params), len(expr.args)), expr.line)
+        for arg, param in zip(expr.args, func.params):
+            at = self._expr(arg, scope)
+            self._check_compatible(param.type, at, expr.line,
+                                   "argument %r" % param.name)
+        return func.return_type
+
+
+def analyze(unit):
+    """Run sema over *unit* (annotates in place; returns it)."""
+    return Sema(unit).run()

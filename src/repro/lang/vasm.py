@@ -1,0 +1,127 @@
+"""Virtual-register assembly: the codegen's output representation.
+
+Operands are either virtual registers ``("v", n)`` (assigned by the
+register allocator) or physical registers ``("p", n)`` (ABI-pinned:
+argument moves, zero register, stack pointer).  After allocation the
+instructions render to textual XLOOPS assembly for the assembler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import OPS, Fmt
+from ..isa.registers import reg_name
+
+ZERO = ("p", 0)
+RA = ("p", 1)
+SP = ("p", 2)
+
+
+def vreg(n):
+    return ("v", n)
+
+
+def preg(n):
+    return ("p", n)
+
+
+@dataclass
+class VInstr:
+    """One virtual-register instruction (or label / raw directive)."""
+
+    mn: str                         # mnemonic, or "label:" pseudo
+    rd: Optional[Tuple] = None
+    rs1: Optional[Tuple] = None
+    rs2: Optional[Tuple] = None
+    imm: Optional[int] = None
+    label: Optional[str] = None     # branch/jump/la target or label name
+    is_label: bool = False
+    comment: Optional[str] = None
+
+    def defs(self):
+        if self.is_label:
+            return ()
+        spec = OPS.get(self.mn)
+        if self.mn in ("li", "la", "mv"):
+            return (self.rd,) if self.rd else ()
+        if spec is not None and spec.writes_rd and self.rd is not None:
+            return (self.rd,)
+        return ()
+
+    def uses(self):
+        if self.is_label:
+            return ()
+        out = []
+        if self.mn == "mv":
+            return (self.rs1,)
+        if self.mn in ("li", "la"):
+            return ()
+        spec = OPS.get(self.mn)
+        if spec is None:
+            return ()
+        fmt = spec.fmt
+        if fmt in (Fmt.R, Fmt.XI_R):
+            out = [self.rs1, self.rs2]
+        elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.XI_I,
+                     Fmt.R2):
+            out = [self.rs1]
+        elif fmt in (Fmt.STORE, Fmt.AMO, Fmt.BRANCH, Fmt.XLOOP):
+            out = [self.rs1, self.rs2]
+        return tuple(r for r in out if r is not None)
+
+    def render(self, mapping):
+        """Final assembly text given a vreg->physical mapping."""
+        def R(operand):
+            kind, num = operand
+            phys = num if kind == "p" else mapping[num]
+            return reg_name(phys)
+
+        if self.is_label:
+            return "%s:" % self.mn
+        m = self.mn
+        suffix = "    # %s" % self.comment if self.comment else ""
+        if m == "li":
+            return "    li %s, %d%s" % (R(self.rd), self.imm, suffix)
+        if m == "la":
+            return "    la %s, %s%s" % (R(self.rd), self.label, suffix)
+        if m == "mv":
+            return "    mv %s, %s%s" % (R(self.rd), R(self.rs1), suffix)
+        spec = OPS[m]
+        fmt = spec.fmt
+        if fmt in (Fmt.R, Fmt.XI_R):
+            body = "%s %s, %s, %s" % (m, R(self.rd), R(self.rs1),
+                                      R(self.rs2))
+        elif fmt == Fmt.R2:
+            body = "%s %s, %s" % (m, R(self.rd), R(self.rs1))
+        elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.XI_I):
+            body = "%s %s, %s, %d" % (m, R(self.rd), R(self.rs1),
+                                      self.imm)
+        elif fmt == Fmt.LOAD:
+            body = "%s %s, %d(%s)" % (m, R(self.rd), self.imm,
+                                      R(self.rs1))
+        elif fmt == Fmt.STORE:
+            body = "%s %s, %d(%s)" % (m, R(self.rs2), self.imm,
+                                      R(self.rs1))
+        elif fmt == Fmt.AMO:
+            body = "%s %s, %s, (%s)" % (m, R(self.rd), R(self.rs2),
+                                        R(self.rs1))
+        elif fmt in (Fmt.BRANCH, Fmt.XLOOP):
+            body = "%s %s, %s, %s" % (m, R(self.rs1), R(self.rs2),
+                                      self.label)
+        elif fmt == Fmt.JAL:
+            if spec.is_xbreak:
+                body = "%s %s" % (m, self.label)
+            else:
+                body = "%s %s, %s" % (m, R(self.rd), self.label)
+        elif fmt == Fmt.JALR:
+            body = "%s %s, %s, %d" % (m, R(self.rd), R(self.rs1),
+                                      self.imm)
+        elif fmt == Fmt.LUI:
+            body = "%s %s, %d" % (m, R(self.rd), self.imm)
+        elif fmt == Fmt.NONE:
+            body = m
+        else:  # pragma: no cover
+            raise ValueError("cannot render %r" % m)
+        return "    " + body + suffix

@@ -1,0 +1,11 @@
+"""Functional simulation substrate: sparse memory with AMOs and the
+instruction-set-level golden-model executor."""
+
+from .memory import (Memory, MASK32, to_u32, to_s32, f32_to_bits,
+                     bits_to_f32)
+from .functional import (FunctionalCore, StepInfo, SimError, execute,
+                         run_program, HALT_PC)
+
+__all__ = ["Memory", "MASK32", "to_u32", "to_s32", "f32_to_bits",
+           "bits_to_f32", "FunctionalCore", "StepInfo", "SimError",
+           "execute", "run_program", "HALT_PC"]

@@ -1,0 +1,300 @@
+"""Functional (instruction-set level) executor — the golden model.
+
+Semantics are factored as per-mnemonic handlers operating on a register
+file, a memory *interface*, and a PC, so that the same handlers drive:
+
+* the GPP functional core (traditional execution, trace generation for
+  the timing models), and
+* the LPSU lanes (which substitute an LSQ-backed memory interface and a
+  private register file during specialized execution).
+
+Traditional-execution semantics for the XLOOPS extensions follow the
+paper (Section II-C): ``xloop.*`` behaves as a conditional backward
+branch (taken while index < bound) and ``*.xi`` behaves as a plain add.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import OPS, Fmt, Instr
+from .memory import (MASK32, Memory, bits_to_f32, f32_to_bits, to_s32,
+                     to_u32)
+
+#: jumping here terminates execution (the harness seeds ra with it)
+HALT_PC = 0x0000_0BAD & ~3
+
+
+class SimError(Exception):
+    """Functional-simulation failure (bad fetch, unimplemented op...)."""
+
+
+class StepInfo:
+    """Per-instruction record handed to timing models."""
+
+    __slots__ = ("instr", "pc", "next_pc", "taken", "addr")
+
+    def __init__(self, instr, pc, next_pc, taken, addr):
+        self.instr = instr
+        self.pc = pc
+        self.next_pc = next_pc
+        self.taken = taken
+        self.addr = addr
+
+    def __repr__(self):
+        return ("StepInfo(pc=0x%x, %s, next=0x%x)"
+                % (self.pc, self.instr.mnemonic, self.next_pc))
+
+
+# ---------------------------------------------------------------------------
+# semantics handlers: (instr, regs, mem, pc) -> (next_pc, addr, taken)
+# regs is a 32-entry list of canonical u32; handlers must keep x0 == 0.
+# ---------------------------------------------------------------------------
+
+def _flt(bits):
+    return bits_to_f32(bits)
+
+
+_ALU_R = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & 31),
+    "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: to_s32(a) >> (b & 31),
+    "slt": lambda a, b: 1 if to_s32(a) < to_s32(b) else 0,
+    "sltu": lambda a, b: 1 if a < b else 0,
+    "addu.xi": lambda a, b: a + b,
+}
+
+_ALU_I = {
+    "addi": lambda a, i: a + i,
+    "andi": lambda a, i: a & to_u32(i),
+    "ori": lambda a, i: a | to_u32(i),
+    "xori": lambda a, i: a ^ to_u32(i),
+    "slti": lambda a, i: 1 if to_s32(a) < i else 0,
+    "sltiu": lambda a, i: 1 if a < to_u32(i) else 0,
+    "slli": lambda a, i: a << (i & 31),
+    "srli": lambda a, i: a >> (i & 31),
+    "srai": lambda a, i: to_s32(a) >> (i & 31),
+    "addiu.xi": lambda a, i: a + i,
+}
+
+
+def _muldiv(mnemonic, a, b):
+    sa, sb = to_s32(a), to_s32(b)
+    if mnemonic == "mul":
+        return sa * sb
+    if mnemonic == "mulh":
+        return (sa * sb) >> 32
+    if mnemonic == "div":
+        if sb == 0:
+            return MASK32
+        q = abs(sa) // abs(sb)
+        return q if (sa < 0) == (sb < 0) else -q
+    if mnemonic == "divu":
+        return a // b if b else MASK32
+    if mnemonic == "rem":
+        if sb == 0:
+            return sa
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return sa - q * sb
+    if mnemonic == "remu":
+        return a % b if b else a
+    raise SimError("bad muldiv %r" % mnemonic)
+
+
+def _fp(mnemonic, a, b):
+    fa, fb = _flt(a), _flt(b)
+    if mnemonic == "fadd.s":
+        return f32_to_bits(fa + fb)
+    if mnemonic == "fsub.s":
+        return f32_to_bits(fa - fb)
+    if mnemonic == "fmul.s":
+        return f32_to_bits(fa * fb)
+    if mnemonic == "fdiv.s":
+        return f32_to_bits(fa / fb) if fb != 0.0 else 0x7FC00000
+    if mnemonic == "fmin.s":
+        return f32_to_bits(min(fa, fb))
+    if mnemonic == "fmax.s":
+        return f32_to_bits(max(fa, fb))
+    if mnemonic == "flt.s":
+        return 1 if fa < fb else 0
+    if mnemonic == "fle.s":
+        return 1 if fa <= fb else 0
+    if mnemonic == "feq.s":
+        return 1 if fa == fb else 0
+    raise SimError("bad fp op %r" % mnemonic)
+
+
+_BRANCH = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: to_s32(a) < to_s32(b),
+    "bge": lambda a, b: to_s32(a) >= to_s32(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+_LOAD_SIZE = {"lw": (4, False), "lh": (2, True), "lhu": (2, False),
+              "lb": (1, True), "lbu": (1, False)}
+_STORE_SIZE = {"sw": 4, "sh": 2, "sb": 1}
+
+
+def execute(instr, regs, mem, pc):
+    """Execute one instruction; returns ``(next_pc, addr, taken)``.
+
+    *mem* must provide ``load(addr, size, signed)``,
+    ``store(addr, size, value)`` and ``amo(kind, addr, value)``.
+    """
+    op = instr.op
+    m = op.mnemonic
+    fmt = op.fmt
+    next_pc = pc + 4
+    addr = None
+    taken = False
+
+    if fmt == Fmt.R or fmt == Fmt.XI_R:
+        a, b = regs[instr.rs1], regs[instr.rs2]
+        if m in _ALU_R:
+            value = _ALU_R[m](a, b)
+        elif op.is_fp:
+            value = _fp(m, a, b)
+        else:
+            value = _muldiv(m, a, b)
+        if instr.rd:
+            regs[instr.rd] = value & MASK32
+    elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.XI_I):
+        value = _ALU_I[m](regs[instr.rs1], instr.imm)
+        if instr.rd:
+            regs[instr.rd] = value & MASK32
+    elif fmt == Fmt.R2:
+        a = regs[instr.rs1]
+        if m == "fcvt.s.w":
+            value = f32_to_bits(float(to_s32(a)))
+        elif m == "fcvt.w.s":
+            value = int(_flt(a))
+        elif m == "fsqrt.s":
+            fa = _flt(a)
+            value = f32_to_bits(fa ** 0.5) if fa >= 0.0 else 0x7FC00000
+        else:
+            raise SimError("bad R2 op %r" % m)
+        if instr.rd:
+            regs[instr.rd] = value & MASK32
+    elif fmt == Fmt.LOAD:
+        size, signed = _LOAD_SIZE[m]
+        addr = to_u32(regs[instr.rs1] + instr.imm)
+        if instr.rd:
+            regs[instr.rd] = mem.load(addr, size, signed)
+        else:
+            mem.load(addr, size, signed)
+    elif fmt == Fmt.STORE:
+        addr = to_u32(regs[instr.rs1] + instr.imm)
+        mem.store(addr, _STORE_SIZE[m], regs[instr.rs2])
+    elif fmt == Fmt.AMO:
+        addr = regs[instr.rs1]
+        old = mem.amo(m, addr, regs[instr.rs2])
+        if instr.rd:
+            regs[instr.rd] = old
+    elif fmt == Fmt.BRANCH:
+        taken = _BRANCH[m](regs[instr.rs1], regs[instr.rs2])
+        if taken:
+            next_pc = pc + instr.imm
+    elif fmt == Fmt.XLOOP:
+        # Traditional execution: conditional backward branch while the
+        # loop index (rs1) is below the bound (rs2).
+        taken = to_s32(regs[instr.rs1]) < to_s32(regs[instr.rs2])
+        if taken:
+            next_pc = pc + instr.imm
+    elif fmt == Fmt.JAL:
+        if instr.rd:
+            regs[instr.rd] = to_u32(pc + 4)
+        next_pc = pc + instr.imm
+        taken = True
+    elif fmt == Fmt.JALR:
+        target = to_u32(regs[instr.rs1] + instr.imm) & ~1
+        if instr.rd:
+            regs[instr.rd] = to_u32(pc + 4)
+        next_pc = target
+        taken = True
+    elif fmt == Fmt.LUI:
+        if instr.rd:
+            regs[instr.rd] = to_u32(instr.imm << 12)
+    elif fmt == Fmt.NONE:
+        pass  # fence: ordering only; no architectural effect here
+    else:  # pragma: no cover
+        raise SimError("unimplemented format %r" % fmt)
+    return next_pc, addr, taken
+
+
+class FunctionalCore:
+    """Sequential golden-model core.
+
+    Runs a :class:`~repro.asm.program.Program` against a
+    :class:`~repro.sim.memory.Memory`.  ``step()`` returns a
+    :class:`StepInfo` that online timing models consume.
+    """
+
+    def __init__(self, program, mem=None):
+        self.program = program
+        self.mem = mem if mem is not None else Memory()
+        self.regs = [0] * 32
+        self.pc = program.text_base
+        self.icount = 0
+        self.halted = False
+        self.mem.load_program(program)
+
+    # -- ABI helpers ----------------------------------------------------------
+
+    def setup_call(self, entry, args=(), sp=0x0080_0000):
+        """Arrange to call *entry* with integer *args* then halt."""
+        if isinstance(entry, str):
+            entry = self.program.entry(entry)
+        self.pc = entry
+        self.regs = [0] * 32
+        self.regs[1] = HALT_PC           # ra -> halt sentinel
+        self.regs[2] = sp
+        for i, a in enumerate(args):
+            if i >= 8:
+                raise SimError("more than 8 arguments unsupported")
+            self.regs[10 + i] = to_u32(int(a))
+        self.halted = False
+        return self
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self):
+        if self.halted:
+            raise SimError("core is halted")
+        pc = self.pc
+        instr = self.program.instr_at(pc)
+        next_pc, addr, taken = execute(instr, self.regs, self.mem, pc)
+        self.pc = next_pc
+        self.icount += 1
+        if next_pc == HALT_PC:
+            self.halted = True
+        return StepInfo(instr, pc, next_pc, taken, addr)
+
+    def run(self, max_steps=50_000_000):
+        """Run to completion; returns the dynamic instruction count."""
+        steps0 = self.icount
+        while not self.halted:
+            self.step()
+            if self.icount - steps0 > max_steps:
+                raise SimError("exceeded %d steps (livelock?)" % max_steps)
+        return self.icount - steps0
+
+    @property
+    def return_value(self):
+        return to_s32(self.regs[10])
+
+
+def run_program(program, entry="main", args=(), mem=None,
+                max_steps=50_000_000):
+    """One-shot helper: call *entry* with *args*; returns the core."""
+    core = FunctionalCore(program, mem)
+    core.setup_call(entry, args)
+    core.run(max_steps)
+    return core

@@ -1,0 +1,198 @@
+"""Flat byte-addressed memory with atomic-memory-operation support.
+
+The address space is sparse (paged) so the stack can live far above the
+heap without allocating the gap.  All values are stored little-endian.
+Register-width values are canonically unsigned 32-bit Python ints.
+
+The same object backs the functional golden model, the GPP timing
+models, and the LPSU lanes; speculative lanes interpose a load-store
+queue (:class:`repro.uarch.lpsu.LoadStoreQueue`) in front of it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+_F32 = struct.Struct("<f")
+_U32 = struct.Struct("<I")
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_u32(value):
+    """Truncate a Python int to canonical unsigned 32-bit."""
+    return value & MASK32
+
+
+def to_s32(value):
+    """Interpret an unsigned 32-bit value as signed."""
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def f32_to_bits(value):
+    """IEEE-754 single bits of a Python float (round-to-nearest)."""
+    try:
+        return _U32.unpack(_F32.pack(value))[0]
+    except OverflowError:
+        return 0x7F800000 if value > 0 else 0xFF800000
+
+
+def bits_to_f32(bits):
+    """Python float holding the value of IEEE-754 single *bits*."""
+    return _F32.unpack(_U32.pack(bits & MASK32))[0]
+
+
+class MemoryError_(Exception):
+    """Access outside initialized behaviour (we still allow it by
+    default: unwritten memory reads as zero)."""
+
+
+class Memory:
+    """Sparse paged memory."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self):
+        self._pages = {}
+
+    # -- page plumbing ------------------------------------------------------
+
+    def _page(self, addr):
+        key = addr >> PAGE_SHIFT
+        page = self._pages.get(key)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[key] = page
+        return page
+
+    # -- scalar access -------------------------------------------------------
+
+    def load_word(self, addr):
+        """Unsigned 32-bit load (word-aligned fast path)."""
+        off = addr & PAGE_MASK
+        if off <= PAGE_SIZE - 4:
+            page = self._page(addr)
+            return (page[off] | (page[off + 1] << 8)
+                    | (page[off + 2] << 16) | (page[off + 3] << 24))
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def store_word(self, addr, value):
+        off = addr & PAGE_MASK
+        value &= MASK32
+        if off <= PAGE_SIZE - 4:
+            page = self._page(addr)
+            page[off] = value & 0xFF
+            page[off + 1] = (value >> 8) & 0xFF
+            page[off + 2] = (value >> 16) & 0xFF
+            page[off + 3] = (value >> 24) & 0xFF
+        else:
+            self.write(addr, value.to_bytes(4, "little"))
+
+    def load(self, addr, size, signed=False):
+        """Load 1/2/4 bytes; returns canonical u32 (sign-extended if
+        *signed*)."""
+        if size == 4:
+            value = self.load_word(addr)
+        elif size == 1:
+            value = self._page(addr)[addr & PAGE_MASK]
+        else:
+            value = int.from_bytes(self.read(addr, size), "little")
+        if signed:
+            sign = 1 << (8 * size - 1)
+            if value & sign:
+                value = value - (sign << 1)
+        return to_u32(value)
+
+    def store(self, addr, size, value):
+        if size == 4:
+            self.store_word(addr, value)
+        elif size == 1:
+            self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+        else:
+            self.write(addr, (value & ((1 << (8 * size)) - 1))
+                       .to_bytes(size, "little"))
+
+    # -- atomic memory operations (paper Section II-A) ------------------------
+
+    def amo(self, kind, addr, value):
+        """Perform an AMO; returns the *old* word at *addr*."""
+        old = self.load_word(addr)
+        value = to_u32(value)
+        if kind == "amo.add":
+            new = to_u32(old + value)
+        elif kind == "amo.and":
+            new = old & value
+        elif kind == "amo.or":
+            new = old | value
+        elif kind == "amo.xor":
+            new = old ^ value
+        elif kind == "amo.min":
+            new = old if to_s32(old) <= to_s32(value) else value
+        elif kind == "amo.max":
+            new = old if to_s32(old) >= to_s32(value) else value
+        elif kind == "amo.xchg":
+            new = value
+        else:
+            raise ValueError("unknown AMO %r" % kind)
+        self.store_word(addr, new)
+        return old
+
+    # -- bulk access (program load, dataset setup, result readback) ----------
+
+    def read(self, addr, length):
+        out = bytearray()
+        while length:
+            off = addr & PAGE_MASK
+            take = min(length, PAGE_SIZE - off)
+            out += self._page(addr)[off:off + take]
+            addr += take
+            length -= take
+        return bytes(out)
+
+    def write(self, addr, payload):
+        view = memoryview(bytes(payload))
+        while view.nbytes:
+            off = addr & PAGE_MASK
+            take = min(view.nbytes, PAGE_SIZE - off)
+            self._page(addr)[off:off + take] = view[:take]
+            addr += take
+            view = view[take:]
+
+    # -- typed convenience helpers ---------------------------------------------
+
+    def write_words(self, addr, values):
+        for i, v in enumerate(values):
+            self.store_word(addr + 4 * i, int(v))
+
+    def read_words(self, addr, count):
+        return [self.load_word(addr + 4 * i) for i in range(count)]
+
+    def read_words_signed(self, addr, count):
+        return [to_s32(w) for w in self.read_words(addr, count)]
+
+    def write_floats(self, addr, values):
+        for i, v in enumerate(values):
+            self.store_word(addr + 4 * i, f32_to_bits(float(v)))
+
+    def read_floats(self, addr, count):
+        return [bits_to_f32(w) for w in self.read_words(addr, count)]
+
+    def write_bytes(self, addr, values):
+        self.write(addr, bytes(bytearray(v & 0xFF for v in values)))
+
+    def read_bytes(self, addr, count):
+        return list(self.read(addr, count))
+
+    def load_program(self, program):
+        """Place a Program's data image (text is fetched symbolically)."""
+        if program.data:
+            self.write(program.data_base, program.data)
+
+    def snapshot_words(self, addr, count):
+        """Immutable tuple snapshot (for test assertions)."""
+        return tuple(self.read_words(addr, count))

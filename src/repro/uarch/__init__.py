@@ -1,0 +1,27 @@
+"""Cycle-level microarchitecture models: in-order and out-of-order
+GPPs, the loop-pattern specialization unit (LPSU), adaptive execution,
+and the full-system composition."""
+
+from .params import (LatencyTable, CacheConfig, GPPConfig, LPSUConfig,
+                     AdaptiveConfig, SystemConfig, IO, OOO2, OOO4, baseline)
+from .branch import BimodalPredictor, GSharePredictor, make_predictor
+from .cache import L1Cache
+from .inorder import InOrderTiming
+from .ooo import OOOTiming
+from .descriptor import LoopDescriptor, MIVEntry, ScanError, scan_loop
+from .lpsu import LPSU, LPSUStats, LPSUResult
+from .adaptive import (AdaptiveProfilingTable, APTEntry, GPP_PROFILING,
+                       LPSU_PROFILING, DECIDED_TRADITIONAL,
+                       DECIDED_SPECIALIZED)
+from .system import SystemSimulator, RunResult, simulate, MODES
+
+__all__ = [
+    "LatencyTable", "CacheConfig", "GPPConfig", "LPSUConfig",
+    "AdaptiveConfig", "SystemConfig", "IO", "OOO2", "OOO4", "baseline",
+    "BimodalPredictor", "GSharePredictor", "make_predictor", "L1Cache", "InOrderTiming", "OOOTiming",
+    "LoopDescriptor", "MIVEntry", "ScanError", "scan_loop", "LPSU",
+    "LPSUStats", "LPSUResult", "AdaptiveProfilingTable", "APTEntry",
+    "GPP_PROFILING", "LPSU_PROFILING", "DECIDED_TRADITIONAL",
+    "DECIDED_SPECIALIZED", "SystemSimulator", "RunResult", "simulate",
+    "MODES",
+]

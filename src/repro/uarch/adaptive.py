@@ -1,0 +1,93 @@
+"""Adaptive execution: the adaptive profiling table (APT, Section II-E).
+
+The APT is indexed by the PC of an ``xloop`` instruction and records
+profiling progress.  Profiling runs in two phases:
+
+1. **GPP profiling** — the loop executes traditionally while the GPP
+   counts iterations and cycles, until it has seen
+   ``profile_iters`` iterations or ``profile_cycles`` cycles (profiling
+   may stretch across multiple dynamic instances of the xloop);
+2. **LPSU profiling** — after the scan phase, the LPSU executes the
+   same number of iterations; the LMU then compares cycle counts and
+   records a sticky decision (the paper's implementation "does not
+   reconsider the profiling results once a decision has been made").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .params import AdaptiveConfig
+
+GPP_PROFILING = "gpp-profiling"
+LPSU_PROFILING = "lpsu-profiling"
+DECIDED_TRADITIONAL = "traditional"
+DECIDED_SPECIALIZED = "specialized"
+
+
+@dataclass
+class APTEntry:
+    """Profiling state for one static xloop."""
+
+    state: str = GPP_PROFILING
+    gpp_iters: int = 0
+    gpp_cycles: int = 0
+    lpsu_iters: int = 0
+    lpsu_cycles: int = 0
+
+    @property
+    def decided(self):
+        return self.state in (DECIDED_TRADITIONAL, DECIDED_SPECIALIZED)
+
+
+class AdaptiveProfilingTable:
+    """Fixed-capacity PC-indexed table with FIFO replacement."""
+
+    def __init__(self, config=None):
+        self.config = config or AdaptiveConfig()
+        self._entries = OrderedDict()
+        self.evictions = 0
+        self.decisions = {}       # pc -> final decision (for reporting)
+
+    def lookup(self, pc):
+        entry = self._entries.get(pc)
+        if entry is None:
+            entry = APTEntry()
+            self._entries[pc] = entry
+            if len(self._entries) > self.config.apt_entries:
+                evicted_pc, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                if evicted_pc == pc:  # pragma: no cover - capacity >= 1
+                    self._entries[pc] = entry
+        return entry
+
+    def record_gpp_iteration(self, pc, cycles):
+        """Account one traditionally-executed iteration taking *cycles*.
+        Returns True when GPP profiling just completed."""
+        entry = self.lookup(pc)
+        if entry.state != GPP_PROFILING:
+            return False
+        entry.gpp_iters += 1
+        entry.gpp_cycles += cycles
+        cfg = self.config
+        if (entry.gpp_iters >= cfg.profile_iters
+                or entry.gpp_cycles >= cfg.profile_cycles):
+            entry.state = LPSU_PROFILING
+            return True
+        return False
+
+    def record_lpsu_profile(self, pc, iters, cycles):
+        """Store the LPSU profiling result and make the decision."""
+        entry = self.lookup(pc)
+        entry.lpsu_iters = iters
+        entry.lpsu_cycles = cycles
+        # compare per-iteration costs over the same iteration count
+        gpp_per_iter = entry.gpp_cycles / max(1, entry.gpp_iters)
+        lpsu_per_iter = cycles / max(1, iters)
+        if lpsu_per_iter <= gpp_per_iter:
+            entry.state = DECIDED_SPECIALIZED
+        else:
+            entry.state = DECIDED_TRADITIONAL
+        self.decisions[pc] = entry.state
+        return entry.state

@@ -1,0 +1,99 @@
+"""Bimodal branch predictor shared by the GPP timing models."""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """2-bit saturating-counter bimodal predictor with an ideal BTB.
+
+    Mispredict *direction* only — targets are assumed BTB hits, which
+    is reasonable for the small loopy kernels the paper evaluates.
+    """
+
+    __slots__ = ("mask", "table", "lookups", "mispredicts")
+
+    def __init__(self, entries=1024):
+        if entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self.mask = entries - 1
+        self.table = bytearray([1] * entries)   # weakly not-taken
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict_and_update(self, pc, taken):
+        """Predict branch at *pc*; train; return True on mispredict."""
+        idx = (pc >> 2) & self.mask
+        counter = self.table[idx]
+        predicted = counter >= 2
+        if taken:
+            if counter < 3:
+                self.table[idx] = counter + 1
+        else:
+            if counter > 0:
+                self.table[idx] = counter - 1
+        self.lookups += 1
+        wrong = predicted != taken
+        if wrong:
+            self.mispredicts += 1
+        return wrong
+
+    @property
+    def accuracy(self):
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+
+class GSharePredictor:
+    """Gshare: global-history XOR PC indexing into 2-bit counters.
+
+    Captures correlated branches (alternating or pattern-driven
+    directions) that defeat a bimodal table; the predictor ablation in
+    ``tests/uarch/test_branch_cache.py`` shows the difference.
+    """
+
+    __slots__ = ("mask", "table", "history", "hist_bits", "lookups",
+                 "mispredicts")
+
+    def __init__(self, entries=1024, history_bits=8):
+        if entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self.mask = entries - 1
+        self.table = bytearray([1] * entries)
+        self.history = 0
+        self.hist_bits = history_bits
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict_and_update(self, pc, taken):
+        idx = ((pc >> 2) ^ self.history) & self.mask
+        counter = self.table[idx]
+        predicted = counter >= 2
+        if taken:
+            if counter < 3:
+                self.table[idx] = counter + 1
+        else:
+            if counter > 0:
+                self.table[idx] = counter - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & ((1 << self.hist_bits) - 1)
+        self.lookups += 1
+        wrong = predicted != taken
+        if wrong:
+            self.mispredicts += 1
+        return wrong
+
+    @property
+    def accuracy(self):
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+
+def make_predictor(kind, entries=1024):
+    """Factory used by the GPP timing models."""
+    if kind == "bimodal":
+        return BimodalPredictor(entries)
+    if kind == "gshare":
+        return GSharePredictor(entries)
+    raise ValueError("unknown predictor kind %r" % kind)

@@ -1,0 +1,130 @@
+"""Single-issue in-order GPP timing model (the paper's ``io``).
+
+An online model: the system simulator feeds it the dynamic instruction
+stream (:class:`~repro.sim.functional.StepInfo`) in execution order and
+it advances a cycle count using a register scoreboard, the shared L1
+model, a bimodal predictor, and the common latency table.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FU
+from .branch import BimodalPredictor, make_predictor
+from .cache import L1Cache
+from .params import GPPConfig
+
+
+class InOrderTiming:
+    """Scoreboarded single-issue pipeline timing."""
+
+    def __init__(self, config, cache=None, events=None, predictor=None):
+        self.config = config
+        self.lat = config.latencies
+        self.cache = cache if cache is not None else L1Cache(config.cache)
+        self.events = events
+        self.predictor = predictor or make_predictor(
+            config.bpred_kind, config.bpred_entries)
+        self.cycle = 0                  # next issue opportunity
+        self.reg_ready = [0] * 32
+        self.retired = 0
+        self.stall_raw = 0
+        self.stall_mem = 0
+        self.stall_branch = 0
+
+    def consume(self, step):
+        """Account one dynamic instruction; returns its issue cycle."""
+        instr = step.instr
+        op = instr.op
+        ev = self.events
+        if ev is not None:
+            ev.ic_access += 1
+            for s in instr.src_regs():
+                if s:
+                    ev.rf_read += 1
+
+        issue = self.cycle
+        for s in instr.src_regs():
+            t = self.reg_ready[s]
+            if t > issue:
+                issue = t
+        self.stall_raw += issue - self.cycle
+
+        latency = 1
+        if op.is_mem:
+            if op.is_fence:
+                latency = 1
+            else:
+                hit_extra = self.cache.access(step.addr,
+                                              is_store=op.is_store)
+                if op.is_amo:
+                    latency = self.lat.amo + (hit_extra
+                                              - self.cache.config.hit_latency)
+                elif op.is_load:
+                    latency = hit_extra
+                else:
+                    latency = self.lat.store
+                if ev is not None:
+                    ev.dc_access += 1
+                    if hit_extra > self.cache.config.hit_latency:
+                        ev.dc_miss += 1
+                        self.stall_mem += (hit_extra
+                                           - self.cache.config.hit_latency)
+        elif op.fu != FU.ALU and op.fu != FU.BR and op.fu != FU.XLOOP:
+            latency = self.lat.for_fu(op.fu)
+
+        if ev is not None:
+            self._count_fu(ev, op)
+
+        done = issue + latency
+        dst = instr.dst_reg()
+        if dst is not None:
+            self.reg_ready[dst] = done
+            if ev is not None:
+                ev.rf_write += 1
+
+        next_issue = issue + 1
+        if op.is_branch or op.is_xloop:
+            if ev is not None:
+                ev.bpred += 1
+            wrong = self.predictor.predict_and_update(step.pc, step.taken)
+            if wrong:
+                next_issue += self.config.mispredict_penalty
+                self.stall_branch += self.config.mispredict_penalty
+        elif op.is_jump:
+            # jal targets are known in decode; jalr uses a return-address
+            # stack we model as ideal -> one redirect bubble either way
+            next_issue += 1
+            self.stall_branch += 1
+
+        self.cycle = next_issue
+        self.retired += 1
+        return issue
+
+    def _count_fu(self, ev, op):
+        fu = op.fu
+        if fu == FU.ALU:
+            ev.alu_op += 1
+        elif fu == FU.MUL:
+            ev.mul_op += 1
+        elif fu == FU.DIV:
+            ev.div_op += 1
+        elif fu == FU.FPU:
+            ev.fpu_op += 1
+        elif fu == FU.FDIV:
+            ev.fdiv_op += 1
+        elif fu == FU.BR or fu == FU.XLOOP:
+            ev.alu_op += 1
+
+    @property
+    def cycles(self):
+        """Cycles elapsed so far (time the last instruction issued +1)."""
+        return self.cycle
+
+    def advance(self, cycles):
+        """Account externally-spent time (e.g. stalling while the LPSU
+        runs a specialized phase)."""
+        self.cycle += cycles
+        floor = self.cycle
+        for i, t in enumerate(self.reg_ready):
+            if t < floor:
+                self.reg_ready[i] = floor

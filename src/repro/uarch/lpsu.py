@@ -1,0 +1,810 @@
+"""Cycle-level model of the Loop-Pattern Specialization Unit (Fig 4).
+
+The LPSU is modelled as a cycle-stepped collection of decoupled
+in-order lanes coordinated by a lane-management unit (LMU):
+
+* **scan phase** — body instructions stream into the per-lane
+  instruction buffers (one per cycle) while the LMU renames registers,
+  detects CIRs and builds the MIVT (see
+  :mod:`repro.uarch.descriptor`);
+* **specialized execution phase** — idle lanes pull iteration indices
+  (the IDQ); each lane executes its iteration in order, one
+  instruction per cycle, stalling on RAW hazards, shared-memory-port
+  and shared-LLFU structural hazards, cross-iteration-buffer (CIB)
+  waits for ``xloop.or``, and LSQ hazards for
+  ``xloop.{om,orm,ua}``;
+* **memory disambiguation** — speculative lanes buffer stores in a
+  per-lane LSQ and record load addresses; committed stores broadcast
+  their addresses and squash any younger iteration that already read
+  the same word; iterations commit strictly in index order;
+* **dynamic bounds** — writes to the bound register are forwarded to
+  the LMU, which grows the iteration space (``xloop.*.db``);
+* **vertical multithreading** (Fig 9 ``+t``) — two iteration contexts
+  per lane, round-robin issue, for unordered patterns only.
+
+Functional execution is *real*: lanes run the same semantics as the
+golden model against the shared memory, so specialized execution
+produces (and tests verify) architecturally correct results, including
+squash-and-replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.instructions import FU, Fmt
+from ..sim.functional import execute
+from ..sim.memory import MASK32, to_s32
+from .descriptor import LoopDescriptor
+from .params import LPSUConfig
+
+_LOAD_SIZE = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}
+_STORE_SIZE = {"sw": 4, "sh": 2, "sb": 1}
+_SIGNED_LOAD = {"lw": True, "lh": True, "lb": True, "lhu": False,
+                "lbu": False}
+
+
+@dataclass
+class LPSUStats:
+    """Specialized-execution statistics (feeds Fig 6 and Table II)."""
+
+    scan_cycles: int = 0
+    exec_cycles: int = 0
+    finish_cycles: int = 0
+    iterations: int = 0
+    instrs: int = 0
+    squashes: int = 0
+    squashed_instrs: int = 0
+    squash_cycles: int = 0     # lane-cycles of work thrown away
+    # lane-cycle breakdown (Fig 6 categories)
+    busy: int = 0
+    stall_raw: int = 0
+    stall_memport: int = 0
+    stall_llfu: int = 0
+    stall_cib: int = 0
+    stall_lsq: int = 0
+    stall_commit: int = 0
+    stall_branch: int = 0
+    idle: int = 0
+
+    @property
+    def cycles(self):
+        return self.scan_cycles + self.exec_cycles + self.finish_cycles
+
+    def breakdown(self):
+        return {
+            "busy": self.busy, "raw": self.stall_raw,
+            "memport": self.stall_memport, "llfu": self.stall_llfu,
+            "cib": self.stall_cib, "lsq": self.stall_lsq,
+            "commit": self.stall_commit, "branch": self.stall_branch,
+            "squash": self.squash_cycles, "idle": self.idle,
+        }
+
+
+@dataclass
+class LPSUResult:
+    """Outcome of one specialized xloop execution."""
+
+    cycles: int
+    iterations: int
+    final_idx: int
+    final_bound: int
+    cir_values: Dict[int, int]
+    exited: bool                # a .de iteration terminated the loop
+    miv_values: Dict[int, int]  # MIV registers advanced past the last
+    #                             executed iteration (needed when the
+    #                             GPP resumes the loop traditionally)
+    stats: LPSUStats
+    completed: bool            # False when stopped early (profiling)
+    exit_regs: Dict[int, int] = field(default_factory=dict)
+    #                           # exiting lane's register copy-back
+
+
+class _StoreEntry:
+    __slots__ = ("addr", "size", "value")
+
+    def __init__(self, addr, size, value):
+        self.addr = addr
+        self.size = size
+        self.value = value
+
+
+class _Context:
+    """One iteration context (a lane has 1, or 2 with multithreading)."""
+
+    __slots__ = ("lane_id", "regs", "k", "pc_index", "ready_at",
+                 "stall_kind", "iter_start", "attempt_instrs",
+                 "received_cirs", "cir_written", "store_buf",
+                 "load_words", "bypass", "committing", "active",
+                 "exit_flag")
+
+    def __init__(self, lane_id, live_in_regs):
+        self.lane_id = lane_id
+        self.regs = list(live_in_regs)
+        self.k = -1
+        self.pc_index = 0
+        self.ready_at = 0
+        self.stall_kind = None
+        self.iter_start = 0
+        self.attempt_instrs = 0
+        self.received_cirs = {}
+        self.cir_written = set()
+        self.store_buf: List[_StoreEntry] = []
+        # word address -> iteration index whose value the load
+        # consumed (-1 when it came from memory); drives precise
+        # violation detection under inter-lane forwarding
+        self.load_words = {}
+        self.bypass = False
+        self.committing = False
+        self.active = False
+        self.exit_flag = False
+
+    @property
+    def lsq_store_count(self):
+        return len(self.store_buf)
+
+
+class LPSU:
+    """One specialized execution of one xloop.
+
+    Parameters
+    ----------
+    descriptor
+        Scan-phase analysis of the loop (:func:`scan_loop`).
+    live_in_regs
+        GPP register file when the xloop was reached.
+    mem
+        The shared architectural memory (updated in place).
+    cache
+        Shared L1 data cache timing model.
+    config
+        :class:`LPSUConfig`.
+    events
+        Optional :class:`~repro.energy.events.EnergyEvents` to count into.
+    """
+
+    def __init__(self, descriptor, live_in_regs, mem, cache, config=None,
+                 events=None, trace=None):
+        self.d = descriptor
+        self.cfg = config or LPSUConfig()
+        self.mem = mem
+        self.cache = cache
+        self.events = events
+        self.trace = trace   # optional LaneTrace (repro.uarch.tracelog)
+        self.lat = None  # set by run() from the GPP latency table
+
+        self.live_in = list(live_in_regs)
+        self.start_idx = to_s32(live_in_regs[descriptor.idx_reg])
+        self.bound = to_s32(live_in_regs[descriptor.bound_reg])
+        # conflict squashing is a *data*-pattern property; control
+        # speculation (.de) additionally buffers every iteration's
+        # stores so an older iteration's exit can discard younger work
+        self.squash_on_conflict = \
+            descriptor.kind.data.needs_memory_disambiguation
+        self.control_speculative = descriptor.kind.control.value == "de"
+        self.needs_lsq = (self.squash_on_conflict
+                          or self.control_speculative)
+        self.ordered_regs = descriptor.kind.data.ordered_through_registers
+        self.dynamic_bound = descriptor.kind.control.value == "db"
+        self._exited_at = None
+        self._exit_regs = {}
+
+        threads = self.cfg.threads_per_lane
+        if self.needs_lsq or self.ordered_regs:
+            # paper IV-F: multithreading disabled for or/om/orm (and ua,
+            # which shares the om mechanisms)
+            threads = 1
+        self.contexts = [
+            _Context(lane, self.live_in)
+            for lane in range(self.cfg.lanes) for _ in range(threads)]
+
+        # CIB channels: (cir_reg, iteration k) -> (cycle, value)
+        self._cib: Dict[tuple, tuple] = {}
+        self._reg_ready = [[0] * 32 for _ in self.contexts]
+        self.stats = LPSUStats()
+        self._next_k = 0
+        self._commit_next = 0
+        self._llfu_free = [0] * self.cfg.llfus
+        self._mem_grants = 0
+        self._cycle = 0
+        self._max_iters = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, latencies, max_iters=None):
+        """Execute the loop; returns an :class:`LPSUResult`."""
+        self.lat = latencies
+        self._max_iters = max_iters
+        d, cfg, ev = self.d, self.cfg, self.events
+
+        # -- scan phase --------------------------------------------------
+        self.stats.scan_cycles = cfg.scan_overhead + d.body_len
+        if ev is not None:
+            ev.ib_write += d.body_len * cfg.lanes
+            ev.rename += d.body_len
+            ev.rf_read += d.live_in_reads
+            ev.rf_write += d.live_in_reads * cfg.lanes
+
+        # seed CIB channels for the first specialized iteration
+        for cir in d.cirs:
+            self._cib[(cir, 0)] = (0, self.live_in[cir])
+
+        # -- specialized execution phase -----------------------------------
+        cycle = 0
+        guard = 0
+        while True:
+            if self._finished():
+                break
+            self._mem_grants = 0
+            order = sorted(range(len(self.contexts)),
+                           key=lambda i: (not self.contexts[i].active,
+                                          self.contexts[i].k))
+            issued_lanes = set()
+            for ci in order:
+                ctx = self.contexts[ci]
+                if ctx.lane_id in issued_lanes:
+                    continue
+                if self._step(ci, ctx, cycle):
+                    issued_lanes.add(ctx.lane_id)
+            cycle += 1
+            guard += 1
+            if guard > 200_000_000:  # pragma: no cover
+                raise RuntimeError("LPSU livelock")
+        self.stats.exec_cycles = cycle
+        self.stats.finish_cycles = cfg.finish_overhead
+
+        # idle lane-cycles = lane-cycles not otherwise attributed
+        total_lane_cycles = cycle * len(self.contexts)
+        attributed = (self.stats.busy + self.stats.stall_raw
+                      + self.stats.stall_memport + self.stats.stall_llfu
+                      + self.stats.stall_cib + self.stats.stall_lsq
+                      + self.stats.stall_commit + self.stats.stall_branch)
+        self.stats.idle = max(0, total_lane_cycles - attributed)
+
+        iterations = self.stats.iterations
+        if self._exited_at is not None:
+            final_idx = self.start_idx + self._exited_at
+            completed = True
+        else:
+            final_idx = self.start_idx + self._next_k
+            completed = final_idx >= self.bound
+        last_k = (self._exited_at + 1 if self._exited_at is not None
+                  else self._next_k)
+        cir_values = {cir: self._cib[(cir, last_k)][1]
+                      for cir in d.cirs
+                      if (cir, last_k) in self._cib}
+        miv_values = {
+            miv.reg: (self.live_in[miv.reg]
+                      + miv.increment * last_k) & MASK32
+            for miv in d.mivt.values()}
+        return LPSUResult(
+            cycles=self.stats.cycles, iterations=iterations,
+            final_idx=final_idx, final_bound=self.bound,
+            cir_values=cir_values, miv_values=miv_values,
+            exited=self._exited_at is not None,
+            exit_regs=dict(self._exit_regs),
+            stats=self.stats, completed=completed)
+
+    # ------------------------------------------------------------------
+    # per-cycle machinery
+    # ------------------------------------------------------------------
+
+    def _finished(self):
+        if any(ctx.active for ctx in self.contexts):
+            return False
+        return not self._more_iterations()
+
+    def _more_iterations(self):
+        if self._exited_at is not None:
+            return False
+        if (self._max_iters is not None
+                and self._next_k >= self._max_iters):
+            return False
+        return self.start_idx + self._next_k < self.bound
+
+    def _discard_younger(self, k, cycle):
+        for other in self.contexts:
+            if not other.active or other.k <= k:
+                continue
+            self.stats.squashes += 1
+            self.stats.squashed_instrs += other.attempt_instrs
+            self.stats.squash_cycles += max(0, cycle - other.iter_start)
+            if self.events is not None:
+                self.events.squashed_instr += other.attempt_instrs
+            other.active = False
+            other.committing = False
+            other.attempt_instrs = 0
+            other.store_buf.clear()
+            other.load_words.clear()
+            other.received_cirs.clear()
+            other.cir_written.clear()
+            other.exit_flag = False
+            other.bypass = False
+
+    def _step(self, ci, ctx, cycle):
+        """Advance one context by at most one issue slot.  Returns True
+        when the context consumed its lane's issue slot this cycle."""
+        if not ctx.active:
+            if self._more_iterations():
+                self._begin_iteration(ctx, cycle)
+            else:
+                return False
+        if ctx.ready_at > cycle:
+            return False
+
+        if ctx.committing:
+            return self._advance_commit(ctx, cycle)
+
+        # mid-iteration promotion: drain buffered stores once oldest
+        if (self.needs_lsq and ctx.store_buf and not ctx.bypass
+                and ctx.k == self._commit_next):
+            return self._drain_one(ctx, cycle, promote=True)
+
+        d = self.d
+        if ctx.pc_index >= d.body_len:
+            return self._end_iteration(ctx, cycle)
+
+        instr = d.body[ctx.pc_index]
+        op = instr.op
+        regs = ctx.regs
+        ready = self._reg_ready[ci]
+
+        # CIR delivery: the first read of a CIR waits on the CIB
+        if self.ordered_regs and not self._deliver_cirs(ci, ctx, instr,
+                                                        cycle):
+            return False
+
+        # RAW hazards (per-lane scoreboard)
+        avail = cycle
+        for s in instr.src_regs():
+            t = ready[s]
+            if t > avail:
+                avail = t
+        if avail > cycle:
+            self._stall(ctx, cycle, avail, "raw")
+            return False
+
+        if op.is_mem and not op.is_fence:
+            return self._step_mem(ci, ctx, instr, cycle)
+
+        # LLFU structural hazard (shared with the GPP, Fig 4)
+        if op.is_llfu:
+            unit = self._llfu_acquire(cycle, op)
+            if unit is None:
+                self._stall_one(ctx, cycle, "llfu")
+                return True  # occupied the issue slot attempting
+            latency = self.lat.for_fu(op.fu)
+        else:
+            latency = 1
+
+        pc = d.body_start_pc + 4 * ctx.pc_index
+        next_pc, _addr, taken = execute(instr, regs, self.mem, pc)
+        self._count_exec(instr)
+        ctx.attempt_instrs += 1
+
+        if op.is_xbreak:
+            ctx.exit_flag = True
+        dst = instr.dst_reg()
+        if dst is not None:
+            ready[dst] = cycle + latency
+        ctx.pc_index = d.body_index(next_pc)
+        ctx.ready_at = cycle + 1
+        if (op.is_branch or op.is_jump or op.is_xloop) and taken:
+            ctx.ready_at += self.cfg.branch_penalty
+            self.stats.stall_branch += self.cfg.branch_penalty
+        self.stats.busy += 1
+        if self.trace is not None:
+            self.trace.mark(ctx, cycle, "E")
+
+        # CIB publish: last CIR write (or dynamic-bound notification)
+        if self.ordered_regs and dst is not None and dst in d.cirs:
+            ctx.cir_written.add(dst)
+            if instr.last_cir_write:
+                self._publish_cir(ctx, dst, cycle + latency)
+        if self.dynamic_bound and dst == d.bound_reg:
+            new_bound = to_s32(regs[dst])
+            if new_bound > self.bound:
+                self.bound = new_bound
+        return True
+
+    # -- memory operations -------------------------------------------------
+
+    def _deliver_cirs(self, ci, ctx, instr, cycle):
+        """First read of each CIR waits for the previous iteration's
+        value in the CIB.  Returns False when the context must stall."""
+        d = self.d
+        for s in instr.src_regs():
+            if s in d.cirs and s not in ctx.received_cirs:
+                chan = self._cib.get((s, ctx.k))
+                if chan is None or chan[0] > cycle:
+                    self._stall(ctx, cycle,
+                                chan[0] if chan else cycle + 1, "cib")
+                    return False
+                ctx.regs[s] = chan[1]
+                ctx.received_cirs[s] = chan[1]
+                self._reg_ready[ci][s] = cycle
+                if self.events is not None:
+                    self.events.cib_read += 1
+                    self.events.rf_write += 1
+        return True
+
+    def _publish_cir(self, ctx, cir, avail_cycle):
+        self._cib[(cir, ctx.k + 1)] = (avail_cycle, ctx.regs[cir])
+        if self.events is not None:
+            self.events.cib_write += 1
+
+    def _step_mem(self, ci, ctx, instr, cycle):
+        op = instr.op
+        regs = ctx.regs
+        d = self.d
+
+        if self.ordered_regs and not self._deliver_cirs(ci, ctx, instr,
+                                                        cycle):
+            return False
+        speculative = (self.needs_lsq and not ctx.bypass
+                       and ctx.k != self._commit_next)
+        if self.needs_lsq and not speculative:
+            ctx.bypass = True  # oldest iteration: direct memory access
+
+        addr = (regs[instr.rs1] + instr.imm) & MASK32 \
+            if op.fmt != Fmt.AMO else regs[instr.rs1]
+
+        if op.is_amo and speculative:
+            # AMOs cannot be buffered; wait until non-speculative
+            self._stall_one(ctx, cycle, "commit")
+            return True
+
+        if speculative and op.is_store:
+            if ctx.lsq_store_count >= self.cfg.lsq_stores:
+                self._stall_one(ctx, cycle, "lsq")
+                return True
+        if speculative and op.is_load and self.squash_on_conflict:
+            if len(ctx.load_words) >= self.cfg.lsq_loads:
+                self._stall_one(ctx, cycle, "lsq")
+                return True
+
+        forwarded = None
+        forward_source = -1
+        if speculative and op.is_load:
+            size = _LOAD_SIZE[op.mnemonic]
+            forwarded = self._forward(ctx, addr, size)
+            if forwarded == "overlap":
+                self._stall_one(ctx, cycle, "lsq")
+                return True
+            if forwarded is None and self.cfg.inter_lane_forwarding:
+                forwarded, forward_source = self._forward_across(
+                    ctx, addr, size)
+                if forwarded == "overlap":
+                    self._stall_one(ctx, cycle, "lsq")
+                    return True
+
+        if forwarded is None:
+            # needs the shared memory port
+            if self._mem_grants >= self.cfg.mem_ports:
+                self._stall_one(ctx, cycle, "memport")
+                return True
+            self._mem_grants += 1
+            access = self.cache.access(addr, is_store=op.is_store)
+            if self.events is not None:
+                self.events.dc_access += 1
+                if access > self.cache.config.hit_latency:
+                    self.events.dc_miss += 1
+        else:
+            access = 1  # store->load forwarding inside the LSQ
+
+        ready = self._reg_ready[ci]
+        result_time = cycle + 1
+        if op.is_load:
+            size = _LOAD_SIZE[op.mnemonic]
+            if forwarded is not None and forwarded != "overlap":
+                value = forwarded
+                if forward_source >= 0 and self.squash_on_conflict:
+                    ctx.load_words[addr & ~3] = forward_source
+            else:
+                value = self.mem.load(addr, size, _SIGNED_LOAD[op.mnemonic])
+                if speculative and self.squash_on_conflict:
+                    ctx.load_words[addr & ~3] = -1
+                    if self.events is not None:
+                        self.events.lsq_write += 1
+            if speculative and self.events is not None:
+                self.events.lsq_search += 1
+            if instr.rd:
+                regs[instr.rd] = value
+                ready[instr.rd] = cycle + access
+                result_time = cycle + access
+        elif op.is_store:
+            size = _STORE_SIZE[op.mnemonic]
+            value = regs[instr.rs2]
+            if speculative:
+                ctx.store_buf.append(_StoreEntry(addr, size, value))
+                if self.events is not None:
+                    self.events.lsq_write += 1
+            else:
+                self.mem.store(addr, size, value)
+                if self.squash_on_conflict:
+                    self._broadcast(addr, ctx, cycle)
+        else:  # AMO, non-speculative by construction here
+            old = self.mem.amo(op.mnemonic, addr, regs[instr.rs2])
+            if instr.rd:
+                regs[instr.rd] = old
+                ready[instr.rd] = cycle + self.lat.amo
+                result_time = cycle + self.lat.amo
+            if self.squash_on_conflict:
+                self._broadcast(addr, ctx, cycle)
+            if self.dynamic_bound and instr.rd == d.bound_reg:
+                new_bound = to_s32(regs[instr.rd])
+                if new_bound > self.bound:
+                    self.bound = new_bound
+
+        dst = instr.dst_reg()
+        if self.ordered_regs and dst is not None and dst in d.cirs:
+            ctx.cir_written.add(dst)
+            if instr.last_cir_write:
+                self._publish_cir(ctx, dst, result_time)
+
+        self._count_exec(instr)
+        ctx.attempt_instrs += 1
+        ctx.pc_index += 1
+        ctx.ready_at = cycle + 1
+        self.stats.busy += 1
+        if self.trace is not None:
+            self.trace.mark(ctx, cycle, "M")
+
+        # a plain load of the bound register also grows a dynamic bound
+        if (self.dynamic_bound and op.is_load
+                and instr.rd == d.bound_reg):
+            new_bound = to_s32(regs[instr.rd])
+            if new_bound > self.bound:
+                self.bound = new_bound
+        return True
+
+    def _forward(self, ctx, addr, size):
+        """Search the context's store buffer newest-first."""
+        end = addr + size
+        for entry in reversed(ctx.store_buf):
+            if entry.addr == addr and entry.size == size:
+                return entry.value & ((1 << (8 * size)) - 1) \
+                    if size < 4 else entry.value
+            if entry.addr < end and addr < entry.addr + entry.size:
+                return "overlap"
+        return None
+
+    def _forward_across(self, ctx, addr, size):
+        """Inter-lane forwarding: search *older* in-flight iterations'
+        store buffers, youngest-first (paper II-D's aggressive
+        variant).  Returns (value, source_k) or (None, -1)."""
+        older = sorted((o for o in self.contexts
+                        if o is not ctx and o.active and o.k < ctx.k),
+                       key=lambda o: -o.k)
+        for other in older:
+            if self.events is not None:
+                self.events.lsq_search += 1
+            hit = self._forward(other, addr, size)
+            if hit == "overlap":
+                return "overlap", -1
+            if hit is not None:
+                return hit, other.k
+        return None, -1
+
+    # -- commit / squash machinery --------------------------------------------
+
+    def _end_iteration(self, ctx, cycle):
+        d = self.d
+        # pass through CIRs whose last-CIR-write was dynamically skipped
+        # (paper II-D: "the lane will copy the corresponding CIR value
+        # to the CIB" at the end of the iteration)
+        if self.ordered_regs:
+            for cir in d.cirs:
+                if (cir, ctx.k + 1) in self._cib:
+                    continue
+                if cir in ctx.received_cirs or cir in ctx.cir_written:
+                    self._publish_cir(ctx, cir, cycle)
+                    continue
+                # never touched this iteration: forward the incoming
+                # value (which must itself have arrived)
+                chan = self._cib.get((cir, ctx.k))
+                if chan is None or chan[0] > cycle:
+                    self._stall(ctx, cycle,
+                                chan[0] if chan else cycle + 1, "cib")
+                    return False
+                self._cib[(cir, ctx.k + 1)] = (cycle, chan[1])
+                if self.events is not None:
+                    self.events.cib_write += 1
+        if self.needs_lsq:
+            ctx.committing = True
+            return self._advance_commit(ctx, cycle)
+        self._retire_iteration(ctx, cycle)
+        return False
+
+    def _advance_commit(self, ctx, cycle):
+        if ctx.k != self._commit_next:
+            self._stall_one(ctx, cycle, "commit")
+            return False
+        if ctx.store_buf:
+            return self._drain_one(ctx, cycle, promote=False)
+        self._retire_iteration(ctx, cycle)
+        return False
+
+    def _drain_one(self, ctx, cycle, promote):
+        """Write one buffered store to memory (needs the memory port)."""
+        if self._mem_grants >= self.cfg.mem_ports:
+            self._stall_one(ctx, cycle, "memport")
+            return True
+        self._mem_grants += 1
+        entry = ctx.store_buf.pop(0)
+        self.cache.access(entry.addr, is_store=True)
+        self.mem.store(entry.addr, entry.size, entry.value)
+        if self.events is not None:
+            self.events.dc_access += 1
+        if self.squash_on_conflict:
+            self._broadcast(entry.addr, ctx, cycle)
+        ctx.ready_at = cycle + 1
+        self.stats.busy += 1
+        if self.trace is not None:
+            self.trace.mark(ctx, cycle, "D")
+        if promote and not ctx.store_buf:
+            ctx.bypass = True
+            ctx.load_words.clear()
+        return True
+
+    def _retire_iteration(self, ctx, cycle):
+        self.stats.iterations += 1
+        self.stats.instrs += ctx.attempt_instrs
+        if self.needs_lsq:
+            self._commit_next += 1
+        if ctx.exit_flag:
+            # data-dependent exit: this (now architectural) iteration
+            # terminates the loop; discard younger speculative work and
+            # snapshot its registers for the LMU copy-back
+            self._exited_at = ctx.k
+            self._exit_regs = {r: ctx.regs[r]
+                               for r in self.d.exit_copy_regs}
+            self._discard_younger(ctx.k, cycle)
+            ctx.exit_flag = False
+        ctx.active = False
+        ctx.committing = False
+        ctx.attempt_instrs = 0
+        ctx.store_buf.clear()
+        ctx.load_words.clear()
+        ctx.received_cirs.clear()
+        ctx.cir_written.clear()
+        ctx.bypass = False
+        ctx.ready_at = cycle + 1
+
+    def _broadcast(self, addr, src_ctx, cycle):
+        """Committed-store address broadcast: squash younger readers."""
+        word = addr & ~3
+        for other in self.contexts:
+            if other is src_ctx or not other.active:
+                continue
+            if (other.k > src_ctx.k
+                    and other.load_words.get(word, src_ctx.k)
+                    < src_ctx.k):
+                self._squash(other, cycle)
+            if self.events is not None and other.k > src_ctx.k:
+                self.events.lsq_search += 1
+
+    def _squash(self, ctx, cycle):
+        self.stats.squashes += 1
+        self.stats.squashed_instrs += ctx.attempt_instrs
+        self.stats.squash_cycles += max(0, cycle - ctx.iter_start)
+        if self.events is not None:
+            self.events.squashed_instr += ctx.attempt_instrs
+        # cascade: younger iterations that forwarded values out of this
+        # iteration's (now discarded) store buffer consumed wrong data
+        if self.cfg.inter_lane_forwarding:
+            for other in self.contexts:
+                if (other is not ctx and other.active
+                        and other.k > ctx.k
+                        and ctx.k in other.load_words.values()):
+                    self._squash(other, cycle)
+        if self.trace is not None:
+            self.trace.mark(ctx, cycle, "X")
+        ctx.attempt_instrs = 0
+        ctx.exit_flag = False
+        ctx.store_buf.clear()
+        ctx.load_words.clear()
+        ctx.cir_written.clear()
+        ctx.pc_index = 0
+        ctx.committing = False
+        ctx.bypass = False
+        ctx.ready_at = cycle + 1
+        # restart state: index + MIVs reset; received CIRs reapplied
+        self._init_iter_regs(ctx)
+        ctx.iter_start = cycle + 1
+
+    # -- iteration setup -------------------------------------------------------
+
+    def _begin_iteration(self, ctx, cycle):
+        k = self._next_k
+        self._next_k += 1
+        ctx.k = k
+        ctx.active = True
+        ctx.committing = False
+        ctx.bypass = False
+        ctx.pc_index = 0
+        ctx.iter_start = cycle
+        ctx.attempt_instrs = 0
+        ctx.received_cirs.clear()
+        ctx.cir_written.clear()
+        self._init_iter_regs(ctx)
+        ctx.ready_at = cycle
+        if self.trace is not None and k:
+            self.trace.mark(ctx, max(0, cycle - 1), "|")
+        if self.events is not None:
+            self.events.idq_op += 1
+
+    def _init_iter_regs(self, ctx):
+        d = self.d
+        k = ctx.k
+        ctx.regs[d.idx_reg] = (self.start_idx + k) & MASK32
+        for miv in d.mivt.values():
+            ctx.regs[miv.reg] = (self.live_in[miv.reg]
+                                 + miv.increment * k) & MASK32
+            if self.events is not None:
+                self.events.miv_mul += 1
+        for cir, value in ctx.received_cirs.items():
+            ctx.regs[cir] = value
+
+    # -- small helpers ------------------------------------------------------------
+
+    def _stall(self, ctx, cycle, until, kind):
+        ctx.ready_at = max(until, cycle + 1)
+        span = ctx.ready_at - cycle
+        if kind == "raw":
+            self.stats.stall_raw += span
+        elif kind == "cib":
+            self.stats.stall_cib += span
+        if self.trace is not None:
+            self.trace.mark(ctx, cycle, "r" if kind == "raw" else "c",
+                            span)
+
+    _TRACE_CODES = {"memport": "m", "llfu": "l", "lsq": "q",
+                    "commit": "w"}
+
+    def _stall_one(self, ctx, cycle, kind):
+        ctx.ready_at = cycle + 1
+        if kind == "memport":
+            self.stats.stall_memport += 1
+        elif kind == "llfu":
+            self.stats.stall_llfu += 1
+        elif kind == "lsq":
+            self.stats.stall_lsq += 1
+        elif kind == "commit":
+            self.stats.stall_commit += 1
+        if self.trace is not None:
+            self.trace.mark(ctx, cycle, self._TRACE_CODES[kind])
+
+    def _llfu_acquire(self, cycle, op):
+        latency = self.lat.for_fu(op.fu)
+        occupy = latency if op.fu in (FU.DIV, FU.FDIV) else 1
+        for i, free in enumerate(self._llfu_free):
+            if free <= cycle:
+                self._llfu_free[i] = cycle + occupy
+                return i
+        return None
+
+    def _count_exec(self, instr):
+        ev = self.events
+        if ev is None:
+            return
+        ev.ib_read += 1
+        for s in instr.src_regs():
+            if s:
+                ev.rf_read += 1
+        if instr.dst_reg() is not None:
+            ev.rf_write += 1
+        fu = instr.op.fu
+        if fu == FU.MUL:
+            ev.mul_op += 1
+        elif fu == FU.DIV:
+            ev.div_op += 1
+        elif fu == FU.FPU:
+            ev.fpu_op += 1
+        elif fu == FU.FDIV:
+            ev.fdiv_op += 1
+        elif not instr.op.is_mem:
+            ev.alu_op += 1

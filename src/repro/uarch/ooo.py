@@ -1,0 +1,248 @@
+"""Out-of-order superscalar GPP timing model (``ooo/2``, ``ooo/4``).
+
+A window-based dataflow model processed in program order, in the spirit
+of gem5's O3 at the fidelity the paper's results depend on:
+
+* fetch/dispatch/retire bounded by ``width``; ROB occupancy bounds the
+  in-flight window;
+* dataflow scheduling against register-ready times (ideal renaming: no
+  false dependences);
+* structural contention for integer ALUs, memory ports, and the
+  long-latency FU pool (int mul/div + FP);
+* store->load memory dependences honoured at word granularity with
+  ideal forwarding (an optimistic LSQ);
+* bimodal predictor; mispredicts redirect fetch after resolution;
+* **conservative AMOs/fences**: an AMO waits for all earlier
+  instructions to complete and stalls fetch until it completes — the
+  paper calls its out-of-order AMO implementation "rather conservative"
+  and attributes the <1x traditional-execution speedups to it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..isa.instructions import FU
+from .branch import BimodalPredictor, make_predictor
+from .cache import L1Cache
+from .params import GPPConfig
+
+#: FU classes served by the shared long-latency unit pool
+_LLFU = (FU.MUL, FU.DIV, FU.FPU, FU.FDIV)
+#: LLFU ops that occupy their unit for the full latency (unpipelined)
+_UNPIPELINED = (FU.DIV, FU.FDIV)
+
+
+class _UnitPool:
+    """A small pool of units, each free at some cycle."""
+
+    __slots__ = ("free_at",)
+
+    def __init__(self, count):
+        self.free_at = [0] * count
+
+    def acquire(self, ready, occupy):
+        """Earliest issue >= *ready* on any unit; occupy it."""
+        best = 0
+        best_t = self.free_at[0]
+        for i in range(1, len(self.free_at)):
+            t = self.free_at[i]
+            if t < best_t:
+                best, best_t = i, t
+        start = ready if ready >= best_t else best_t
+        self.free_at[best] = start + occupy
+        return start
+
+
+class OOOTiming:
+    """Width/window-parameterized out-of-order timing."""
+
+    def __init__(self, config, cache=None, events=None, predictor=None):
+        self.config = config
+        self.lat = config.latencies
+        self.cache = cache if cache is not None else L1Cache(config.cache)
+        self.events = events
+        self.predictor = predictor or make_predictor(
+            config.bpred_kind, config.bpred_entries)
+
+        self.width = config.width
+        self._rob = deque()                      # retire times in flight
+        self._rob_size = config.rob_entries
+        self._alus = _UnitPool(config.width)
+        self._mem = _UnitPool(config.mem_ports)
+        self._llfu = _UnitPool(config.llfus)
+
+        self.reg_ready = [0] * 32
+        self._store_ready = {}                   # word addr -> store done
+        self._fetch_cycle = 0
+        self._fetch_count = 0
+        self._retire_cycle = 0
+        self._retire_count = 0
+        self._redirect = 0                       # fetch gate (mispredict/AMO)
+        self._max_complete = 0                   # for serializing ops
+        self.retired = 0
+        self.mispredicts = 0
+        self.serializations = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _fetch(self):
+        """Next fetch slot honouring width and redirects."""
+        if self._fetch_cycle < self._redirect:
+            self._fetch_cycle = self._redirect
+            self._fetch_count = 0
+        if self._fetch_count >= self.width:
+            self._fetch_cycle += 1
+            self._fetch_count = 0
+        self._fetch_count += 1
+        return self._fetch_cycle
+
+    def _retire(self, complete):
+        """In-order retirement bounded by width; returns retire cycle."""
+        t = complete if complete >= self._retire_cycle else self._retire_cycle
+        if t > self._retire_cycle:
+            self._retire_cycle = t
+            self._retire_count = 0
+        if self._retire_count >= self.width:
+            self._retire_cycle += 1
+            self._retire_count = 0
+        self._retire_count += 1
+        return self._retire_cycle
+
+    # -- main entry -------------------------------------------------------
+
+    def consume(self, step):
+        instr = step.instr
+        op = instr.op
+        ev = self.events
+        if ev is not None:
+            ev.ic_access += 1
+            ev.ooo_rename += 1
+            ev.iq_op += 1
+            ev.rob_op += 1
+            for s in instr.src_regs():
+                if s:
+                    ev.rf_read += 1
+
+        fetch = self._fetch()
+        dispatch = fetch + 1
+        # ROB occupancy: wait for a slot
+        if len(self._rob) >= self._rob_size:
+            oldest = self._rob.popleft()
+            if oldest > dispatch:
+                dispatch = oldest
+
+        ready = dispatch
+        for s in instr.src_regs():
+            t = self.reg_ready[s]
+            if t > ready:
+                ready = t
+
+        fu = op.fu
+        serialize = op.is_amo or op.is_fence
+        if serialize:
+            # conservative AMO: wait for every earlier instruction
+            if self._max_complete > ready:
+                ready = self._max_complete
+            self.serializations += 1
+
+        if op.is_mem and not op.is_fence:
+            word = step.addr & ~3 if step.addr is not None else 0
+            dep = self._store_ready.get(word)
+            if op.is_load and dep is not None and dep > ready:
+                ready = dep
+            access = self.cache.access(step.addr, is_store=op.is_store)
+            if ev is not None:
+                ev.dc_access += 1
+                ev.lsq_search += 1
+                if access > self.cache.config.hit_latency:
+                    ev.dc_miss += 1
+            if op.is_amo:
+                latency = self.lat.amo + (access
+                                          - self.cache.config.hit_latency)
+            elif op.is_load:
+                latency = access
+            else:
+                latency = self.lat.store
+            issue = self._mem.acquire(ready, 1)
+        elif fu in _LLFU:
+            latency = self.lat.for_fu(fu)
+            occupy = latency if fu in _UNPIPELINED else 1
+            issue = self._llfu.acquire(ready, occupy)
+        else:
+            latency = 1
+            issue = self._alus.acquire(ready, 1)
+
+        if ev is not None:
+            self._count_fu(ev, op)
+
+        complete = issue + latency
+        if complete > self._max_complete:
+            self._max_complete = complete
+
+        dst = instr.dst_reg()
+        if dst is not None:
+            self.reg_ready[dst] = complete
+            if ev is not None:
+                ev.rf_write += 1
+        if op.is_store or op.is_amo:
+            if step.addr is not None:
+                self._store_ready[step.addr & ~3] = complete
+
+        if op.is_branch or op.is_xloop:
+            if ev is not None:
+                ev.bpred += 1
+            wrong = self.predictor.predict_and_update(step.pc, step.taken)
+            if wrong:
+                self.mispredicts += 1
+                gate = complete + self.config.mispredict_penalty
+                if gate > self._redirect:
+                    self._redirect = gate
+        elif op.mnemonic == "jalr":
+            # ideal return-address stack: one-bubble redirect
+            gate = fetch + 2
+            if gate > self._redirect:
+                self._redirect = gate
+        if serialize:
+            if complete > self._redirect:
+                self._redirect = complete
+
+        retire = self._retire(complete)
+        self._rob.append(retire)
+        self.retired += 1
+        return issue
+
+    def _count_fu(self, ev, op):
+        fu = op.fu
+        if fu == FU.MUL:
+            ev.mul_op += 1
+        elif fu == FU.DIV:
+            ev.div_op += 1
+        elif fu == FU.FPU:
+            ev.fpu_op += 1
+        elif fu == FU.FDIV:
+            ev.fdiv_op += 1
+        else:
+            ev.alu_op += 1
+
+    @property
+    def cycles(self):
+        return self._retire_cycle + 1 if self.retired else 0
+
+    def advance(self, cycles):
+        """Account externally-spent stall time (specialized phase)."""
+        base = self.cycles + cycles
+        self._fetch_cycle = max(self._fetch_cycle, base)
+        self._fetch_count = 0
+        self._retire_cycle = max(self._retire_cycle, base)
+        self._retire_count = 0
+        self._redirect = max(self._redirect, base)
+        self._max_complete = max(self._max_complete, base)
+        self._rob.clear()
+        self._store_ready.clear()
+
+    def drain(self):
+        """Cycles at which every in-flight instruction has retired
+        (used before handing off to the LPSU: the specialized phase
+        starts only when the xloop reaches the ROB head)."""
+        return self._retire_cycle + 1 if self.retired else 0

@@ -1,0 +1,147 @@
+"""Microarchitectural configuration (paper Table III).
+
+Three baseline GPPs — ``io`` (single-issue in-order), ``ooo/2`` (two-way
+out-of-order), ``ooo/4`` (four-way out-of-order) — each optionally
+augmented with a loop-pattern specialization unit (LPSU) to form
+``io+x``, ``ooo/2+x`` and ``ooo/4+x``.  Design-space variants from
+Fig 9 (``+t`` multithreading, ``x8`` lanes, ``+r`` doubled memory
+ports/LLFUs, ``+m`` 16-entry LSQs) are expressed through
+:class:`LPSUConfig` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..isa.instructions import FU
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Functional-unit latencies in cycles (shared by every model)."""
+
+    alu: int = 1
+    br: int = 1
+    mul: int = 4
+    div: int = 12
+    fpu: int = 4
+    fdiv: int = 12
+    load_hit: int = 2          # load-to-use on an L1 hit
+    store: int = 1
+    amo: int = 3
+    miss_penalty: int = 20     # extra cycles on an L1 miss
+
+    def for_fu(self, fu):
+        return {
+            FU.ALU: self.alu, FU.BR: self.br, FU.MUL: self.mul,
+            FU.DIV: self.div, FU.FPU: self.fpu, FU.FDIV: self.fdiv,
+            FU.MEM: self.load_hit, FU.XLOOP: self.br,
+        }[fu]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """L1 data cache (16 KB, 4-way, 32 B lines as in Section V)."""
+
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 32
+    ways: int = 4
+    hit_latency: int = 2
+    miss_latency: int = 20
+
+
+@dataclass(frozen=True)
+class GPPConfig:
+    """A general-purpose processor baseline."""
+
+    name: str
+    kind: str                    # "io" | "ooo"
+    width: int = 1               # fetch/issue/retire width
+    rob_entries: int = 1
+    mem_ports: int = 1
+    llfus: int = 1
+    mispredict_penalty: int = 3
+    bpred_entries: int = 1024
+    bpred_kind: str = "bimodal"      # "bimodal" | "gshare"
+    latencies: LatencyTable = field(default_factory=LatencyTable)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    @property
+    def is_ooo(self):
+        return self.kind == "ooo"
+
+
+@dataclass(frozen=True)
+class LPSUConfig:
+    """Loop-pattern specialization unit (paper Fig 4 + Section IV-F).
+
+    The primary design is four in-order lanes, a 128-entry instruction
+    buffer per lane, 8+8-entry LSQs, one shared memory port and one
+    shared LLFU (``lpsu+i128+ln4`` in Table V terms).
+    """
+
+    lanes: int = 4
+    ib_entries: int = 128        # loop instruction buffer per lane
+    idq_entries: int = 4         # index queue entries per lane
+    lsq_loads: int = 8           # LSQ load entries per lane
+    lsq_stores: int = 8          # LSQ store entries per lane
+    cib_entries: int = 4         # cross-iteration buffer entries
+    mem_ports: int = 1           # shared with the GPP
+    llfus: int = 1               # shared with the GPP
+    threads_per_lane: int = 1    # 2 => vertical multithreading (+t)
+    # paper II-D: "more aggressive implementations can additionally
+    # allow a load to check the LSQs across lanes for inter-iteration
+    # store-load forwarding" -- avoids squashes on tight recurrences
+    inter_lane_forwarding: bool = False
+    xi_enabled: bool = True      # False models the Section V RTL (no xi)
+    scan_overhead: int = 4       # fixed cycles around the scan phase
+    finish_overhead: int = 4     # LMU -> GPP completion handshake
+    branch_penalty: int = 2      # taken-branch bubble inside a lane
+    # Patterns eligible for specialized execution (an architect "can
+    # choose to only support xloop.uc", Section II-A).
+    specialize_patterns: Tuple[str, ...] = ("uc", "or", "om", "orm", "ua")
+
+    def supports(self, data_pattern):
+        return data_pattern.value in self.specialize_patterns
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Adaptive-execution profiling thresholds (Section IV-D)."""
+
+    profile_iters: int = 256
+    profile_cycles: int = 2000
+    apt_entries: int = 16        # adaptive profiling table capacity
+    migrate_overhead: int = 8    # CIR copy-back / restart cycles
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A full platform: one GPP, optionally one LPSU."""
+
+    name: str
+    gpp: GPPConfig
+    lpsu: Optional[LPSUConfig] = None
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+
+    def with_lpsu(self, suffix="+x", **overrides):
+        lpsu = LPSUConfig(**overrides) if self.lpsu is None else replace(
+            self.lpsu, **overrides)
+        return replace(self, name=self.name + suffix, lpsu=lpsu)
+
+
+# --- the paper's named configurations --------------------------------------
+
+IO = GPPConfig(name="io", kind="io", width=1, rob_entries=1,
+               mem_ports=1, llfus=1, mispredict_penalty=3)
+
+OOO2 = GPPConfig(name="ooo/2", kind="ooo", width=2, rob_entries=64,
+                 mem_ports=1, llfus=1, mispredict_penalty=8)
+
+OOO4 = GPPConfig(name="ooo/4", kind="ooo", width=4, rob_entries=128,
+                 mem_ports=2, llfus=2, mispredict_penalty=10)
+
+
+def baseline(name):
+    return {"io": IO, "ooo/2": OOO2, "ooo/4": OOO4}[name]

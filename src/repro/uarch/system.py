@@ -1,0 +1,249 @@
+"""Full-system simulation: a GPP (in-order or out-of-order) optionally
+augmented with an LPSU, running an assembled program end to end in one
+of the paper's three execution modes:
+
+``traditional``
+    xloops execute as conditional branches on the GPP (Section II-C).
+``specialized``
+    every supported xloop the GPP reaches is scanned into the LPSU and
+    executed there while the GPP stalls (Section II-D).
+``adaptive``
+    per-xloop profiling via the APT decides between the two
+    (Section II-E).
+
+The GPP timing models consume the functional instruction stream
+online; when an xloop is handed to the LPSU, the LPSU advances the
+shared architectural memory itself and the GPP timing is advanced by
+the specialized-phase cycle count (the GPP stalls during specialized
+execution, so sequential composition is timing-exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..energy.events import EnergyEvents
+from ..sim.functional import FunctionalCore, SimError
+from ..sim.memory import Memory, to_s32
+from .adaptive import (AdaptiveProfilingTable, DECIDED_SPECIALIZED,
+                       DECIDED_TRADITIONAL, GPP_PROFILING, LPSU_PROFILING)
+from .cache import L1Cache
+from .descriptor import ScanError, scan_loop
+from .inorder import InOrderTiming
+from .lpsu import LPSU, LPSUStats
+from .ooo import OOOTiming
+from .params import SystemConfig
+
+MODES = ("traditional", "specialized", "adaptive")
+
+
+@dataclass
+class RunResult:
+    """Everything the eval harness needs from one simulation."""
+
+    config_name: str
+    mode: str
+    cycles: int
+    gpp_instrs: int
+    lpsu_instrs: int
+    events: EnergyEvents
+    lpsu_stats: LPSUStats
+    xloop_invocations: int = 0
+    specialized_invocations: int = 0
+    adaptive_decisions: Dict[int, str] = field(default_factory=dict)
+    return_value: int = 0
+    cache_misses: int = 0
+    cache_accesses: int = 0
+
+    @property
+    def total_instrs(self):
+        return self.gpp_instrs + self.lpsu_instrs
+
+
+class SystemSimulator:
+    """Simulate *program* on *config* in a given execution mode."""
+
+    def __init__(self, program, config, mem=None):
+        self.program = program
+        self.config = config
+        self.mem = mem if mem is not None else Memory()
+        self.events = EnergyEvents()
+        self.cache = L1Cache(config.gpp.cache)
+        if config.gpp.is_ooo:
+            self.timing = OOOTiming(config.gpp, self.cache, self.events)
+        else:
+            self.timing = InOrderTiming(config.gpp, self.cache, self.events)
+        self.core = FunctionalCore(program, self.mem)
+        self.apt = AdaptiveProfilingTable(config.adaptive)
+        self.lpsu_stats = LPSUStats()
+        self.lpsu_instrs = 0
+        self.xloop_invocations = 0
+        self.specialized_invocations = 0
+        self._ineligible = set()
+        # per-xloop-pc cycle stamp of the previous taken encounter
+        # (measures traditional per-iteration cost for profiling)
+        self._last_seen_cycle = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, entry="main", args=(), mode="traditional",
+            max_steps=200_000_000):
+        if mode not in MODES:
+            raise ValueError("unknown mode %r" % mode)
+        if mode != "traditional" and self.config.lpsu is None:
+            raise ValueError("config %r has no LPSU" % self.config.name)
+        core = self.core
+        core.setup_call(entry, args)
+        steps = 0
+        while not core.halted:
+            instr = self.program.instr_at(core.pc)
+            if instr.op.is_xloop and mode != "traditional":
+                if self._maybe_specialize(instr, mode):
+                    continue
+            step = core.step()
+            self.timing.consume(step)
+            steps += 1
+            if steps > max_steps:
+                raise SimError("GPP exceeded %d steps" % max_steps)
+        return RunResult(
+            config_name=self.config.name, mode=mode,
+            cycles=self.timing.cycles, gpp_instrs=core.icount,
+            lpsu_instrs=self.lpsu_instrs, events=self.events,
+            lpsu_stats=self.lpsu_stats,
+            xloop_invocations=self.xloop_invocations,
+            specialized_invocations=self.specialized_invocations,
+            adaptive_decisions=dict(self.apt.decisions),
+            return_value=core.return_value,
+            cache_misses=self.cache.misses,
+            cache_accesses=self.cache.accesses)
+
+    # ------------------------------------------------------------------
+    # xloop dispatch
+    # ------------------------------------------------------------------
+
+    def _taken(self, instr):
+        regs = self.core.regs
+        return to_s32(regs[instr.rs1]) < to_s32(regs[instr.rs2])
+
+    def _eligible(self, instr):
+        """Can this xloop run specialized on the configured LPSU?
+
+        Ineligibility (unsupported pattern, oversized body, malformed
+        scan) is static per xloop PC, so it is cached; the descriptor
+        itself is rebuilt per invocation because ``addu.xi`` increments
+        resolve against live-in register values.
+        """
+        if instr.pc in self._ineligible:
+            return None
+        lpsu_cfg = self.config.lpsu
+        if not lpsu_cfg.supports(instr.op.xloop_kind.data):
+            self._ineligible.add(instr.pc)
+            return None
+        try:
+            desc = scan_loop(self.program, instr, self.core.regs)
+        except (ScanError, IndexError):
+            self._ineligible.add(instr.pc)
+            return None
+        if desc.body_len > lpsu_cfg.ib_entries:
+            self._ineligible.add(instr.pc)
+            return None  # too large: fall back to traditional (II-A)
+        return desc
+
+    def _maybe_specialize(self, instr, mode):
+        """Possibly execute the xloop at core.pc on the LPSU.  Returns
+        True when the xloop (or part of it) was handled here."""
+        if not self._taken(instr):
+            return False
+        self.xloop_invocations += 1
+
+        if mode == "specialized":
+            desc = self._eligible(instr)
+            if desc is None:
+                return False
+            self._run_specialized(desc)
+            return True
+
+        # -- adaptive ------------------------------------------------------
+        pc = instr.pc
+        entry = self.apt.lookup(pc)
+        if entry.state == DECIDED_TRADITIONAL:
+            return False
+        if entry.state == DECIDED_SPECIALIZED:
+            desc = self._eligible(instr)
+            if desc is None:
+                return False
+            self._run_specialized(desc)
+            return True
+        if entry.state == GPP_PROFILING:
+            now = self.timing.cycles
+            last = self._last_seen_cycle.get(pc, now)
+            self._last_seen_cycle[pc] = now
+            finished = self.apt.record_gpp_iteration(pc, now - last)
+            if not finished:
+                return False          # keep executing traditionally
+            # fall through into LPSU profiling
+            entry.state = LPSU_PROFILING
+        if entry.state == LPSU_PROFILING:
+            desc = self._eligible(instr)
+            if desc is None:
+                self.apt.record_lpsu_profile(pc, 1, 10 ** 9)
+                return False
+            # profile at least a couple of iterations per lane --
+            # fewer could never exhibit cross-iteration parallelism
+            floor = 2 * self.config.lpsu.lanes
+            result = self._run_specialized(
+                desc, max_iters=max(entry.gpp_iters, floor))
+            decision = self.apt.record_lpsu_profile(
+                pc, result.iterations, result.cycles)
+            if decision == DECIDED_TRADITIONAL:
+                # migrate back: the remaining iterations run on the GPP
+                self.timing.advance(self.config.adaptive.migrate_overhead)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _run_specialized(self, desc, max_iters=None):
+        """Scan + specialized execution phase; updates arch state."""
+        core = self.core
+        lpsu = LPSU(desc, core.regs, self.mem, self.cache,
+                    self.config.lpsu, self.events)
+        result = lpsu.run(self.config.gpp.latencies, max_iters=max_iters)
+
+        self.specialized_invocations += 1
+        self.lpsu_stats.__dict__.update({
+            k: getattr(self.lpsu_stats, k) + getattr(result.stats, k)
+            for k in vars(result.stats)})
+        self.lpsu_instrs += result.stats.instrs
+
+        # architectural hand-back: index, dynamic bound, CIR live-outs,
+        # and MIV registers (a traditionally-resumed loop continues to
+        # advance them with plain adds)
+        regs = core.regs
+        regs[desc.idx_reg] = result.final_idx & 0xFFFFFFFF
+        regs[desc.bound_reg] = result.final_bound & 0xFFFFFFFF
+        for cir, value in result.cir_values.items():
+            regs[cir] = value
+        for miv, value in result.miv_values.items():
+            regs[miv] = value
+        for reg, value in (result.exit_regs or {}).items():
+            regs[reg] = value   # .de: exiting lane's register state
+        # the GPP stalls for the whole specialized phase
+        self.timing.advance(result.cycles)
+        if result.exited:
+            # a data-dependent exit: resume at the xloop fall-through
+            # (the xloop's test would otherwise re-enter the loop)
+            core.pc = desc.xloop_pc + 4
+            return result
+        # core.pc stays at the xloop: the next functional step executes
+        # it as a (now not-taken, unless stopped early) branch, which
+        # also resumes traditional execution seamlessly after profiling
+        return result
+
+
+def simulate(program, config, entry="main", args=(), mode="traditional",
+             mem=None):
+    """One-shot convenience wrapper returning a :class:`RunResult`."""
+    sim = SystemSimulator(program, config, mem=mem)
+    return sim.run(entry=entry, args=args, mode=mode)

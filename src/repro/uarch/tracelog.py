@@ -1,0 +1,122 @@
+"""Per-cycle LPSU lane-occupancy tracing.
+
+Attach a :class:`LaneTrace` to an :class:`~repro.uarch.lpsu.LPSU` and
+every lane context marks what it did each cycle.  ``render()`` draws an
+ASCII pipeline diagram — one row per lane context, one column per
+cycle — which makes the paper's bottleneck stories (CIB serialization,
+LSQ pressure, squash storms) directly visible:
+
+    lane0  EEEMrrEEM.EEEM...
+    lane1  .EEEMccccEEM..X..
+           ^ E=execute M=memory r=RAW c=CIB q=LSQ w=commit X=squash
+
+Use :func:`trace_specialized` for the one-call version: it runs the
+first eligible xloop of a compiled kernel under specialized execution
+and returns the rendered diagram.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+LEGEND = {
+    "E": "execute (ALU/branch)",
+    "M": "execute (memory)",
+    "r": "RAW stall",
+    "c": "CIB wait (cross-iteration register)",
+    "m": "memory-port structural stall",
+    "l": "LLFU structural stall",
+    "q": "LSQ full / overlap stall",
+    "w": "commit-order wait",
+    "D": "store-buffer drain",
+    "X": "squash",
+    "|": "iteration boundary",
+    ".": "idle",
+}
+
+
+class LaneTrace:
+    """Records one mark per (context, cycle)."""
+
+    def __init__(self, max_cycles=2000):
+        self.max_cycles = max_cycles
+        self._rows: Dict[int, Dict[int, str]] = {}
+        self._ids: Dict[int, int] = {}
+        self.cycles_seen = 0
+
+    def _row(self, ctx):
+        key = id(ctx)
+        if key not in self._ids:
+            self._ids[key] = len(self._ids)
+            self._rows[self._ids[key]] = {}
+        return self._rows[self._ids[key]]
+
+    def mark(self, ctx, cycle, code, span=1):
+        if cycle >= self.max_cycles:
+            return
+        if cycle + 1 > self.cycles_seen:
+            self.cycles_seen = min(self.max_cycles, cycle + span)
+        row = self._row(ctx)
+        for c in range(cycle, min(cycle + span, self.max_cycles)):
+            # don't let a later 'idle' overwrite a real event
+            if c not in row or code != ".":
+                row[c] = code
+
+    def render(self, start=0, width=120):
+        """ASCII diagram of cycles [start, start+width)."""
+        if not self._rows:
+            return "(no trace recorded)"
+        end = min(start + width, self.cycles_seen)
+        lines = []
+        for row_id in sorted(self._rows):
+            row = self._rows[row_id]
+            chars = "".join(row.get(c, ".") for c in range(start, end))
+            lines.append("lane%-2d %s" % (row_id, chars))
+        used = sorted({ch for row in self._rows.values()
+                       for ch in row.values()} | {"."})
+        legend = "  ".join("%s=%s" % (ch, LEGEND.get(ch, "?"))
+                           for ch in used)
+        lines.append("cycles %d..%d   %s" % (start, end, legend))
+        return "\n".join(lines)
+
+
+def trace_specialized(program, entry, args, mem, lpsu_config=None,
+                      latencies=None, max_cycles=2000):
+    """Run *program* until its first eligible xloop, execute that loop
+    on a traced LPSU, and return ``(LaneTrace, LPSUResult)``.
+
+    The functional core runs traditionally up to the xloop; the loop
+    itself executes specialized with tracing attached.
+    """
+    from ..sim.functional import FunctionalCore
+    from .cache import L1Cache
+    from .descriptor import ScanError, scan_loop
+    from .lpsu import LPSU
+    from .params import IO, LPSUConfig
+
+    lpsu_config = lpsu_config or LPSUConfig()
+    latencies = latencies or IO.latencies
+    core = FunctionalCore(program, mem)
+    core.setup_call(entry, args)
+    cache = L1Cache(IO.cache)
+    while not core.halted:
+        instr = program.instr_at(core.pc)
+        if instr.op.is_xloop:
+            from ..sim.memory import to_s32
+            taken = (to_s32(core.regs[instr.rs1])
+                     < to_s32(core.regs[instr.rs2]))
+            if taken:
+                try:
+                    desc = scan_loop(program, instr, core.regs)
+                except ScanError:
+                    desc = None
+                if desc is not None and desc.body_len \
+                        <= lpsu_config.ib_entries \
+                        and lpsu_config.supports(desc.kind.data):
+                    trace = LaneTrace(max_cycles=max_cycles)
+                    lpsu = LPSU(desc, core.regs, mem, cache,
+                                lpsu_config, trace=trace)
+                    result = lpsu.run(latencies)
+                    return trace, result
+        core.step()
+    raise ValueError("no eligible xloop reached by %r" % entry)

@@ -1,0 +1,10 @@
+"""VLSI evaluation (paper Section V): CACTI-lite SRAM estimates and the
+Table V area / cycle-time model for the uc-only LPSU implementation."""
+
+from .cacti import SRAMEstimate, sram, buffer_array, cache_macro
+from .area import (AreaReport, gpp_area, lpsu_area, cycle_time_ns,
+                   table5_rows, GPP_CORE_LOGIC, LANE_LOGIC, LMU_AREA)
+
+__all__ = ["SRAMEstimate", "sram", "buffer_array", "cache_macro",
+           "AreaReport", "gpp_area", "lpsu_area", "cycle_time_ns",
+           "table5_rows", "GPP_CORE_LOGIC", "LANE_LOGIC", "LMU_AREA"]

@@ -1,0 +1,105 @@
+"""Post-place-and-route area model for the LPSU (paper Table V).
+
+An analytical model calibrated to the paper's reported points for the
+uc-only LPSU implementation in 40 nm TSMC:
+
+* baseline five-stage GPP with 16 KB I$ + 16 KB D$: **0.25 mm²**;
+* the primary design ``lpsu+i128+ln4`` adds ~43%;
+* sweeping the instruction buffer 96-192 entries (4 lanes) costs
+  41-48% overhead; sweeping lanes 2-8 (128-entry IB) costs 24-77% —
+  area grows roughly linearly with the number of lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .cacti import buffer_array, cache_macro, sram
+
+#: GPP component areas (mm^2, 40nm) - sums to ~0.25
+GPP_CORE_LOGIC = 0.078
+GPP_MULDIV = 0.012
+GPP_FPU = 0.016
+
+#: per-lane datapath (regfile + ALU + AGU + control), mm^2
+LANE_LOGIC = 0.01435
+#: LMU + index queues + arbiters (fixed), mm^2
+LMU_AREA = 0.01583
+#: per-lane index queue + small buffers
+IDQ_AREA = 0.0006
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """One Table V row."""
+
+    name: str
+    lanes: int
+    ib_entries: int
+    breakdown: Dict[str, float]
+
+    @property
+    def total_mm2(self):
+        return sum(self.breakdown.values())
+
+    @property
+    def lpsu_mm2(self):
+        return sum(v for k, v in self.breakdown.items()
+                   if k in ("lanes", "ib", "idq", "lmu"))
+
+    def overhead_vs(self, baseline):
+        return self.total_mm2 / baseline.total_mm2 - 1.0
+
+
+def gpp_area(icache_bytes=16 * 1024, dcache_bytes=16 * 1024):
+    """Baseline scalar GPP area report."""
+    return AreaReport(
+        name="scalar", lanes=0, ib_entries=0,
+        breakdown={
+            "core": GPP_CORE_LOGIC,
+            "muldiv": GPP_MULDIV,
+            "fpu": GPP_FPU,
+            "icache": cache_macro(icache_bytes).area_mm2,
+            "dcache": cache_macro(dcache_bytes).area_mm2,
+        })
+
+
+def lpsu_area(lanes=4, ib_entries=128, icache_bytes=16 * 1024,
+              dcache_bytes=16 * 1024):
+    """GPP + LPSU area report (``lpsu+iNNN+lnK`` naming as in Table V).
+
+    The LLFU (mul/div/FP) and the memory port are *shared* with the
+    GPP — the key design decision keeping overhead low (Section V-B).
+    """
+    base = gpp_area(icache_bytes, dcache_bytes)
+    ib_bytes = ib_entries * 4
+    breakdown = dict(base.breakdown)
+    breakdown["lanes"] = LANE_LOGIC * lanes
+    breakdown["ib"] = buffer_array(ib_bytes).area_mm2 * lanes
+    breakdown["idq"] = IDQ_AREA * lanes
+    breakdown["lmu"] = LMU_AREA
+    return AreaReport(name="lpsu+i%03d+ln%d" % (ib_entries, lanes),
+                      lanes=lanes, ib_entries=ib_entries,
+                      breakdown=breakdown)
+
+
+def cycle_time_ns(lanes=0, ib_entries=0):
+    """Post-PnR cycle time (ns).  The arbitration/broadcast fan-in
+    grows with lane count; the IB adds a small wordline cost."""
+    if lanes == 0:
+        return 1.90
+    return 1.785 + 0.093 * lanes + 0.0003 * ib_entries
+
+
+def table5_rows():
+    """The Table V configuration sweep."""
+    base = gpp_area()
+    rows = [("scalar", base, cycle_time_ns())]
+    for ib in (96, 128, 160, 192):
+        report = lpsu_area(lanes=4, ib_entries=ib)
+        rows.append((report.name, report, cycle_time_ns(4, ib)))
+    for lanes in (2, 6, 8):
+        report = lpsu_area(lanes=lanes, ib_entries=128)
+        rows.append((report.name, report, cycle_time_ns(lanes, 128)))
+    return rows

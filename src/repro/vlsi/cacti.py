@@ -1,0 +1,69 @@
+"""CACTI-lite: first-order SRAM area / access-energy estimates.
+
+The paper models cache tag/data SRAMs and the LPSU instruction-buffer
+SRAM with CACTI [26] because no memory compiler was available for the
+40 nm target.  We reproduce that with a simple linear-plus-overhead
+model calibrated so that the paper's two anchor points hold:
+
+* a 16 KB cache macro is a substantial fraction of the 0.25 mm² core;
+* one instruction-buffer access costs ~10x less than an
+  instruction-cache access (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: mm^2 per byte of SRAM payload (40 nm, 6T cell + array overheads)
+_MM2_PER_BYTE = 4.0e-6
+#: fixed periphery overhead per macro (decoders, sense amps), mm^2
+_MACRO_OVERHEAD = 0.0013
+#: pJ scaling for access energy: E = base + slope * sqrt(bytes)
+_E_BASE_PJ = 0.9
+_E_SLOPE_PJ = 0.31
+
+
+@dataclass(frozen=True)
+class SRAMEstimate:
+    """Area and per-access energy of one SRAM macro."""
+
+    bytes: int
+    area_mm2: float
+    read_energy_pj: float
+
+
+def sram(bytes_):
+    """Estimate an SRAM macro of *bytes_* payload bytes."""
+    if bytes_ <= 0:
+        raise ValueError("SRAM size must be positive")
+    area = _MACRO_OVERHEAD + _MM2_PER_BYTE * bytes_
+    energy = _E_BASE_PJ + _E_SLOPE_PJ * (bytes_ ** 0.5)
+    return SRAMEstimate(bytes=bytes_, area_mm2=area,
+                        read_energy_pj=energy)
+
+
+#: mm^2 per byte for small latch/flop-based buffers (IB, IDQ, CIB):
+#: far less dense than a compiled SRAM macro
+_MM2_PER_BUFFER_BYTE = 1.139e-5
+
+
+def buffer_array(bytes_):
+    """Estimate a small flop/latch-based buffer (LPSU instruction
+    buffer, index queues, CIBs)."""
+    if bytes_ <= 0:
+        raise ValueError("buffer size must be positive")
+    area = _MACRO_OVERHEAD + _MM2_PER_BUFFER_BYTE * bytes_
+    energy = 0.5 + 0.12 * (bytes_ ** 0.5)
+    return SRAMEstimate(bytes=bytes_, area_mm2=area,
+                        read_energy_pj=energy)
+
+
+def cache_macro(size_bytes, line_bytes=32, ways=4):
+    """A cache = data array + tag array (tags ~7% of data bits)."""
+    tags = int(size_bytes * 0.07)
+    data = sram(size_bytes)
+    tag = sram(max(64, tags))
+    return SRAMEstimate(
+        bytes=size_bytes,
+        area_mm2=data.area_mm2 + tag.area_mm2,
+        read_energy_pj=data.read_energy_pj + tag.read_energy_pj)

@@ -1,0 +1,263 @@
+import pytest
+
+from repro.asm import AsmSyntaxError, assemble, split_li
+from repro.asm.program import DATA_BASE, TEXT_BASE
+from repro.isa import decode, encode
+
+
+def test_basic_layout_and_symbols():
+    prog = assemble("""
+        .text
+    main:
+        addi a0, zero, 5
+        add  a0, a0, a0
+        ret
+    """)
+    assert prog.entry("main") == TEXT_BASE
+    assert len(prog.instrs) == 3
+    assert [i.pc for i in prog.instrs] == [TEXT_BASE, TEXT_BASE + 4,
+                                           TEXT_BASE + 8]
+
+
+def test_branch_offsets_are_pc_relative():
+    prog = assemble("""
+    top:
+        addi t0, t0, 1
+        bne  t0, t1, top
+        beq  t0, t1, done
+        nop
+    done:
+        ret
+    """)
+    bne = prog.instrs[1]
+    assert bne.imm == -4
+    beq = prog.instrs[2]
+    assert beq.branch_target() == prog.entry("done")
+
+
+def test_xloop_body_label_must_be_backward():
+    with pytest.raises(AsmSyntaxError):
+        assemble("""
+            xloop.uc t0, t1, fwd
+        fwd:
+            nop
+        """)
+
+
+def test_xloop_assembles_with_backward_label():
+    prog = assemble("""
+    body:
+        addi t0, t0, 1
+        xloop.om t0, a1, body
+    """)
+    x = prog.instrs[1]
+    assert x.mnemonic == "xloop.om"
+    assert x.branch_target() == prog.entry("body")
+
+
+def test_pseudo_expansions():
+    prog = assemble("""
+        nop
+        mv   t0, t1
+        neg  t2, t3
+        not  t4, t5
+        seqz a0, a1
+        snez a2, a3
+        j    end
+        jr   ra
+        ret
+    end:
+        call end
+    """)
+    ms = [i.mnemonic for i in prog.instrs]
+    assert ms == ["addi", "addi", "sub", "xori", "sltiu", "sltu",
+                  "jal", "jalr", "jalr", "jal"]
+
+
+def test_li_values_execute_correctly():
+    from repro.sim import FunctionalCore, to_s32
+    prog = assemble("""
+    main:
+        li a0, 0x12345
+        li a1, -100000
+        li a2, 2047
+        li a3, -2048
+        ret
+    """)
+    core = FunctionalCore(prog)
+    core.setup_call("main")
+    core.run()
+    assert core.regs[10] == 0x12345
+    assert to_s32(core.regs[11]) == -100000
+    assert to_s32(core.regs[12]) == 2047
+    assert to_s32(core.regs[13]) == -2048
+
+
+def test_split_li_reconstructs():
+    for v in (0, 1, -1, 2047, -2048, 2048, 0x12345, -0x12345,
+              (1 << 28) - 1, -(1 << 28)):
+        hi, lo = split_li(v)
+        assert (hi << 12) + lo == v
+        assert -(1 << 11) <= lo < (1 << 11)
+    with pytest.raises(ValueError):
+        split_li(1 << 29)
+
+
+def test_la_and_data_directives():
+    prog = assemble("""
+        .data
+    tbl:    .word 1, 2, 3
+    msg:    .asciiz "hi"
+    buf:    .space 8
+    flt:    .float 1.5
+        .text
+    main:
+        la a0, tbl
+        ret
+    """)
+    assert prog.symbols["tbl"] == DATA_BASE
+    assert prog.symbols["msg"] == DATA_BASE + 12
+    assert prog.symbols["buf"] == DATA_BASE + 15
+    assert prog.symbols["flt"] == DATA_BASE + 23
+    assert prog.data[:4] == b"\x01\x00\x00\x00"
+    assert prog.data[12:15] == b"hi\x00"
+
+
+def test_align_directive():
+    prog = assemble("""
+        .data
+    a:  .byte 1
+        .align 2
+    b:  .word 7
+    """)
+    assert prog.symbols["b"] == DATA_BASE + 4
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble("x:\n nop\nx:\n nop\n")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble(" la a0, nowhere\n")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble(" frobnicate a0, a1\n")
+
+
+def test_operand_count_checked():
+    with pytest.raises(AsmSyntaxError):
+        assemble(" add a0, a1\n")
+
+
+def test_memory_operand_forms():
+    prog = assemble("""
+        lw t0, 8(sp)
+        lw t1, (sp)
+        sw t0, -4(s0)
+        amo.add t2, t3, (a0)
+    """)
+    assert prog.instrs[0].imm == 8
+    assert prog.instrs[1].imm == 0
+    assert prog.instrs[2].imm == -4
+    amo = prog.instrs[3]
+    assert (amo.rd, amo.rs2, amo.rs1) == (7, 28, 10)
+
+
+def test_comments_and_blank_lines_ignored():
+    prog = assemble("""
+        # full-line comment
+        nop      # trailing comment
+        nop      // c++ style
+
+    """)
+    assert len(prog.instrs) == 2
+
+
+def test_whole_program_encodes():
+    prog = assemble("""
+    main:
+        li   t0, 0
+        li   t1, 100
+    loop:
+        addi t0, t0, 1
+        xloop.uc t0, t1, loop
+        ret
+    """)
+    for ins in prog.instrs:
+        out = decode(encode(ins), pc=ins.pc)
+        assert out.mnemonic == ins.mnemonic
+        assert out.imm == ins.imm
+
+
+def test_listing_contains_labels_and_mnemonics():
+    prog = assemble("main:\n addi a0, zero, 1\n ret\n")
+    listing = prog.listing()
+    assert "main:" in listing
+    assert "addi" in listing
+
+
+class TestRoundTripFixpoint:
+    """Assemble -> disassemble -> reassemble must be a fixpoint."""
+
+    SOURCES = [
+        """
+main:
+    li   t0, 0
+    li   t1, 64
+body:
+    slli t2, t0, 2
+    add  t3, a0, t2
+    lw   t4, 0(t3)
+    amo.add t5, t4, (a1)
+    addi t0, t0, 1
+    xloop.uc t0, t1, body
+    ret
+""",
+        """
+f:
+    addi sp, sp, -16
+    sw   ra, 0(sp)
+    fadd.s a0, a1, a2
+    fcvt.w.s a0, a0
+    call f
+    lw   ra, 0(sp)
+    addi sp, sp, 16
+    ret
+""",
+        """
+s:
+    li  t0, 5
+loop:
+    addiu.xi t1, t1, 8
+    addu.xi  t2, t2, t3
+    addi t0, t0, 1
+    xloop.orm.db t0, t4, loop
+    xloop.break out
+out:
+    ret
+""",
+    ]
+
+    @pytest.mark.parametrize("idx", range(3))
+    def test_fixpoint(self, idx):
+        from repro.asm import format_instr
+        src = self.SOURCES[idx]
+        prog1 = assemble(src)
+        # rebuild source from the disassembly (labels via branch targets)
+        lines = []
+        for ins in prog1.instrs:
+            label = prog1.label_at(ins.pc)
+            if label:
+                lines.append("%s:" % label)
+            text = format_instr(ins)
+            lines.append("    " + text)
+        prog2 = assemble("\n".join(lines) + "\n")
+        assert len(prog1.instrs) == len(prog2.instrs)
+        for a, b in zip(prog1.instrs, prog2.instrs):
+            assert a.mnemonic == b.mnemonic
+            assert (a.rd, a.rs1, a.rs2, a.imm) == (b.rd, b.rs1, b.rs2,
+                                                   b.imm), a

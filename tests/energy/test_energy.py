@@ -1,0 +1,121 @@
+"""Energy-model tests: event accounting, pricing, and the qualitative
+relations the paper's Figs 8/10 depend on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy import (EnergyEvents, EnergyTable, MCPAT_45NM, VLSI_40NM,
+                          energy_breakdown, energy_nj, system_energy)
+from repro.energy.mcpat import LMU_OVERHEAD
+
+
+class TestEvents:
+    def test_defaults_zero(self):
+        assert EnergyEvents().total_events() == 0
+
+    def test_add_accumulates(self):
+        a = EnergyEvents(alu_op=3, rf_read=2)
+        b = EnergyEvents(alu_op=1, dc_access=5)
+        a.add(b)
+        assert a.alu_op == 4
+        assert a.dc_access == 5
+        assert b.alu_op == 1
+
+    def test_copy_is_independent(self):
+        a = EnergyEvents(alu_op=3)
+        c = a.copy()
+        c.alu_op += 1
+        assert a.alu_op == 3
+
+    def test_as_dict_roundtrip(self):
+        a = EnergyEvents(ic_access=7)
+        assert a.as_dict()["ic_access"] == 7
+
+    def test_repr_shows_nonzero_only(self):
+        assert "alu_op" in repr(EnergyEvents(alu_op=1))
+        assert "dc_access" not in repr(EnergyEvents(alu_op=1))
+
+
+class TestPricing:
+    def test_zero_events_zero_energy(self):
+        assert energy_nj(EnergyEvents()) == 0.0
+
+    def test_linear_in_counts(self):
+        one = energy_nj(EnergyEvents(alu_op=1))
+        ten = energy_nj(EnergyEvents(alu_op=10))
+        assert ten == pytest.approx(10 * one)
+
+    @given(n=st.integers(min_value=0, max_value=10 ** 6))
+    def test_nonnegative(self, n):
+        assert energy_nj(EnergyEvents(ic_access=n, dc_access=n)) >= 0.0
+
+    def test_ib_access_about_10x_cheaper_than_icache(self):
+        # headline VLSI observation (Section V-C)
+        for table in (MCPAT_45NM, VLSI_40NM):
+            assert table.ic_access / table.ib_read == pytest.approx(
+                10.0, rel=0.25)
+
+    def test_lmu_overhead_applied_to_lpsu_events(self):
+        ev = EnergyEvents(ib_read=1000)
+        bd = energy_breakdown(ev)
+        assert "lmu_overhead" in bd
+        assert bd["lmu_overhead"] == pytest.approx(
+            bd["ib_read"] * LMU_OVERHEAD)
+
+    def test_no_lmu_overhead_for_pure_gpp_run(self):
+        ev = EnergyEvents(ic_access=1000, alu_op=500)
+        assert "lmu_overhead" not in energy_breakdown(ev)
+
+    def test_ooo_width_scales_bookkeeping(self):
+        ev = EnergyEvents(rob_op=100, iq_op=100, ooo_rename=100)
+        e2 = energy_nj(ev, ooo_width=2)
+        e4 = energy_nj(ev, ooo_width=4)
+        assert e4 == pytest.approx(2 * e2)
+
+    def test_width_scale_only_hits_ooo_events(self):
+        ev = EnergyEvents(alu_op=100)
+        assert energy_nj(ev, ooo_width=4) == energy_nj(ev, ooo_width=0)
+
+    def test_xi_priced_as_multiply(self):
+        assert MCPAT_45NM.miv_mul == MCPAT_45NM.mul_op
+
+
+class TestQualitativeShapes:
+    def test_same_work_cheaper_from_ib_than_icache(self):
+        """Executing N instructions from the LPSU instruction buffer
+        must cost less than fetching them from the I-cache."""
+        n = 10_000
+        gpp = EnergyEvents(ic_access=n, alu_op=n, rf_read=2 * n,
+                           rf_write=n)
+        lpsu = EnergyEvents(ib_read=n, alu_op=n, rf_read=2 * n,
+                            rf_write=n)
+        assert energy_nj(lpsu) < energy_nj(gpp)
+
+    def test_ooo_per_instruction_overhead_visible(self):
+        n = 10_000
+        base = EnergyEvents(ic_access=n, alu_op=n)
+        ooo = base.copy()
+        ooo.rob_op = n
+        ooo.iq_op = n
+        ooo.ooo_rename = n
+        assert energy_nj(ooo, ooo_width=4) > 1.5 * energy_nj(base)
+
+
+class TestSystemEnergy:
+    def test_accepts_run_result(self):
+        from repro.asm import assemble
+        from repro.uarch import IO, OOO4, SystemConfig, simulate
+        prog = assemble("""
+main:
+    li t0, 0
+    li t1, 100
+body:
+    addi t0, t0, 1
+    xloop.uc t0, t1, body
+    ret
+""")
+        r_io = simulate(prog, SystemConfig("io", IO))
+        r_o4 = simulate(prog, SystemConfig("ooo/4", OOO4))
+        e_io = system_energy(r_io, SystemConfig("io", IO))
+        e_o4 = system_energy(r_o4, SystemConfig("ooo/4", OOO4))
+        assert e_o4 > e_io  # same work, fatter machine

@@ -1,0 +1,66 @@
+"""JSON export tests."""
+
+import json
+
+import pytest
+
+from repro.eval import (build_row, build_table5, fig8_data, load_json,
+                        run, run_to_dict, save_json, series_to_dict,
+                        table2_to_dict, table5_to_dict)
+
+
+class TestSerializers:
+    def test_run_to_dict(self):
+        r = run("sha-or", "io+x", mode="specialized", scale="tiny")
+        d = run_to_dict(r)
+        assert d["kernel"] == "sha-or"
+        assert d["cycles"] == r.cycles
+        assert d["lpsu"]["iterations"] == r.lpsu_stats.iterations
+        json.dumps(d)   # must be JSON-safe
+
+    def test_table2_to_dict_with_geomeans(self):
+        rows = [build_row("sha-or", scale="tiny"),
+                build_row("rgb2cmyk-uc", scale="tiny")]
+        d = table2_to_dict(rows)
+        assert len(d["rows"]) == 2
+        assert "io:S" in d["geomeans"]
+        assert d["geomeans"]["io:S"] > 0
+        json.dumps(d)
+
+    def test_table2_empty(self):
+        assert table2_to_dict([]) == {"rows": [], "geomeans": {}}
+
+    def test_table5_to_dict(self):
+        d = table5_to_dict(build_table5())
+        assert d[0]["name"] == "scalar"
+        assert all("total_mm2" in row for row in d)
+        json.dumps(d)
+
+    def test_series_to_dict(self):
+        d = series_to_dict({"S": {"a": 1.0}, "A": {"a": 2.0}})
+        assert d == {"S": {"a": 1.0}, "A": {"a": 2.0}}
+
+    def test_fig8_points(self):
+        from repro.eval import fig8_to_dict
+        pts = fig8_data(kernels=("sha-or",), configs=("io+x",),
+                        modes=("specialized",), scale="tiny")
+        d = fig8_to_dict(pts)
+        assert d[0]["kernel"] == "sha-or"
+        json.dumps(d)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        payload = {"rows": [1, 2, 3], "x": {"y": 4.5}}
+        save_json(path, payload)
+        assert load_json(path) == payload
+
+
+class TestCLIIntegration:
+    def test_table_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = str(tmp_path / "t5.json")
+        assert main(["table", "table5", "--json", path]) == 0
+        data = load_json(path)
+        assert any(row["name"] == "lpsu+i128+ln4" for row in data)

@@ -1,0 +1,49 @@
+"""Paper-reference comparison machinery tests."""
+
+import pytest
+
+from repro.eval.paper_reference import (PAPER_IO_S, ShapeComparison,
+                                        _spearman, compare_table2,
+                                        render_comparison)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert _spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_inversion(self):
+        assert _spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        a = [1.0, 2.5, 0.3, 9.0]
+        b = [x ** 3 for x in a]
+        assert _spearman(a, b) == pytest.approx(1.0)
+
+
+class TestCompare:
+    def test_direction_agreement_counts(self):
+        paper = {"a": 2.0, "b": 0.5, "c": 1.5}
+        measured = {"a": 3.0, "b": 0.8, "c": 0.7}
+        cmp = compare_table2(measured, paper=paper)
+        # a agrees, b agrees, c disagrees
+        assert cmp.direction_agreement == pytest.approx(2 / 3)
+
+    def test_neutral_band(self):
+        paper = {"a": 1.02}
+        measured = {"a": 0.98}
+        cmp = compare_table2(measured, paper=paper)
+        assert cmp.direction_agreement == 1.0   # both ~1x: neutral
+
+    def test_only_common_kernels(self):
+        cmp = compare_table2({"rgb2cmyk-uc": 3.0, "made-up": 9.0})
+        assert cmp.kernels == ["rgb2cmyk-uc"]
+
+    def test_render(self):
+        cmp = compare_table2({"rgb2cmyk-uc": 3.0, "sha-or": 1.1,
+                              "dither-or": 0.9})
+        text = render_comparison(cmp)
+        assert "Spearman" in text
+        assert "rgb2cmyk-uc" in text
+
+    def test_paper_table_covers_all_25(self):
+        assert len(PAPER_IO_S) == 25

@@ -1,0 +1,48 @@
+"""Text-report rendering tests."""
+
+from repro.eval.report import geomean, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["A", "Blong"], [["x", 1.5], ["yy", 22.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.50" in text and "22.25" in text
+
+    def test_title(self):
+        text = render_table(["A"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert "A" in text
+
+    def test_custom_float_format(self):
+        text = render_table(["A"], [[3.14159]], floatfmt="%.4f")
+        assert "3.1416" in text
+
+
+class TestRenderSeries:
+    def test_keys_union(self):
+        text = render_series("t", {"s1": {"a": 1.0},
+                                   "s2": {"a": 2.0, "b": 3.0}})
+        assert "a" in text and "b" in text
+        assert "s1" in text and "s2" in text
+
+    def test_missing_points_blank(self):
+        text = render_series("t", {"s1": {"a": 1.0}, "s2": {"b": 2.0}})
+        # no crash; both rows present
+        assert "a" in text and "b" in text
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([4.0, 16.0]) == 8.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0, -2.0, 16.0]) == 8.0
+
+    def test_single(self):
+        assert geomean([7.0]) == 7.0

@@ -1,0 +1,80 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import EncodingError, Instr, OPS, decode, encode, spec
+from repro.isa.instructions import Fmt
+
+_REG = st.integers(min_value=0, max_value=31)
+_IMM12 = st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1)
+_IMM17 = st.integers(min_value=-(1 << 16), max_value=(1 << 16) - 1)
+_OFF13 = st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1).map(
+    lambda v: v * 2)
+_OFF18 = st.integers(min_value=-(1 << 16), max_value=(1 << 16) - 1).map(
+    lambda v: v * 2)
+
+
+def _roundtrip(instr):
+    out = decode(encode(instr), pc=instr.pc)
+    assert out.mnemonic == instr.mnemonic
+    assert out.rd == instr.rd or not instr.op.writes_rd
+    assert out.rs1 == instr.rs1
+    assert out.rs2 == instr.rs2 or instr.op.fmt not in (
+        Fmt.R, Fmt.XI_R, Fmt.AMO, Fmt.STORE, Fmt.BRANCH, Fmt.XLOOP)
+    assert out.imm == instr.imm
+    return out
+
+
+@given(rd=_REG, rs1=_REG, rs2=_REG)
+def test_r_format_roundtrip(rd, rs1, rs2):
+    for m in ("add", "mul", "fadd.s", "amo.add", "addu.xi"):
+        _roundtrip(Instr(spec(m), rd=rd, rs1=rs1, rs2=rs2))
+
+
+@given(rd=_REG, rs1=_REG, imm=_IMM12)
+def test_i_format_roundtrip(rd, rs1, imm):
+    for m in ("addi", "lw", "jalr", "addiu.xi"):
+        _roundtrip(Instr(spec(m), rd=rd, rs1=rs1, imm=imm))
+
+
+@given(rs1=_REG, rs2=_REG, imm=_IMM12)
+def test_store_roundtrip(rs1, rs2, imm):
+    _roundtrip(Instr(spec("sw"), rs1=rs1, rs2=rs2, imm=imm))
+
+
+@given(rs1=_REG, rs2=_REG, off=_OFF13)
+def test_branch_and_xloop_roundtrip(rs1, rs2, off):
+    for m in ("beq", "bltu", "xloop.uc", "xloop.orm.db"):
+        _roundtrip(Instr(spec(m), rs1=rs1, rs2=rs2, imm=off))
+
+
+@given(rd=_REG, off=_OFF18)
+def test_jal_roundtrip(rd, off):
+    _roundtrip(Instr(spec("jal"), rd=rd, imm=off))
+
+
+@given(rd=_REG, imm=_IMM17)
+def test_lui_roundtrip(rd, imm):
+    _roundtrip(Instr(spec("lui"), rd=rd, imm=imm))
+
+
+def test_every_mnemonic_has_unique_opcode():
+    from repro.isa.encoding import OPCODE_OF
+    assert len(set(OPCODE_OF.values())) == len(OPS)
+
+
+def test_out_of_range_immediates_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instr(spec("addi"), rd=1, rs1=1, imm=1 << 12))
+    with pytest.raises(EncodingError):
+        encode(Instr(spec("beq"), rs1=1, rs2=2, imm=3))  # odd offset
+    with pytest.raises(EncodingError):
+        encode(Instr(spec("jal"), rd=1, imm=1 << 20))
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(0x3FF << 22)
+
+
+def test_fence_encodes():
+    _roundtrip(Instr(spec("fence")))

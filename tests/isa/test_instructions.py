@@ -1,0 +1,62 @@
+from repro.isa import FU, Fmt, Instr, OPS, spec
+from repro.isa.instructions import ALL_MNEMONICS
+
+
+def test_registry_contains_core_and_extensions():
+    for m in ("add", "addi", "lw", "sw", "beq", "jal", "jalr", "lui",
+              "mul", "div", "fadd.s", "fdiv.s", "amo.add", "fence",
+              "xloop.uc", "xloop.or", "xloop.om", "xloop.orm", "xloop.ua",
+              "xloop.uc.db", "addiu.xi", "addu.xi"):
+        assert m in OPS, m
+
+
+def test_flags_consistency():
+    assert spec("lw").is_load and spec("lw").is_mem
+    assert spec("sw").is_store and not spec("sw").writes_rd
+    assert spec("amo.add").is_amo and spec("amo.add").writes_rd
+    assert spec("beq").is_branch and spec("beq").is_control
+    assert spec("jal").is_jump and spec("jal").writes_rd
+    assert spec("xloop.om").is_xloop and spec("xloop.om").is_control
+    assert spec("addiu.xi").is_xi
+    assert spec("fence").is_fence
+
+
+def test_llfu_classification():
+    # The LLFU serves integer mul/div and all FP (paper Fig 4).
+    for m in ("mul", "div", "rem", "fadd.s", "fmul.s", "fdiv.s", "fsqrt.s"):
+        assert spec(m).is_llfu, m
+    for m in ("add", "addi", "lw", "beq", "xloop.uc", "addiu.xi"):
+        assert not spec(m).is_llfu, m
+
+
+def test_xloop_kind_attached():
+    kind = spec("xloop.orm.db").xloop_kind
+    assert kind is not None
+    assert kind.mnemonic == "xloop.orm.db"
+    assert spec("add").xloop_kind is None
+
+
+def test_src_dst_regs():
+    ins = Instr(spec("add"), rd=3, rs1=4, rs2=5)
+    assert ins.src_regs() == (4, 5)
+    assert ins.dst_reg() == 3
+
+    ins = Instr(spec("sw"), rs1=6, rs2=7, imm=8)
+    assert set(ins.src_regs()) == {6, 7}
+    assert ins.dst_reg() is None
+
+    ins = Instr(spec("add"), rd=0, rs1=1, rs2=2)
+    assert ins.dst_reg() is None  # x0 writes are discarded
+
+    ins = Instr(spec("xloop.uc"), rs1=5, rs2=11, imm=-16, pc=100)
+    assert ins.src_regs() == (5, 11)
+    assert ins.branch_target() == 84
+
+    ins = Instr(spec("fcvt.s.w"), rd=9, rs1=12)
+    assert ins.src_regs() == (12,)
+
+
+def test_mnemonics_sorted_longest_first():
+    lengths = [len(m) for m in ALL_MNEMONICS]
+    assert lengths == sorted(lengths, reverse=True)
+    assert set(ALL_MNEMONICS) == set(OPS)

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.isa import registers as R
+
+
+def test_canonical_names_roundtrip():
+    for i in range(R.NUM_REGS):
+        assert R.reg_num("x%d" % i) == i
+        assert R.reg_num(R.reg_name(i)) == i
+        assert R.reg_num(R.reg_name(i, abi=False)) == i
+
+
+def test_abi_aliases():
+    assert R.reg_num("zero") == 0
+    assert R.reg_num("ra") == 1
+    assert R.reg_num("sp") == 2
+    assert R.reg_num("fp") == 8
+    assert R.reg_num("s0") == 8
+    assert R.reg_num("a0") == 10
+    assert R.reg_num("a7") == 17
+    assert R.reg_num("t6") == 31
+
+
+def test_case_and_whitespace_tolerant():
+    assert R.reg_num(" A0 ") == 10
+    assert R.reg_num("T0") == 5
+
+
+def test_unknown_register_raises():
+    with pytest.raises(R.RegisterError):
+        R.reg_num("x32")
+    with pytest.raises(R.RegisterError):
+        R.reg_num("r5")
+    with pytest.raises(R.RegisterError):
+        R.reg_name(32)
+
+
+def test_is_reg():
+    assert R.is_reg("t3")
+    assert not R.is_reg("banana")
+
+
+def test_register_classes_disjoint_and_allocatable():
+    assert set(R.CALLER_SAVED).isdisjoint(R.CALLEE_SAVED)
+    assert R.ZERO not in R.ALLOCATABLE
+    assert R.RA not in R.ALLOCATABLE
+    assert R.SP not in R.ALLOCATABLE
+    assert set(R.ARG_REGS) <= set(R.ALLOCATABLE)

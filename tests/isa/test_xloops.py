@@ -1,0 +1,60 @@
+import pytest
+
+from repro.isa import (ALL_XLOOP_KINDS, ControlPattern, DataPattern,
+                       PATTERN_DESCRIPTIONS, XLoopKind, refines)
+
+
+def test_mnemonic_roundtrip_all_kinds():
+    for kind in ALL_XLOOP_KINDS:
+        assert XLoopKind.from_mnemonic(kind.mnemonic) == kind
+
+
+def test_fixed_bound_has_no_suffix():
+    kind = XLoopKind(DataPattern.UC)
+    assert kind.mnemonic == "xloop.uc"
+    assert kind.control is ControlPattern.FIXED
+
+
+def test_dynamic_bound_suffix():
+    kind = XLoopKind(DataPattern.UC, ControlPattern.DYNAMIC_BOUND)
+    assert kind.mnemonic == "xloop.uc.db"
+
+
+def test_from_mnemonic_rejects_garbage():
+    with pytest.raises(ValueError):
+        XLoopKind.from_mnemonic("xloop")
+    with pytest.raises(ValueError):
+        XLoopKind.from_mnemonic("xloop.uc.xx")
+    with pytest.raises(ValueError):
+        XLoopKind.from_mnemonic("loop.uc")
+
+
+def test_pattern_properties():
+    assert DataPattern.OR.ordered_through_registers
+    assert DataPattern.ORM.ordered_through_registers
+    assert not DataPattern.UC.ordered_through_registers
+    assert DataPattern.OM.ordered_through_memory
+    assert DataPattern.UA.needs_memory_disambiguation
+    assert DataPattern.UC.unordered and DataPattern.UA.unordered
+    assert not DataPattern.OM.unordered
+
+
+def test_refinement_lattice_paper_claims():
+    # "any valid xloop.uc is also a valid xloop.or"
+    assert refines(DataPattern.UC, DataPattern.OR)
+    # "any valid xloop.ua is also a valid xloop.om"
+    assert refines(DataPattern.UA, DataPattern.OM)
+    # "any fixed-bound xloop is a valid xloop.orm"
+    for pattern in DataPattern:
+        assert refines(pattern, DataPattern.ORM)
+    # reflexive
+    for pattern in DataPattern:
+        assert refines(pattern, pattern)
+    # not symmetric
+    assert not refines(DataPattern.OR, DataPattern.UC)
+    assert not refines(DataPattern.OM, DataPattern.UA)
+
+
+def test_every_kind_documented():
+    for kind in ALL_XLOOP_KINDS:
+        assert kind.mnemonic in PATTERN_DESCRIPTIONS

@@ -1,0 +1,67 @@
+"""Robustness properties: kernels stay golden-correct across dataset
+seeds and LPSU shapes (a light randomized sweep on top of the
+exhaustive per-kernel tests)."""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.lang import compile_source
+from repro.sim import Memory
+from repro.uarch import IO, LPSUConfig, SystemConfig, simulate
+
+#: kernels covering every dependence pattern + both control extensions
+REPRESENTATIVES = ("rgb2cmyk-uc", "sha-or", "ksack-sm-om", "mm-orm",
+                   "btree-ua", "bfs-uc-db", "qsort-uc-db", "ssearch-de")
+
+LPSUS = {
+    "primary": LPSUConfig(),
+    "narrow": LPSUConfig(lanes=2, lsq_loads=4, lsq_stores=4,
+                         ib_entries=96),
+    "wide": LPSUConfig(lanes=8, mem_ports=2, llfus=2, lsq_loads=16,
+                       lsq_stores=16),
+    "mt": LPSUConfig(threads_per_lane=2),
+    "fwd": LPSUConfig(inter_lane_forwarding=True),
+}
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+@pytest.mark.parametrize("seed", (1, 2, 3))
+def test_seed_robustness(name, seed):
+    spec = get_kernel(name)
+    compiled = compile_source(spec.source)
+    workload = spec.workload("tiny", seed=seed)
+    mem = Memory()
+    args = workload.apply(mem)
+    simulate(compiled.program, SystemConfig("io+x", IO, LPSUConfig()),
+             entry=spec.entry, args=args, mem=mem, mode="specialized")
+    workload.check(mem)
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+@pytest.mark.parametrize("shape", sorted(LPSUS))
+def test_lpsu_shape_robustness(name, shape):
+    spec = get_kernel(name)
+    compiled = compile_source(spec.source)
+    workload = spec.workload("tiny")
+    mem = Memory()
+    args = workload.apply(mem)
+    simulate(compiled.program,
+             SystemConfig("x", IO, LPSUS[shape]),
+             entry=spec.entry, args=args, mem=mem, mode="specialized")
+    workload.check(mem)
+
+
+@pytest.mark.parametrize("name", ("sha-or", "dither-or", "mm-orm",
+                                  "stencil-orm"))
+def test_scheduled_binaries_stay_correct_across_seeds(name):
+    spec = get_kernel(name)
+    compiled = compile_source(spec.source, schedule_cirs=True)
+    for seed in (1, 5):
+        workload = spec.workload("tiny", seed=seed)
+        mem = Memory()
+        args = workload.apply(mem)
+        simulate(compiled.program,
+                 SystemConfig("io+x", IO, LPSUConfig()),
+                 entry=spec.entry, args=args, mem=mem,
+                 mode="specialized")
+        workload.check(mem)

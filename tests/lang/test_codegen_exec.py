@@ -1,0 +1,375 @@
+"""End-to-end code-generation tests: compile MiniC, execute on the
+golden model (and the LPSU for annotated loops), check results against
+Python semantics.  Includes a differential property test: GP binary,
+XLOOPS-traditional, and XLOOPS-specialized must agree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import CompileError, compile_source
+from repro.sim import Memory, run_program, to_s32
+from repro.uarch import IO, LPSUConfig, SystemConfig, simulate
+
+A, B, C = 0x100000, 0x200000, 0x300000
+IO_X = SystemConfig("io+x", IO, LPSUConfig())
+
+
+def run_fn(src, fn, args, mem=None, **compile_kw):
+    cp = compile_source(src, **compile_kw)
+    core = run_program(cp.program, fn, args, mem=mem)
+    return core
+
+
+class TestScalarCode:
+    def test_arith_and_return(self):
+        src = "int f(int x, int y) { return (x + y * 3) % 7 - 2; }"
+        core = run_fn(src, "f", [10, 4])
+        assert core.return_value == (10 + 4 * 3) % 7 - 2
+
+    def test_negative_division_truncates(self):
+        src = "int f(int x, int y) { return x / y + x % y; }"
+        core = run_fn(src, "f", [to_s32(-7) & 0xFFFFFFFF, 2])
+        assert core.return_value == -3 + -1
+
+    def test_comparisons(self):
+        src = """
+int f(int x, int y) {
+    return (x < y) + (x <= y)*2 + (x == y)*4 + (x != y)*8
+         + (x > y)*16 + (x >= y)*32;
+}"""
+        assert run_fn(src, "f", [1, 2]).return_value == 1 + 2 + 8
+        assert run_fn(src, "f", [2, 2]).return_value == 2 + 4 + 32
+        assert run_fn(src, "f", [3, 2]).return_value == 8 + 16 + 32
+
+    def test_logical_short_circuit(self):
+        # right operand of && must not execute when left is false:
+        # guard an out-of-range-looking index behind a bounds check
+        src = """
+int f(int* a, int i, int n) {
+    if (i < n && a[i] > 0) { return 1; }
+    return 0;
+}"""
+        mem = Memory()
+        mem.write_words(A, [5])
+        assert run_fn(src, "f", [A, 0, 1], mem).return_value == 1
+        assert run_fn(src, "f", [A, 9999999, 1],
+                      Memory()).return_value == 0
+
+    def test_logical_as_value(self):
+        src = "int f(int x, int y) { int b = x && y; return b | ((x || y) << 1); }"
+        assert run_fn(src, "f", [1, 0]).return_value == 2
+        assert run_fn(src, "f", [3, 5]).return_value == 3
+        assert run_fn(src, "f", [0, 0]).return_value == 0
+
+    def test_unary_ops(self):
+        src = "int f(int x) { return -x + !x + ~x; }"
+        assert run_fn(src, "f", [5]).return_value == -5 + 0 + ~5
+
+    def test_while_loop(self):
+        src = """
+int f(int n) {
+    int s = 0; int i = 0;
+    while (i < n) { s += i; i++; }
+    return s;
+}"""
+        assert run_fn(src, "f", [10]).return_value == 45
+
+    def test_break_continue(self):
+        src = """
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s += i;
+    }
+    return s;
+}"""
+        assert run_fn(src, "f", [100]).return_value == sum(
+            i for i in range(7) if i != 3)
+
+    def test_function_calls(self):
+        src = """
+int square(int x) { return x * x; }
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += square(i); }
+    return s;
+}"""
+        assert run_fn(src, "f", [5]).return_value == 30
+
+    def test_recursion(self):
+        src = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}"""
+        assert run_fn(src, "fib", [10]).return_value == 55
+
+    def test_local_array(self):
+        src = """
+int f(int n) {
+    int buf[8];
+    for (int i = 0; i < 8; i++) { buf[i] = i * i; }
+    return buf[n];
+}"""
+        assert run_fn(src, "f", [5]).return_value == 25
+
+
+class TestMemoryCode:
+    def test_char_arrays(self):
+        src = """
+void f(char* src, char* dst, int n) {
+    for (int i = 0; i < n; i++) {
+        dst[i] = (char)(src[i] + 1);
+    }
+}"""
+        mem = Memory()
+        mem.write_bytes(A, [10, 255, 0, 100])
+        run_fn(src, "f", [A, B, 4], mem)
+        assert mem.read_bytes(B, 4) == [11, 0, 1, 101]
+
+    def test_constant_subscript_folds_to_offset(self):
+        cp = compile_source("int f(int* a) { return a[3]; }")
+        assert "lw" in cp.asm_text
+        assert "slli" not in cp.asm_text   # folded into the immediate
+
+    def test_amo(self):
+        src = """
+int f(int* c, int n) {
+    for (int i = 0; i < n; i++) { int old = amo_add(&c[0], i); }
+    return c[0];
+}"""
+        mem = Memory()
+        mem.store_word(A, 100)
+        assert run_fn(src, "f", [A, 5], mem).return_value == 110
+
+
+class TestFloatCode:
+    def test_float_arith(self):
+        src = """
+float f(float* a) { return a[0] * 2.0 + a[1] / 0.5 - 1.5; }"""
+        mem = Memory()
+        mem.write_floats(A, [3.0, 1.0])
+        core = run_fn(src, "f", [A], mem)
+        from repro.sim import bits_to_f32
+        assert bits_to_f32(core.regs[10]) == pytest.approx(6.5)
+
+    def test_float_compare_and_sqrt(self):
+        src = """
+int f(float* a) {
+    float r = sqrtf(a[0]);
+    if (r > 2.9) { if (r < 3.1) { return 1; } }
+    return 0;
+}"""
+        mem = Memory()
+        mem.write_floats(A, [9.0])
+        assert run_fn(src, "f", [A], mem).return_value == 1
+
+    def test_casts(self):
+        src = """
+int f(int x) {
+    float y = (float)x;
+    y = y * 0.5;
+    return (int)y;
+}"""
+        assert run_fn(src, "f", [9]).return_value == 4
+
+
+class TestXLoopExecution:
+    def _tri_modal(self, src, fn, args, setup, check, n_words):
+        """Run GP, traditional-XLOOPS, specialized-XLOOPS; all agree."""
+        outs = {}
+        for name, kw, mode in (
+                ("gp", {"xloops": False}, "traditional"),
+                ("trad", {}, "traditional"),
+                ("spec", {}, "specialized")):
+            cp = compile_source(src, **kw)
+            mem = Memory()
+            setup(mem)
+            cfg = IO_X if mode == "specialized" else SystemConfig("io", IO)
+            r = simulate(cp.program, cfg, entry=fn, args=args, mem=mem,
+                         mode=mode)
+            outs[name] = (mem.read_words(B, n_words), r)
+        check(outs["gp"][0])
+        assert outs["gp"][0] == outs["trad"][0] == outs["spec"][0]
+        assert outs["spec"][1].specialized_invocations >= 1
+        return outs
+
+    def test_uc_saxpy_like(self):
+        src = """
+void f(int* a, int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = a[i] * 3 + i; }
+}"""
+        n = 40
+        self._tri_modal(
+            src, "f", [A, B, n],
+            lambda mem: mem.write_words(A, range(n)),
+            lambda out: out == [i * 3 + i for i in range(n)],
+            n)
+
+    def test_or_running_max(self):
+        src = """
+void f(int* a, int* b, int n) {
+    int best = -1000000;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) {
+        if (a[i] > best) { best = a[i]; }
+        b[i] = best;
+    }
+}"""
+        n = 32
+        data = [(i * 37) % 50 - 25 for i in range(n)]
+        expect, cur = [], -10 ** 6
+        for v in data:
+            cur = max(cur, v)
+            expect.append(cur)
+        outs = self._tri_modal(
+            src, "f", [A, B, n],
+            lambda mem: mem.write_words(A, [v & 0xFFFFFFFF for v in data]),
+            lambda out: [to_s32(w) for w in out] == expect,
+            n)
+        cp = compile_source(src)
+        assert cp.loop_kinds() == ("xloop.or",)
+
+    def test_om_stencil_recurrence(self):
+        src = """
+void f(int* a, int* b, int n) {
+    b[0] = a[0];
+    #pragma xloops ordered
+    for (int i = 1; i < n; i++) { b[i] = b[i-1] + a[i]; }
+}"""
+        n = 24
+        import itertools
+        self._tri_modal(
+            src, "f", [A, B, n],
+            lambda mem: mem.write_words(A, range(n)),
+            lambda out: out == list(itertools.accumulate(range(n))),
+            n)
+
+    def test_nested_war_kernel(self):
+        src = """
+void war(int* path, int n) {
+    for (int k = 0; k < n; k++) {
+        #pragma xloops ordered
+        for (int i = 0; i < n; i++) {
+            #pragma xloops unordered
+            for (int j = 0; j < n; j++) {
+                int through = path[i*n+k] + path[k*n+j];
+                if (through < path[i*n+j]) { path[i*n+j] = through; }
+            }
+        }
+    }
+}"""
+        n = 8
+        INF = 10 ** 6
+        import random
+        rng = random.Random(7)
+        dist = [[0 if i == j else (rng.randrange(1, 20)
+                                   if rng.random() < 0.5 else INF)
+                 for j in range(n)] for i in range(n)]
+        flat = [dist[i][j] for i in range(n) for j in range(n)]
+        expect = [row[:] for row in dist]
+        for k in range(n):
+            for i in range(n):
+                for j in range(n):
+                    expect[i][j] = min(expect[i][j],
+                                       expect[i][k] + expect[k][j])
+        expect_flat = [expect[i][j] for i in range(n) for j in range(n)]
+
+        for kw, mode, cfg in (({"xloops": False}, "traditional",
+                               SystemConfig("io", IO)),
+                              ({}, "specialized", IO_X)):
+            cp = compile_source(src, **kw)
+            mem = Memory()
+            mem.write_words(B, flat)
+            simulate(cp.program, cfg, entry="war", args=[B, n], mem=mem,
+                     mode=mode)
+            assert mem.read_words(B, n * n) == expect_flat, (kw, mode)
+
+    def test_xi_disabled_more_instructions(self):
+        src = """
+void f(int* a, int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = a[i] + 1; }
+}"""
+        with_xi = compile_source(src, xi_enabled=True)
+        without = compile_source(src, xi_enabled=False)
+        n = 64
+        counts = {}
+        for name, cp in (("xi", with_xi), ("noxi", without)):
+            mem = Memory()
+            mem.write_words(A, range(n))
+            r = simulate(cp.program, IO_X, entry="f", args=[A, B, n],
+                         mem=mem, mode="specialized")
+            assert mem.read_words(B, n) == [i + 1 for i in range(n)]
+            counts[name] = r.total_instrs
+        # paper Section V-C: lack of xi increases dynamic instructions
+        assert counts["noxi"] > counts["xi"]
+        assert "addiu.xi" in with_xi.asm_text
+        assert ".xi" not in without.asm_text
+
+
+class TestDifferential:
+    """Random straight-line integer expressions: compiled result must
+    match Python's evaluation."""
+
+    @staticmethod
+    def _eval(expr_ops, x, y):
+        v = x
+        for op, operand in expr_ops:
+            operand = operand if operand else 1
+            if op == "+":
+                v = to_s32((v + operand) & 0xFFFFFFFF)
+            elif op == "-":
+                v = to_s32((v - operand) & 0xFFFFFFFF)
+            elif op == "*":
+                v = to_s32((v * operand) & 0xFFFFFFFF)
+            elif op == "^":
+                v = to_s32((v ^ operand) & 0xFFFFFFFF)
+            elif op == "&":
+                v = to_s32(v & operand)
+            elif op == "|":
+                v = to_s32(v | operand)
+        return v
+
+    @given(x=st.integers(-1000, 1000),
+           ops=st.lists(st.tuples(st.sampled_from("+-*^&|"),
+                                  st.integers(-100, 100)),
+                        min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_expression_chain(self, x, ops):
+        body = "int v = x;\n"
+        for op, operand in ops:
+            operand = operand if operand else 1
+            body += "    v = v %s (%d);\n" % (op, operand)
+        src = "int f(int x) { %s return v; }" % body
+        core = run_fn(src, "f", [x & 0xFFFFFFFF])
+        assert core.return_value == self._eval(
+            [(op, o if o else 1) for op, o in ops], x, 0)
+
+
+class TestRegisterPressure:
+    def test_spill_outside_loops_works(self):
+        decls = "\n".join("    int v%d = x + %d;" % (i, i)
+                          for i in range(25))
+        uses = " + ".join("v%d" % i for i in range(25))
+        src = "int f(int x) {\n%s\n    return %s;\n}" % (decls, uses)
+        core = run_fn(src, "f", [10])
+        assert core.return_value == sum(10 + i for i in range(25))
+
+    def test_spill_inside_xloop_rejected(self):
+        decls = "\n".join("        int v%d = a[i] + %d;" % (i, i)
+                          for i in range(25))
+        uses = " + ".join("v%d" % i for i in range(25))
+        src = """
+void f(int* a, int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+%s
+        b[i] = %s;
+    }
+}""" % (decls, uses)
+        with pytest.raises(CompileError, match="register pressure"):
+            compile_source(src)

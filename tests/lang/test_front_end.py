@@ -1,0 +1,204 @@
+"""Lexer / parser / sema tests for MiniC."""
+
+import pytest
+
+from repro.lang import CompileError, parse, tokenize
+from repro.lang.ast_nodes import (Assign, Binary, Decl, For, If, IntLit,
+                                  Return, While)
+from repro.lang.sema import Sema
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("int x = 42;")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["kw", "ident", "op", "int", "op", "eof"]
+        assert toks[3].value == 42
+
+    def test_hex_and_char_literals(self):
+        toks = tokenize("0xff 'A' '\\n'")
+        assert toks[0].value == 255
+        assert toks[1].value == 65
+        assert toks[2].value == 10
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 2.0f .25 1e3")
+        assert [t.value for t in toks[:-1]] == [1.5, 2.0, 0.25, 1000.0]
+        assert all(t.kind == "float" for t in toks[:-1])
+
+    def test_comments_stripped(self):
+        toks = tokenize("a // line\n b /* block\n comment */ c")
+        assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+    def test_pragma_token(self):
+        toks = tokenize("#pragma xloops ordered\nfor")
+        assert toks[0].kind == "pragma"
+        assert "ordered" in toks[0].text
+
+    def test_multichar_operators(self):
+        toks = tokenize("a <= b && c << 2")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["<=", "&&", "<<"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("int @x;")
+
+
+def _parse_fn(body, params="int* a, int n"):
+    return parse("void f(%s) { %s }" % (params, body)).functions[0]
+
+
+class TestParser:
+    def test_function_signature(self):
+        unit = parse("int add2(int x, float* p) { return x; }")
+        fn = unit.functions[0]
+        assert fn.name == "add2"
+        assert str(fn.return_type) == "int"
+        assert [str(p.type) for p in fn.params] == ["int", "float*"]
+
+    def test_precedence(self):
+        fn = _parse_fn("int x = 1 + 2 * 3;")
+        init = fn.body[0].init
+        assert isinstance(init, Binary) and init.op == "+"
+        assert init.right.op == "*"
+
+    def test_parentheses_override(self):
+        fn = _parse_fn("int x = (1 + 2) * 3;")
+        init = fn.body[0].init
+        assert init.op == "*"
+        assert init.left.op == "+"
+
+    def test_compound_assign_desugars(self):
+        fn = _parse_fn("n += 2;", params="int n")
+        stmt = fn.body[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.value.op == "+"
+        assert stmt.value.right.value == 2
+
+    def test_increment_desugars(self):
+        fn = _parse_fn("n++;", params="int n")
+        stmt = fn.body[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.value.op == "+" and stmt.value.right.value == 1
+
+    def test_for_loop_parts(self):
+        fn = _parse_fn("for (int i = 0; i < n; i++) { a[i] = 0; }")
+        loop = fn.body[0]
+        assert isinstance(loop, For)
+        assert isinstance(loop.init, Decl)
+        assert loop.cond.op == "<"
+        assert len(loop.body) == 1
+
+    def test_pragma_attaches_to_for(self):
+        fn = _parse_fn(
+            "#pragma xloops unordered\nfor (int i = 0; i < n; i++) {}")
+        assert fn.body[0].annotation == "unordered"
+
+    def test_pragma_must_precede_for(self):
+        with pytest.raises(CompileError):
+            _parse_fn("#pragma xloops unordered\nint x = 0;")
+
+    def test_unknown_annotation(self):
+        with pytest.raises(CompileError):
+            _parse_fn("#pragma xloops sideways\n"
+                      "for (int i = 0; i < n; i++) {}")
+
+    def test_dangling_else(self):
+        fn = _parse_fn("if (n) if (n > 1) n = 2; else n = 3;",
+                       params="int n")
+        outer = fn.body[0]
+        assert isinstance(outer, If)
+        inner = outer.then[0]
+        assert inner.orelse  # else binds to the inner if
+
+    def test_while_break_continue(self):
+        fn = _parse_fn("while (n) { if (n == 2) break; continue; }",
+                       params="int n")
+        assert isinstance(fn.body[0], While)
+
+    def test_array_declaration(self):
+        fn = _parse_fn("int hist[16];")
+        decl = fn.body[0]
+        assert decl.array_size == 16
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse("void f() { int x = 1;")
+
+    def test_cast_vs_parenthesized(self):
+        fn = _parse_fn("float y = (float)n; int z = (n) + 1;",
+                       params="int n")
+        from repro.lang.ast_nodes import Cast
+        assert isinstance(fn.body[0].init, Cast)
+        assert isinstance(fn.body[1].init, Binary)
+
+
+def _sema(src):
+    unit = parse(src)
+    Sema(unit).run()
+    return unit
+
+
+class TestSema:
+    def test_resolves_and_types(self):
+        unit = _sema("int f(int x) { int y = x + 1; return y; }")
+        decl = unit.functions[0].body[0]
+        assert str(decl.init.type) == "int"
+
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            _sema("void f() { x = 1; }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(CompileError, match="redeclaration"):
+            _sema("void f() { int x = 1; int x = 2; }")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        _sema("void f() { int x = 1; if (x) { int x = 2; x = 3; } }")
+
+    def test_float_int_mixing_rejected(self):
+        with pytest.raises(CompileError, match="cast"):
+            _sema("void f(float y, int x) { float z = y + x; }")
+
+    def test_float_literal_coercion(self):
+        _sema("void f() { float y = 0; float z = y * 2; }")
+
+    def test_indexing_non_pointer(self):
+        with pytest.raises(CompileError, match="indexing"):
+            _sema("void f(int x) { int y = x[0]; }")
+
+    def test_char_loads_are_int(self):
+        unit = _sema("int f(char* s) { return s[0] + 1; }")
+
+    def test_amo_signature(self):
+        _sema("void f(int* a, int i) { int old = amo_add(&a[i], 1); }")
+        with pytest.raises(CompileError):
+            _sema("void f(int* a) { amo_add(a[0], 1); }")
+
+    def test_amo_pointer_arg(self):
+        _sema("void f(int* p) { int old = amo_add(p, 1); }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(CompileError, match="arguments"):
+            _sema("int g(int x) { return x; } void f() { g(1, 2); }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            _sema("void f() { missing(); }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(CompileError):
+            _sema("void f() { int b[4]; b = 0; }")
+
+    def test_float_condition_rejected(self):
+        with pytest.raises(CompileError):
+            _sema("void f(float x) { if (x) { } }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(CompileError):
+            _sema("int f(float y) { return y; }")

@@ -1,0 +1,235 @@
+"""Differential fuzzing: randomly generated annotated loops must
+produce identical architectural results when compiled for the GP ISA,
+executed traditionally as an XLOOPS binary, and executed specialized
+on the LPSU (across several LPSU configurations).
+
+This exercises the whole stack at once: parser, dependence analysis,
+pattern selection, strength reduction, register allocation, the
+assembler, the functional model, and the LPSU's CIB/LSQ/squash
+machinery.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.sim import Memory
+from repro.uarch import IO, LPSUConfig, SystemConfig, simulate
+
+A, B, C = 0x100000, 0x180000, 0x200000
+N = 24
+
+LPSUS = (
+    LPSUConfig(),
+    LPSUConfig(lanes=2, lsq_loads=4, lsq_stores=4),
+    LPSUConfig(lanes=8, mem_ports=2, llfus=2),
+    LPSUConfig(inter_lane_forwarding=True),
+)
+
+# -- random expression / statement generators ------------------------------
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+
+@st.composite
+def _expr(draw, depth=0, vars_=("x", "y")):
+    choice = draw(st.integers(0, 5 if depth < 2 else 2))
+    if choice == 0:
+        return str(draw(st.integers(-40, 40)))
+    if choice == 1:
+        return draw(st.sampled_from(vars_))
+    if choice == 2:
+        return "a[i]"
+    op = draw(st.sampled_from(_BINOPS))
+    left = draw(_expr(depth + 1, vars_))
+    right = draw(_expr(depth + 1, vars_))
+    return "(%s %s %s)" % (left, op, right)
+
+
+@st.composite
+def uc_loop_body(draw):
+    """Statements for an unordered body writing only b[i]/c[i]."""
+    stmts = ["int x = a[i];", "int y = i * 3;"]
+    n = draw(st.integers(1, 4))
+    for k in range(n):
+        e = draw(_expr())
+        if draw(st.booleans()):
+            stmts.append("x = %s;" % e)
+        else:
+            stmts.append("y = %s;" % e)
+    if draw(st.booleans()):
+        cond = draw(_expr())
+        stmts.append("if (%s) { x = x + 1; } else { y = y - 2; }"
+                     % cond)
+    stmts.append("b[i] = x;")
+    stmts.append("c[i] = y;")
+    return "\n        ".join(stmts)
+
+
+class TestUnorderedFuzz:
+    @given(body=uc_loop_body(),
+           data=st.lists(st.integers(-100, 100), min_size=N,
+                         max_size=N))
+    @settings(max_examples=25, deadline=None)
+    def test_uc_loop_trimodal(self, body, data):
+        src = """
+void k(int* a, int* b, int* c, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        %s
+    }
+}""" % body
+        outs = []
+        runs = [(compile_source(src, xloops=False),
+                 SystemConfig("io", IO), "traditional"),
+                (compile_source(src), SystemConfig("io", IO),
+                 "traditional")]
+        runs += [(compile_source(src), SystemConfig("x", IO, lpsu),
+                  "specialized") for lpsu in LPSUS]
+        for compiled, cfg, mode in runs:
+            mem = Memory()
+            mem.write_words(A, [v & 0xFFFFFFFF for v in data])
+            simulate(compiled.program, cfg, entry="k",
+                     args=[A, B, C, N], mem=mem, mode=mode)
+            outs.append((mem.read_words(B, N), mem.read_words(C, N)))
+        assert all(o == outs[0] for o in outs[1:])
+
+
+@st.composite
+def or_loop_body(draw):
+    """Ordered body with a CIR accumulator, possibly conditional."""
+    update = draw(st.sampled_from((
+        "acc = acc + a[i];",
+        "acc = (acc ^ a[i]) + 1;",
+        "if (a[i] > 0) { acc = acc + a[i]; }",
+        "if ((a[i] & 1) == 0) { acc = acc * 3; } "
+        "else { acc = acc - a[i]; }",
+        "acc = acc + a[i]; acc = acc & 65535;",
+    )))
+    return update
+
+
+class TestOrderedFuzz:
+    @given(update=or_loop_body(),
+           data=st.lists(st.integers(-50, 50), min_size=N, max_size=N),
+           init=st.integers(-10, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_or_loop_trimodal(self, update, data, init):
+        src = """
+int k(int* a, int* b, int n, int init) {
+    int acc = init;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) {
+        %s
+        b[i] = acc;
+    }
+    return acc;
+}""" % update
+        compiled = compile_source(src)
+        assert compiled.loop_kinds()[0].startswith("xloop.or")
+        results = []
+        runs = [(compile_source(src, xloops=False),
+                 SystemConfig("io", IO), "traditional")]
+        runs += [(compiled, SystemConfig("x", IO, lpsu), "specialized")
+                 for lpsu in LPSUS]
+        for cp, cfg, mode in runs:
+            mem = Memory()
+            mem.write_words(A, [v & 0xFFFFFFFF for v in data])
+            r = simulate(cp.program, cfg, entry="k",
+                         args=[A, B, N, init & 0xFFFFFFFF], mem=mem,
+                         mode=mode)
+            results.append((mem.read_words(B, N), r.return_value))
+        assert all(r == results[0] for r in results[1:])
+
+
+class TestMemoryOrderedFuzz:
+    @given(stride=st.integers(1, 5),
+           scale=st.integers(1, 3),
+           data=st.lists(st.integers(0, 60), min_size=N + 8,
+                         max_size=N + 8))
+    @settings(max_examples=25, deadline=None)
+    def test_om_recurrence_trimodal(self, stride, scale, data):
+        # a[i] = a[i-stride] * scale + a[i] -- dependence distance is
+        # the fuzzed stride, so squash behaviour varies per example
+        src = """
+void k(int* a, int n, int stride) {
+    #pragma xloops ordered
+    for (int i = stride; i < n; i++) {
+        a[i] = a[i-stride] * %d + a[i];
+    }
+}""" % scale
+        compiled = compile_source(src)
+        assert compiled.loop_kinds() == ("xloop.om",)
+        outs = []
+        runs = [(compile_source(src, xloops=False),
+                 SystemConfig("io", IO), "traditional")]
+        runs += [(compiled, SystemConfig("x", IO, lpsu), "specialized")
+                 for lpsu in LPSUS]
+        for cp, cfg, mode in runs:
+            mem = Memory()
+            mem.write_words(A, [v & 0xFFFFFFFF for v in data])
+            simulate(cp.program, cfg, entry="k",
+                     args=[A, N, stride], mem=mem, mode=mode)
+            outs.append(mem.read_words(A, N))
+        assert all(o == outs[0] for o in outs[1:])
+
+
+class TestExitFuzz:
+    @given(data=st.lists(st.integers(0, 30), min_size=N, max_size=N),
+           threshold=st.integers(5, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_de_loop_trimodal(self, data, threshold):
+        src = """
+int k(int* a, int* b, int n, int limit) {
+    int acc = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) {
+        acc = acc + a[i];
+        b[i] = acc;
+        if (acc > limit) { break; }
+    }
+    return acc;
+}"""
+        outs = []
+        runs = [(compile_source(src, xloops=False),
+                 SystemConfig("io", IO), "traditional")]
+        runs += [(compile_source(src), SystemConfig("x", IO, lpsu),
+                  "specialized") for lpsu in LPSUS]
+        for cp, cfg, mode in runs:
+            mem = Memory()
+            mem.write_words(A, data)
+            r = simulate(cp.program, cfg, entry="k",
+                         args=[A, B, N, threshold], mem=mem, mode=mode)
+            outs.append((mem.read_words(B, N), r.return_value))
+        assert all(o == outs[0] for o in outs[1:])
+
+
+class TestAtomicFuzz:
+    """Random histogram-style ua loops: per-bucket totals must equal a
+    serial execution no matter how lanes interleave."""
+
+    @given(data=st.lists(st.integers(0, 7), min_size=N, max_size=N),
+           incr=st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_ua_histogram_trimodal(self, data, incr):
+        src = """
+void k(int* d, int* h, int n) {
+    #pragma xloops atomic
+    for (int i = 0; i < n; i++) {
+        int s = d[i];
+        h[s] = h[s] + %d;
+        h[s + 8] = h[s + 8] + 1;
+    }
+}""" % incr
+        outs = []
+        runs = [(compile_source(src, xloops=False),
+                 SystemConfig("io", IO), "traditional")]
+        runs += [(compile_source(src), SystemConfig("x", IO, lpsu),
+                  "specialized") for lpsu in LPSUS]
+        for cp, cfg, mode in runs:
+            mem = Memory()
+            mem.write_words(A, data)
+            simulate(cp.program, cfg, entry="k", args=[A, B, N],
+                     mem=mem, mode=mode)
+            outs.append(mem.read_words(B, 16))
+        assert all(o == outs[0] for o in outs[1:])

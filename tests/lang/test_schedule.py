@@ -1,0 +1,129 @@
+"""Tests for the automatic CIR-critical-path scheduler (the paper's
+Section IV-G optimization, automated as compiler passes)."""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.lang import compile_source
+from repro.lang.parser import parse
+from repro.lang.passes.depend import analyze_unit_loops
+from repro.lang.passes.schedule import (reorder_loop_statements,
+                                        stmt_effects)
+from repro.lang.ast_nodes import For, walk_stmts
+from repro.lang.sema import Sema
+from repro.sim import Memory
+from repro.uarch import IO, LPSUConfig, SystemConfig, simulate
+
+IOX = SystemConfig("io+x", IO, lpsu=LPSUConfig())
+
+
+def loop_of(src):
+    unit = parse(src)
+    Sema(unit).run()
+    analyze_unit_loops(unit)
+    return next(s for s in walk_stmts(unit.functions[0].body)
+                if isinstance(s, For) and s.annotation)
+
+
+DITHERISH = """
+void k(int* g, int* out, int* nxt, int n) {
+    int err = 0;
+    #pragma xloops ordered
+    for (int x = 0; x < n; x++) {
+        int old = g[x] + err;
+        int pix = 0;
+        if (old > 127) { pix = 255; }
+        out[x] = pix;
+        int diff = old - pix;
+        nxt[x] = diff / 4;
+        err = (diff * 7) / 16;
+    }
+}
+"""
+
+
+class TestStatementReorder:
+    def test_hoists_cir_update_over_stores(self):
+        loop = loop_of(DITHERISH)
+        body = loop.body
+        new = reorder_loop_statements(body, loop.cir_symbols)
+        order = [body.index(s) for s in new]
+        # the err update (last statement) must move above at least one
+        # of the non-critical stores
+        assert order != list(range(len(body)))
+        err_pos = order.index(len(body) - 1)
+        assert err_pos < len(body) - 1
+
+    def test_preserves_dependences(self):
+        loop = loop_of(DITHERISH)
+        body = loop.body
+        new = reorder_loop_statements(body, loop.cir_symbols)
+        order = [body.index(s) for s in new]
+        # diff (index 4) must stay after old (0) and pix (1, 2)
+        assert order.index(4) > order.index(0)
+        assert order.index(4) > order.index(2)
+        # the out store still reads pix after it is final
+        assert order.index(3) > order.index(2)
+
+    def test_no_cirs_is_identity(self):
+        loop = loop_of(DITHERISH)
+        assert reorder_loop_statements(loop.body, ()) is loop.body
+
+    def test_barrier_statements_pin(self):
+        src = """
+int k(int* a, int n) {
+    int acc = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) {
+        a[i] = i;
+        acc = acc + a[i];
+        if (acc > 100) { break; }
+    }
+    return acc;
+}
+"""
+        loop = loop_of(src)
+        new = reorder_loop_statements(loop.body, loop.cir_symbols)
+        # the break-containing If stays last
+        assert new[-1] is loop.body[-1]
+
+    def test_effects_collection(self):
+        loop = loop_of(DITHERISH)
+        fx = stmt_effects(loop.body[0])      # int old = g[x] + err;
+        names = {s.name for s in fx.reads}
+        assert "err" in names and "g" in names
+        assert fx.mem_read and not fx.mem_write
+        fx_store = stmt_effects(loop.body[3])  # out[x] = pix;
+        assert fx_store.mem_write
+
+
+class TestEndToEnd:
+    def _cycles(self, name, **kw):
+        spec = get_kernel(name)
+        cp = compile_source(spec.source, **kw)
+        wl = spec.workload("tiny")
+        mem = Memory()
+        args = wl.apply(mem)
+        r = simulate(cp.program, IOX, entry=spec.entry, args=args,
+                     mem=mem, mode="specialized")
+        wl.check(mem)
+        return r.cycles
+
+    def test_auto_matches_hand_optimized_dither(self):
+        base = self._cycles("dither-or")
+        auto = self._cycles("dither-or", schedule_cirs=True)
+        hand = self._cycles("dither-or-opt")
+        assert auto < base
+        assert auto <= hand * 1.02   # fully recovers the hand gain
+
+    def test_scheduling_never_breaks_correctness(self):
+        # every or/orm kernel still verifies with scheduling on
+        for name in ("sha-or", "adpcm-or", "kmeans-or", "covar-or",
+                     "mm-orm", "stencil-orm"):
+            self._cycles(name, schedule_cirs=True)
+
+    def test_scheduling_never_hurts_much(self):
+        for name in ("sha-or", "kmeans-or", "covar-or"):
+            base = self._cycles(name)
+            auto = self._cycles(name, schedule_cirs=True)
+            assert auto <= base * 1.05, name

@@ -1,0 +1,151 @@
+"""Direct unit tests for the virtual-assembly representation and the
+linear-scan register allocator."""
+
+import pytest
+
+from repro.lang.lexer import CompileError
+from repro.lang.regalloc import (ARG_POOL, CALLEE_POOL, CALLER_POOL,
+                                 SCRATCH, allocate)
+from repro.lang.vasm import RA, SP, VInstr, ZERO, preg, vreg
+
+
+def v(n):
+    return vreg(n)
+
+
+class TestVInstr:
+    def test_defs_uses_alu(self):
+        ins = VInstr("add", rd=v(0), rs1=v(1), rs2=v(2))
+        assert ins.defs() == (v(0),)
+        assert set(ins.uses()) == {v(1), v(2)}
+
+    def test_defs_uses_store(self):
+        ins = VInstr("sw", rs1=v(1), rs2=v(2), imm=0)
+        assert ins.defs() == ()
+        assert set(ins.uses()) == {v(1), v(2)}
+
+    def test_defs_uses_pseudos(self):
+        assert VInstr("li", rd=v(0), imm=5).defs() == (v(0),)
+        assert VInstr("li", rd=v(0), imm=5).uses() == ()
+        mv = VInstr("mv", rd=v(0), rs1=v(1))
+        assert mv.defs() == (v(0),) and mv.uses() == (v(1),)
+        la = VInstr("la", rd=v(3), label="x")
+        assert la.defs() == (v(3),) and la.uses() == ()
+
+    def test_label_has_no_defs_uses(self):
+        lab = VInstr("L0", is_label=True)
+        assert lab.defs() == () and lab.uses() == ()
+
+    def test_render_with_mapping(self):
+        ins = VInstr("add", rd=v(0), rs1=v(1), rs2=ZERO)
+        text = ins.render({0: 5, 1: 6})
+        assert text.strip() == "add t0, t1, zero"
+
+    def test_render_branch_and_memory(self):
+        b = VInstr("blt", rs1=v(0), rs2=v(1), label="loop")
+        assert "blt t0, t1, loop" in b.render({0: 5, 1: 6})
+        l = VInstr("lw", rd=v(0), rs1=("p", 2), imm=8)
+        assert "lw t0, 8(sp)" in l.render({0: 5})
+
+    def test_render_comment(self):
+        ins = VInstr("mv", rd=v(0), rs1=ZERO, comment="zeroing")
+        assert "# zeroing" in ins.render({0: 5})
+
+
+class TestAllocator:
+    def test_small_function_allocates_without_spills(self):
+        instrs = [
+            VInstr("li", rd=v(0), imm=1),
+            VInstr("add", rd=v(1), rs1=v(0), rs2=v(0)),   # v0 dies
+            VInstr("li", rd=v(2), imm=2),
+            VInstr("add", rd=v(3), rs1=v(2), rs2=v(1)),
+        ]
+        res = allocate(instrs)
+        assert not res.spill_slots
+        assert set(res.mapping) == {0, 1, 2, 3}
+        # simultaneously-live vregs get distinct registers
+        assert res.mapping[1] != res.mapping[2]
+        assert res.mapping[0] != res.mapping[1]
+
+    def test_call_crossing_interval_gets_callee_saved(self):
+        instrs = [
+            VInstr("li", rd=v(0), imm=1),
+            VInstr("jal", rd=RA, label="f"),
+            VInstr("add", rd=v(1), rs1=v(0), rs2=v(0)),
+        ]
+        res = allocate(instrs, call_positions=[1])
+        assert res.mapping[0] in CALLEE_POOL
+        assert res.used_callee_saved
+
+    def test_arg_regs_only_in_call_free_functions(self):
+        many = [VInstr("li", rd=v(i), imm=i) for i in range(20)]
+        use = [VInstr("add", rd=v(20), rs1=v(i), rs2=v(i + 1))
+               for i in range(19)]
+        res = allocate(many + use)
+        assert any(r in ARG_POOL for r in res.mapping.values())
+        res2 = allocate(many + use + [VInstr("jal", rd=RA, label="f")],
+                        call_positions=[len(many + use)])
+        assert not any(r in ARG_POOL for r in res2.mapping.values()
+                       if r is not None)
+
+    def test_low_arg_regs_blocked_during_entry_moves(self):
+        # two parameters: an interval starting at position 0 must not
+        # take a0/a1 (they still hold the incoming arguments)
+        instrs = [
+            VInstr("mv", rd=v(0), rs1=preg(10)),
+            VInstr("mv", rd=v(1), rs1=preg(11)),
+            VInstr("add", rd=v(2), rs1=v(0), rs2=v(1)),
+        ]
+        res = allocate(instrs, num_params=2)
+        assert res.mapping[0] not in (10, 11)
+
+    def test_loop_carried_interval_extends(self):
+        # v0 defined before the loop, used at the loop top, and a temp
+        # defined late in the loop must not steal its register
+        instrs = [
+            VInstr("li", rd=v(0), imm=1),        # 0: loop-carried
+            VInstr("L", is_label=True),          # 1: loop head
+            VInstr("add", rd=v(1), rs1=v(0), rs2=v(0)),   # 2
+            VInstr("li", rd=v(2), imm=9),        # 3: born inside
+            VInstr("add", rd=v(0), rs1=v(2), rs2=v(1)),   # 4 redefine
+            VInstr("bne", rs1=v(1), rs2=ZERO, label="L"),  # 5 backedge
+        ]
+        res = allocate(instrs, loop_regions=[(1, 5)])
+        assert res.mapping[2] != res.mapping[0]
+
+    def test_spill_when_pressure_exceeds_pool(self):
+        n = len(CALLER_POOL) + len(CALLEE_POOL) + len(ARG_POOL) + 4
+        defs = [VInstr("li", rd=v(i), imm=i) for i in range(n)]
+        uses = [VInstr("add", rd=v(n), rs1=v(i), rs2=v(n - 1 - i))
+                for i in range(n // 2)]
+        res = allocate(defs + uses)
+        assert res.spill_slots
+        assert res.spill_bytes == 4 * len(res.spill_slots)
+        # spill code references only scratch registers and sp
+        for ins in res.instrs:
+            if ins.comment and "v" in str(ins.comment):
+                regs = [r for r in (ins.rd, ins.rs1, ins.rs2)
+                        if r is not None]
+                for kind, num in regs:
+                    assert kind == "p"
+                    assert num in SCRATCH or num == 2
+
+    def test_spill_inside_xloop_region_rejected(self):
+        n = len(CALLER_POOL) + len(CALLEE_POOL) + len(ARG_POOL) + 4
+        defs = [VInstr("li", rd=v(i), imm=i) for i in range(n)]
+        uses = [VInstr("add", rd=v(n + i), rs1=v(i), rs2=v(i + 1))
+                for i in range(n - 1)]
+        instrs = defs + uses
+        with pytest.raises(CompileError, match="register pressure"):
+            allocate(instrs, xloop_regions=[(0, len(instrs) - 1)])
+
+    def test_spilled_code_still_consistent(self):
+        # rewritten instructions keep their shape (rd/rs fields filled)
+        n = len(CALLER_POOL) + len(CALLEE_POOL) + len(ARG_POOL) + 2
+        defs = [VInstr("li", rd=v(i), imm=i) for i in range(n)]
+        uses = [VInstr("add", rd=v(n), rs1=v(0), rs2=v(i))
+                for i in range(n)]
+        res = allocate(defs + uses)
+        rendered = [ins.render(res.mapping) for ins in res.instrs
+                    if not ins.is_label]
+        assert all(rendered)

@@ -1,0 +1,134 @@
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Memory, bits_to_f32, f32_to_bits, to_s32, to_u32
+
+_ADDR = st.integers(min_value=0, max_value=(1 << 30) - 4)
+_WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def test_uninitialized_reads_zero():
+    mem = Memory()
+    assert mem.load_word(0x1234) == 0
+    assert mem.load(0x99999, 1) == 0
+
+
+@given(addr=_ADDR.map(lambda a: a & ~3), value=_WORD)
+def test_word_roundtrip(addr, value):
+    mem = Memory()
+    mem.store_word(addr, value)
+    assert mem.load_word(addr) == value
+
+
+@given(addr=_ADDR, value=_WORD)
+def test_unaligned_word_roundtrip(addr, value):
+    mem = Memory()
+    mem.store_word(addr, value)
+    assert mem.load_word(addr) == value
+
+
+def test_cross_page_access():
+    mem = Memory()
+    addr = (1 << 12) - 2  # straddles the first page boundary
+    mem.store_word(addr, 0xAABBCCDD)
+    assert mem.load_word(addr) == 0xAABBCCDD
+    assert mem.load(addr, 2) == 0xCCDD
+
+
+def test_byte_and_half_sign_extension():
+    mem = Memory()
+    mem.store(0x100, 1, 0x80)
+    assert mem.load(0x100, 1, signed=False) == 0x80
+    assert to_s32(mem.load(0x100, 1, signed=True)) == -128
+    mem.store(0x200, 2, 0x8000)
+    assert to_s32(mem.load(0x200, 2, signed=True)) == -32768
+    assert mem.load(0x200, 2, signed=False) == 0x8000
+
+
+def test_little_endian_layout():
+    mem = Memory()
+    mem.store_word(0x10, 0x04030201)
+    assert mem.read(0x10, 4) == b"\x01\x02\x03\x04"
+
+
+class TestAmo:
+    def test_add_returns_old(self):
+        mem = Memory()
+        mem.store_word(0x40, 10)
+        assert mem.amo("amo.add", 0x40, 5) == 10
+        assert mem.load_word(0x40) == 15
+
+    def test_add_wraps(self):
+        mem = Memory()
+        mem.store_word(0x40, 0xFFFFFFFF)
+        mem.amo("amo.add", 0x40, 2)
+        assert mem.load_word(0x40) == 1
+
+    def test_min_max_are_signed(self):
+        mem = Memory()
+        mem.store_word(0x40, to_u32(-5))
+        assert to_s32(mem.amo("amo.min", 0x40, 3)) == -5
+        assert to_s32(mem.load_word(0x40)) == -5
+        mem.amo("amo.max", 0x40, 3)
+        assert mem.load_word(0x40) == 3
+
+    def test_logical_and_xchg(self):
+        mem = Memory()
+        mem.store_word(0x40, 0b1100)
+        mem.amo("amo.and", 0x40, 0b1010)
+        assert mem.load_word(0x40) == 0b1000
+        mem.amo("amo.or", 0x40, 0b0001)
+        assert mem.load_word(0x40) == 0b1001
+        mem.amo("amo.xor", 0x40, 0b1111)
+        assert mem.load_word(0x40) == 0b0110
+        old = mem.amo("amo.xchg", 0x40, 99)
+        assert old == 0b0110 and mem.load_word(0x40) == 99
+
+    def test_unknown_amo_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().amo("amo.nope", 0, 0)
+
+
+def test_bulk_helpers_words():
+    mem = Memory()
+    mem.write_words(0x1000, [1, 2, 3, to_u32(-4)])
+    assert mem.read_words(0x1000, 4) == [1, 2, 3, to_u32(-4)]
+    assert mem.read_words_signed(0x1000, 4) == [1, 2, 3, -4]
+
+
+def test_bulk_helpers_floats():
+    mem = Memory()
+    mem.write_floats(0x2000, [1.5, -2.25, 0.0])
+    assert mem.read_floats(0x2000, 3) == [1.5, -2.25, 0.0]
+
+
+def test_bulk_helpers_bytes():
+    mem = Memory()
+    mem.write_bytes(0x3000, [1, 2, 255])
+    assert mem.read_bytes(0x3000, 3) == [1, 2, 255]
+
+
+def test_bulk_write_spans_pages():
+    mem = Memory()
+    payload = bytes(range(256)) * 40  # 10240 bytes > 2 pages
+    mem.write(4000, payload)
+    assert mem.read(4000, len(payload)) == payload
+
+
+@given(value=st.floats(width=32, allow_nan=False))
+def test_f32_bits_roundtrip(value):
+    assert bits_to_f32(f32_to_bits(value)) == value
+
+
+def test_f32_overflow_to_inf():
+    assert bits_to_f32(f32_to_bits(1e300)) == float("inf")
+    assert bits_to_f32(f32_to_bits(-1e300)) == float("-inf")
+
+
+def test_to_s32_to_u32():
+    assert to_s32(0xFFFFFFFF) == -1
+    assert to_s32(0x7FFFFFFF) == 0x7FFFFFFF
+    assert to_u32(-1) == 0xFFFFFFFF
+    assert to_u32(1 << 35) == 0

@@ -1,0 +1,55 @@
+"""Functional semantics of the .de extension instructions."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import run_program
+
+
+def test_xbreak_is_forward_jump_traditionally():
+    core = run_program(assemble("""
+main:
+    li   t0, 0
+    li   t1, 10
+body:
+    addi t0, t0, 1
+    li   t2, 3
+    bne  t0, t2, skip
+    xloop.break out
+skip:
+    xloop.uc.de t0, t1, body
+out:
+    mv   a0, t0
+    ret
+"""), "main")
+    assert core.return_value == 3   # exited at the third iteration
+
+
+def test_de_xloop_taken_like_branch():
+    core = run_program(assemble("""
+main:
+    li   t0, 0
+    li   t1, 4
+body:
+    addi t0, t0, 1
+    xloop.or.de t0, t1, body
+    mv   a0, t0
+    ret
+"""), "main")
+    assert core.return_value == 4   # no break: runs to the bound
+
+
+def test_all_de_mnemonics_assemble_and_encode():
+    from repro.isa import decode, encode
+    for data in ("uc", "or", "om", "orm", "ua"):
+        prog = assemble("""
+main:
+body:
+    addi t0, t0, 1
+    xloop.%s.de t0, t1, body
+    ret
+""" % data)
+        x = prog.instrs[1]
+        assert x.op.xloop_kind.control.value == "de"
+        out = decode(encode(x), pc=x.pc)
+        assert out.mnemonic == x.mnemonic

@@ -1,0 +1,131 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+DEMO = """
+void scale(int* a, int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = 3 * a[i] + 1; }
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_isa(capsys):
+    assert main(["isa"]) == 0
+    out = capsys.readouterr().out
+    assert "xloop.uc" in out and "addiu.xi" in out
+
+
+def test_compile(demo_file, capsys):
+    assert main(["compile", demo_file]) == 0
+    captured = capsys.readouterr()
+    assert "xloop.uc" in captured.out
+    assert "xloop.uc" in captured.err   # loop report on stderr
+
+
+def test_compile_gp_mode(demo_file, capsys):
+    assert main(["compile", demo_file, "--gp"]) == 0
+    out = capsys.readouterr().out
+    assert "xloop" not in out
+    assert "blt" in out
+
+
+def test_compile_no_xi(demo_file, capsys):
+    assert main(["compile", demo_file, "--no-xi"]) == 0
+    assert ".xi" not in capsys.readouterr().out
+
+
+def test_disasm(demo_file, capsys):
+    assert main(["disasm", demo_file]) == 0
+    out = capsys.readouterr().out
+    assert "scale:" in out
+    assert "00001000:" in out
+
+
+def test_disasm_assembly_file(tmp_path, capsys):
+    path = tmp_path / "tiny.s"
+    path.write_text("main:\n addi a0, zero, 7\n ret\n")
+    assert main(["disasm", str(path)]) == 0
+    assert "addi" in capsys.readouterr().out
+
+
+def test_run_specialized(demo_file, capsys):
+    rc = main(["run", demo_file, "scale",
+               "0x100000", "0x200000", "16",
+               "--config", "io+x", "--mode", "specialized"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "specialized:" in out
+    assert "cycles:" in out
+
+
+def test_run_rejects_lpsu_mode_on_baseline(demo_file, capsys):
+    rc = main(["run", demo_file, "scale", "0", "0", "0",
+               "--config", "io", "--mode", "specialized"])
+    assert rc == 2
+
+
+def test_kernels_listing(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "sgemm-uc" in out and "bfs-uc-db" in out
+
+
+def test_kernel_run(capsys):
+    rc = main(["kernel", "sha-or", "--scale", "tiny",
+               "--config", "io+x"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup:" in out
+    assert "verified against the golden model: yes" in out
+
+
+def test_table5(capsys):
+    assert main(["table", "table5"]) == 0
+    assert "lpsu+i128+ln4" in capsys.readouterr().out
+
+
+def test_fig6_restricted_kernels(capsys):
+    rc = main(["table", "fig6", "--scale", "tiny",
+               "--kernels", "sha-or"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sha-or" in out
+
+
+def test_compile_schedule_flag(tmp_path, capsys):
+    path = tmp_path / "or.c"
+    path.write_text("""
+void k(int* g, int* out, int* nxt, int n) {
+    int err = 0;
+    #pragma xloops ordered
+    for (int x = 0; x < n; x++) {
+        int old = g[x] + err;
+        out[x] = old;
+        err = (old * 7) / 16;
+    }
+}
+""")
+    assert main(["compile", str(path), "--schedule"]) == 0
+    out = capsys.readouterr().out
+    assert "xloop.or" in out
+
+
+def test_table3(capsys):
+    assert main(["table", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "ooo/4" in out and "LPSU" in out

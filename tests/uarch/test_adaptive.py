@@ -1,0 +1,181 @@
+"""Adaptive-execution tests: APT state machine and end-to-end
+migration behaviour (paper Section II-E / IV-D)."""
+
+from repro.asm import assemble
+from repro.sim import Memory
+from repro.uarch import (DECIDED_SPECIALIZED, DECIDED_TRADITIONAL, IO, OOO4,
+                         AdaptiveProfilingTable, LPSUConfig, SystemConfig,
+                         simulate)
+from repro.uarch.params import AdaptiveConfig
+
+SRC, DST = 0x100000, 0x200000
+
+
+class TestAPT:
+    def test_gpp_profiling_until_iteration_threshold(self):
+        apt = AdaptiveProfilingTable(AdaptiveConfig(profile_iters=4,
+                                                    profile_cycles=10 ** 9))
+        for i in range(3):
+            assert not apt.record_gpp_iteration(0x100, 10)
+        assert apt.record_gpp_iteration(0x100, 10)
+
+    def test_gpp_profiling_until_cycle_threshold(self):
+        apt = AdaptiveProfilingTable(AdaptiveConfig(profile_iters=10 ** 9,
+                                                    profile_cycles=100))
+        assert not apt.record_gpp_iteration(0x100, 60)
+        assert apt.record_gpp_iteration(0x100, 60)
+
+    def test_decision_prefers_faster_engine(self):
+        apt = AdaptiveProfilingTable(AdaptiveConfig(profile_iters=2))
+        apt.record_gpp_iteration(0x100, 10)
+        apt.record_gpp_iteration(0x100, 10)
+        # LPSU did the same 2 iterations in 8 cycles < 20
+        assert apt.record_lpsu_profile(0x100, 2, 8) == DECIDED_SPECIALIZED
+
+        apt2 = AdaptiveProfilingTable(AdaptiveConfig(profile_iters=2))
+        apt2.record_gpp_iteration(0x200, 10)
+        apt2.record_gpp_iteration(0x200, 10)
+        assert apt2.record_lpsu_profile(0x200, 2, 100) \
+            == DECIDED_TRADITIONAL
+
+    def test_decision_is_sticky(self):
+        apt = AdaptiveProfilingTable(AdaptiveConfig(profile_iters=1))
+        apt.record_gpp_iteration(0x100, 10)
+        apt.record_lpsu_profile(0x100, 1, 1)
+        entry = apt.lookup(0x100)
+        assert entry.decided
+        # further traditional iterations do not reopen profiling
+        assert not apt.record_gpp_iteration(0x100, 10)
+        assert entry.state == DECIDED_SPECIALIZED
+
+    def test_profiling_stretches_across_instances(self):
+        apt = AdaptiveProfilingTable(AdaptiveConfig(profile_iters=100))
+        for _ in range(50):
+            apt.record_gpp_iteration(0x100, 1)
+        entry = apt.lookup(0x100)
+        assert entry.gpp_iters == 50
+        assert not entry.decided
+
+    def test_capacity_fifo_eviction(self):
+        apt = AdaptiveProfilingTable(AdaptiveConfig(apt_entries=2))
+        apt.lookup(0x100)
+        apt.lookup(0x200)
+        apt.lookup(0x300)
+        assert apt.evictions == 1
+
+
+VEC_SCALE = """
+main:
+    li   t0, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    add  t3, t3, t3
+    add  t4, a1, t1
+    sw   t3, 0(t4)
+    addi t0, t0, 1
+    xloop.uc t0, a2, body
+done:
+    ret
+"""
+
+
+def _adaptive_cfg(gpp, profile_iters=8, profile_cycles=100):
+    return SystemConfig(
+        name=gpp.name + "+x", gpp=gpp, lpsu=LPSUConfig(),
+        adaptive=AdaptiveConfig(profile_iters=profile_iters,
+                                profile_cycles=profile_cycles))
+
+
+class TestAdaptiveEndToEnd:
+    def test_parallel_loop_decides_specialized_on_io(self):
+        n = 256
+        mem = Memory()
+        mem.write_words(SRC, range(n))
+        cfg = _adaptive_cfg(IO)
+        r = simulate(assemble(VEC_SCALE), cfg, args=[SRC, DST, n],
+                     mem=mem, mode="adaptive")
+        assert mem.read_words(DST, n) == [2 * i for i in range(n)]
+        assert list(r.adaptive_decisions.values()) == [DECIDED_SPECIALIZED]
+        assert r.specialized_invocations >= 1
+
+    def test_serial_chain_decides_traditional_on_ooo4(self):
+        # long intra-iteration dependence chain + CIR: OOO wins
+        asm = """
+main:
+    li   t0, 0
+    li   t5, 1
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    mul  t4, t3, t3
+    mul  t4, t4, t3
+    add  t5, t5, t4
+    add  t6, a1, t1
+    sw   t5, 0(t6)
+    addi t0, t0, 1
+    xloop.or t0, a2, body
+done:
+    ret
+"""
+        n = 256
+        mem = Memory()
+        mem.write_words(SRC, [1] * n)
+        cfg = _adaptive_cfg(OOO4)
+        r = simulate(assemble(asm), cfg, args=[SRC, DST, n], mem=mem,
+                     mode="adaptive")
+        # t5 starts at 1 and gains 1*1*1 each iteration
+        assert mem.read_words(DST, n) == [i + 2 for i in range(n)]
+        assert list(r.adaptive_decisions.values()) == [DECIDED_TRADITIONAL]
+
+    def test_adaptive_close_to_best_of_both(self):
+        n = 256
+        results = {}
+        for mode in ("traditional", "specialized", "adaptive"):
+            mem = Memory()
+            mem.write_words(SRC, range(n))
+            cfg = _adaptive_cfg(IO)
+            results[mode] = simulate(assemble(VEC_SCALE), cfg,
+                                     args=[SRC, DST, n], mem=mem,
+                                     mode=mode).cycles
+        best = min(results["traditional"], results["specialized"])
+        # profiling overhead is bounded (paper: "minimal performance
+        # degradation")
+        assert results["adaptive"] <= best * 1.5
+
+    def test_short_loops_profile_across_instances(self):
+        # call the kernel loop many times with a tiny trip count: the
+        # APT must accumulate profile across dynamic instances
+        asm = """
+main:                      # a0=src a1=dst a2=n a3=reps
+    li   s1, 0
+outer:
+    li   t0, 0
+    ble  a2, zero, next
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    add  t3, t3, t3
+    add  t4, a1, t1
+    sw   t3, 0(t4)
+    addi t0, t0, 1
+    xloop.uc t0, a2, body
+next:
+    addi s1, s1, 1
+    blt  s1, a3, outer
+    ret
+"""
+        mem = Memory()
+        mem.write_words(SRC, range(4))
+        cfg = _adaptive_cfg(IO, profile_iters=6, profile_cycles=10 ** 9)
+        r = simulate(assemble(asm), cfg, args=[SRC, DST, 4, 10],
+                     mem=mem, mode="adaptive")
+        # 4 iterations/instance (3 xloop-taken) -> decision made on a
+        # later dynamic instance, then specialization kicks in
+        assert r.adaptive_decisions
+        assert r.specialized_invocations >= 1

@@ -1,0 +1,204 @@
+"""Scan-phase (LMU) loop-analysis tests: CIR detection, last-CIR-write
+bits, MIVT construction, and body extraction."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import reg_num
+from repro.uarch import ScanError, scan_loop
+
+
+def scan(src, live=None):
+    prog = assemble(src)
+    xloop = next(i for i in prog.instrs if i.op.is_xloop)
+    regs = live or [0] * 32
+    return scan_loop(prog, xloop, regs), prog
+
+
+def test_body_extraction():
+    desc, prog = scan("""
+main:
+    li t0, 0
+body:
+    addi t1, t1, 1
+    addi t0, t0, 1
+    xloop.or t0, a0, body
+    ret
+""")
+    assert desc.body_len == 2
+    assert desc.body_start_pc == prog.entry("body")
+    assert desc.idx_reg == reg_num("t0")
+    assert desc.bound_reg == reg_num("a0")
+    assert desc.in_body(prog.entry("body"))
+    assert not desc.in_body(desc.xloop_pc)
+
+
+def test_cir_detection_read_then_write():
+    desc, _ = scan("""
+main:
+body:
+    add t5, t5, t1      # t5 read then written -> CIR
+    add t2, t1, t1      # t2 write only -> temp
+    addi t0, t0, 1      # index: excluded
+    xloop.or t0, a0, body
+    ret
+""")
+    assert desc.cirs == frozenset({reg_num("t5")})
+
+
+def test_index_register_not_a_cir():
+    desc, _ = scan("""
+main:
+body:
+    slli t1, t0, 2
+    addi t0, t0, 1
+    xloop.or t0, a0, body
+    ret
+""")
+    assert desc.cirs == frozenset()
+
+
+def test_write_then_read_is_not_cir():
+    desc, _ = scan("""
+main:
+body:
+    li  t3, 4
+    add t4, t3, t3      # t3 written then read: plain temp
+    addi t0, t0, 1
+    xloop.or t0, a0, body
+    ret
+""")
+    assert desc.cirs == frozenset()
+
+
+def test_read_only_live_in_not_cir():
+    desc, _ = scan("""
+main:
+body:
+    add t1, a1, a2      # a1/a2 read-only live-ins
+    addi t0, t0, 1
+    xloop.or t0, a0, body
+    ret
+""")
+    assert desc.cirs == frozenset()
+    assert desc.live_in_reads >= 3  # a1, a2, t0
+
+
+def test_last_cir_write_bit_on_largest_pc():
+    desc, prog = scan("""
+main:
+body:
+    add t5, t5, t1
+    add t5, t5, t2      # <- last static write of CIR t5
+    addi t0, t0, 1
+    xloop.or t0, a0, body
+    ret
+""")
+    t5 = reg_num("t5")
+    assert desc.last_cir_write_pc[t5] == prog.entry("body") + 4
+    flags = [i.last_cir_write for i in desc.body]
+    assert flags == [False, True, False]
+
+
+def test_mivt_addiu_xi():
+    desc, _ = scan("""
+main:
+body:
+    lw  t2, 0(t6)
+    addiu.xi t6, t6, 4
+    addi t0, t0, 1
+    xloop.uc t0, a0, body
+    ret
+""")
+    t6 = reg_num("t6")
+    assert t6 in desc.mivt
+    assert desc.mivt[t6].increment == 4
+    assert desc.cirs == frozenset()   # MIV is not a CIR
+
+
+def test_mivt_addu_xi_resolves_live_in():
+    live = [0] * 32
+    live[reg_num("a3")] = 128
+    desc, _ = scan("""
+main:
+body:
+    lw  t2, 0(t6)
+    addu.xi t6, t6, a3
+    addi t0, t0, 1
+    xloop.uc t0, a0, body
+    ret
+""", live=live)
+    assert desc.mivt[reg_num("t6")].increment == 128
+
+
+def test_xi_dst_must_equal_src():
+    with pytest.raises(ScanError):
+        scan("""
+main:
+body:
+    addiu.xi t5, t6, 4
+    addi t0, t0, 1
+    xloop.uc t0, a0, body
+    ret
+""")
+
+
+def test_duplicate_mivt_entry_rejected():
+    with pytest.raises(ScanError):
+        scan("""
+main:
+body:
+    addiu.xi t6, t6, 4
+    addiu.xi t6, t6, 8
+    addi t0, t0, 1
+    xloop.uc t0, a0, body
+    ret
+""")
+
+
+def test_uc_with_register_dependence_rejected():
+    # an accumulator in an unordered-concurrent loop is a race the
+    # scan catches (the compiler never generates this)
+    with pytest.raises(ScanError):
+        scan("""
+main:
+body:
+    add t5, t5, t1
+    addi t0, t0, 1
+    xloop.uc t0, a0, body
+    ret
+""")
+
+
+def test_orm_allows_cirs():
+    desc, _ = scan("""
+main:
+body:
+    add t5, t5, t1
+    addi t0, t0, 1
+    xloop.orm t0, a0, body
+    ret
+""")
+    assert reg_num("t5") in desc.cirs
+
+
+def test_body_index_mapping():
+    desc, prog = scan("""
+main:
+body:
+    addi t1, t1, 1
+    addi t2, t2, 1
+    addi t0, t0, 1
+    xloop.or t0, a0, body
+    ret
+""")
+    base = prog.entry("body")
+    assert desc.body_index(base) == 0
+    assert desc.body_index(base + 8) == 2
+    assert desc.body_index(desc.xloop_pc) == desc.body_len
+
+
+def test_scan_rejects_non_xloop():
+    prog = assemble("main:\n addi t0, t0, 1\n ret\n")
+    with pytest.raises(ScanError):
+        scan_loop(prog, prog.instrs[0], [0] * 32)

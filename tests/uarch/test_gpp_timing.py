@@ -1,0 +1,241 @@
+"""Unit tests for the in-order and out-of-order GPP timing models,
+driven by the functional golden model."""
+
+from repro.asm import assemble
+from repro.energy import EnergyEvents
+from repro.sim import FunctionalCore, Memory
+from repro.uarch import IO, OOO2, OOO4, InOrderTiming, OOOTiming
+from repro.uarch.params import GPPConfig
+
+
+def run_timing(src, config, args=(), mem=None, events=None):
+    prog = assemble(src)
+    core = FunctionalCore(prog, mem)
+    core.setup_call("main", args)
+    timing = (OOOTiming if config.is_ooo else InOrderTiming)(
+        config, events=events)
+    while not core.halted:
+        timing.consume(core.step())
+    return timing, core
+
+
+INDEP = """
+main:
+    li t0, 1
+    li t1, 2
+    li t2, 3
+    li t3, 4
+    li t4, 5
+    li t5, 6
+    li t6, 7
+    li s2, 8
+    ret
+"""
+
+CHAIN = """
+main:
+    li  t0, 1
+    add t0, t0, t0
+    add t0, t0, t0
+    add t0, t0, t0
+    add t0, t0, t0
+    add t0, t0, t0
+    add t0, t0, t0
+    add t0, t0, t0
+    ret
+"""
+
+
+def test_inorder_is_roughly_one_ipc_on_independent_ops():
+    t, core = run_timing(INDEP, IO)
+    assert core.icount <= t.cycles <= core.icount + 4
+
+
+def test_ooo_width_speeds_up_independent_ops():
+    t2, _ = run_timing(INDEP, OOO2)
+    t4, _ = run_timing(INDEP, OOO4)
+    t1, _ = run_timing(INDEP, IO)
+    assert t4.cycles <= t2.cycles <= t1.cycles
+
+
+def test_dependence_chain_defeats_ooo_width():
+    t2, core = run_timing(CHAIN, OOO2)
+    t4, _ = run_timing(CHAIN, OOO4)
+    # serialized chain: wider machine gains (almost) nothing
+    assert abs(t4.cycles - t2.cycles) <= 2
+    assert t2.cycles >= core.icount - 2
+
+
+def test_ooo_extracts_ilp_from_interleaved_chains():
+    two_chains = """
+main:
+    li  t0, 1
+    li  t1, 1
+    add t0, t0, t0
+    add t1, t1, t1
+    add t0, t0, t0
+    add t1, t1, t1
+    add t0, t0, t0
+    add t1, t1, t1
+    ret
+"""
+    tio, _ = run_timing(two_chains, IO)
+    t2, _ = run_timing(two_chains, OOO2)
+    assert t2.cycles < tio.cycles
+
+
+def test_load_use_stall_inorder():
+    src = """
+main:
+    la  t0, v
+    lw  t1, 0(t0)
+    add a0, t1, t1      # immediate use of load
+    ret
+    .data
+v:  .word 5
+"""
+    t, core = run_timing(src, IO)
+    assert t.stall_raw >= 1
+    assert core.regs[10] == 10
+
+
+def test_llfu_latency_visible():
+    mul_chain = """
+main:
+    li  t0, 3
+    mul t0, t0, t0
+    mul t0, t0, t0
+    mul t0, t0, t0
+    ret
+"""
+    t, _ = run_timing(mul_chain, IO)
+    # 3 dependent multiplies at 4 cycles each dominate
+    assert t.cycles >= 12
+
+
+def test_div_unpipelined_on_ooo():
+    divs = """
+main:
+    li  t0, 100
+    li  t1, 3
+    div t2, t0, t1
+    div t3, t0, t1
+    div t4, t0, t1
+    ret
+"""
+    t2, _ = run_timing(divs, OOO2)   # one LLFU: divs serialize
+    t4, _ = run_timing(divs, OOO4)   # two LLFUs
+    assert t4.cycles < t2.cycles
+
+
+def test_branch_mispredict_costs_more_on_ooo():
+    # data-dependent alternating branch: untrainable
+    src = """
+main:
+    li  t0, 0
+    li  t1, 64
+    li  t2, 0
+loop:
+    andi t3, t0, 1
+    beqz t3, skip
+    addi t2, t2, 1
+skip:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    mv   a0, t2
+    ret
+"""
+    tio, cio = run_timing(src, IO)
+    tooo, _ = run_timing(src, OOO2)
+    assert cio.return_value == 32
+    assert tio.stall_branch > 0
+    assert tooo.mispredicts > 10
+
+
+def test_amo_serializes_ooo():
+    base = """
+main:
+    la  t0, cell
+    li  t1, 1
+    %s
+    li a0, 0
+    ret
+    .data
+cell: .word 0
+"""
+    amos = base % "\n    ".join(["amo.add t2, t1, (t0)"] * 8)
+    plains = base % "\n    ".join(["add t2, t1, t1"] * 8)
+    t_amo, _ = run_timing(amos, OOO4)
+    t_plain, _ = run_timing(plains, OOO4)
+    assert t_amo.serializations == 8
+    assert t_amo.cycles > t_plain.cycles + 8
+
+
+def test_store_load_forwarding_dependence():
+    src = """
+main:
+    la  t0, cell
+    li  t1, 7
+    sw  t1, 0(t0)
+    lw  t2, 0(t0)      # must see the store
+    add a0, t2, t2
+    ret
+    .data
+cell: .word 0
+"""
+    t, core = run_timing(src, OOO4)
+    assert core.return_value == 14
+
+
+def test_rob_bounds_window():
+    # many independent loads: small ROB limits overlap
+    body = "\n    ".join("lw t%d, %d(a0)" % (i % 3, 4 * i)
+                         for i in range(32))
+    src = "main:\n    %s\n    ret\n" % body
+    small = GPPConfig(name="small", kind="ooo", width=4, rob_entries=4,
+                      mem_ports=2, llfus=1)
+    t_small, _ = run_timing(src, small, args=[0x100000])
+    t_big, _ = run_timing(src, OOO4, args=[0x100000])
+    assert t_big.cycles <= t_small.cycles
+
+
+def test_events_counted():
+    ev = EnergyEvents()
+    run_timing(INDEP, IO, events=ev)
+    assert ev.ic_access == 9
+    assert ev.alu_op >= 8
+    assert ev.rf_write >= 8
+
+    ev2 = EnergyEvents()
+    run_timing(INDEP, OOO2, events=ev2)
+    assert ev2.rob_op == 9
+    assert ev2.ooo_rename == 9
+
+
+def test_xloop_counts_as_branch_on_gpp():
+    src = """
+main:
+    li t0, 0
+    li t1, 16
+body:
+    addi t0, t0, 1
+    xloop.uc t0, t1, body
+    mv a0, t0
+    ret
+"""
+    ev = EnergyEvents()
+    t, core = run_timing(src, IO, events=ev)
+    assert core.return_value == 16
+    assert ev.bpred == 16   # one lookup per xloop execution
+
+
+def test_advance_moves_clock():
+    t, _ = run_timing(INDEP, IO)
+    before = t.cycles
+    t.advance(100)
+    assert t.cycles == before + 100
+
+    t2, _ = run_timing(INDEP, OOO2)
+    before2 = t2.cycles
+    t2.advance(100)
+    assert t2.cycles >= before2 + 100

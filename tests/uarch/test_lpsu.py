@@ -1,0 +1,454 @@
+"""LPSU specialized-execution tests: functional correctness on every
+dependence pattern, plus timing/stall behaviour."""
+
+import itertools
+
+import pytest
+
+from repro.asm import assemble
+from repro.energy import EnergyEvents
+from repro.sim import Memory
+from repro.uarch import (IO, LPSU, LPSUConfig, SystemConfig, scan_loop,
+                         simulate)
+from repro.uarch.params import LatencyTable
+
+SRC, DST, N = 0x100000, 0x200000, 64
+
+
+def run_spec(asm, args, mem, lpsu=None, mode="specialized"):
+    cfg = SystemConfig(name="io+x", gpp=IO, lpsu=lpsu or LPSUConfig())
+    return simulate(assemble(asm), cfg, args=list(args), mem=mem, mode=mode)
+
+
+def run_trad(asm, args, mem):
+    cfg = SystemConfig(name="io", gpp=IO)
+    return simulate(assemble(asm), cfg, args=list(args), mem=mem,
+                    mode="traditional")
+
+
+VEC_SCALE = """
+main:                       # a0=src, a1=dst, a2=n
+    li   t0, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    add  t3, t3, t3
+    add  t4, a1, t1
+    sw   t3, 0(t4)
+    addi t0, t0, 1
+    xloop.uc t0, a2, body
+done:
+    ret
+"""
+
+PREFIX_SUM = """
+main:                       # a0=src, a1=dst, a2=n
+    li   t0, 0
+    li   t5, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    add  t5, t5, t3
+    add  t4, a1, t1
+    sw   t5, 0(t4)
+    addi t0, t0, 1
+    xloop.or t0, a2, body
+done:
+    ret
+"""
+
+MEM_RECURRENCE = """
+main:                       # a0=a, a1=b, a2=n; b[i] = b[i-1] + a[i]
+    li   t0, 1
+    li   t6, 1
+    bge  t6, a2, done
+body:
+    slli t1, t0, 2
+    add  t2, a1, t1
+    lw   t3, -4(t2)
+    add  t4, a0, t1
+    lw   t5, 0(t4)
+    add  t3, t3, t5
+    sw   t3, 0(t2)
+    addi t0, t0, 1
+    xloop.om t0, a2, body
+done:
+    ret
+"""
+
+
+class TestUCPattern:
+    def test_functional_correctness(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(VEC_SCALE, [SRC, DST, N], mem)
+        assert mem.read_words(DST, N) == [2 * i for i in range(N)]
+        assert r.specialized_invocations == 1
+
+    def test_speedup_over_traditional(self):
+        m1, m2 = Memory(), Memory()
+        m1.write_words(SRC, range(N))
+        m2.write_words(SRC, range(N))
+        t = run_trad(VEC_SCALE, [SRC, DST, N], m1)
+        s = run_spec(VEC_SCALE, [SRC, DST, N], m2)
+        assert t.cycles / s.cycles > 2.0   # paper: 2.5x+ typical for uc
+
+    def test_more_lanes_help(self):
+        cyc = {}
+        for lanes in (2, 4, 8):
+            mem = Memory()
+            mem.write_words(SRC, range(N))
+            r = run_spec(VEC_SCALE, [SRC, DST, N], mem,
+                         lpsu=LPSUConfig(lanes=lanes, mem_ports=2))
+            cyc[lanes] = r.cycles
+        assert cyc[8] <= cyc[4] <= cyc[2]
+
+    def test_iterations_counted(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(VEC_SCALE, [SRC, DST, N], mem)
+        # first iteration executes traditionally before the xloop is
+        # reached; the LPSU runs the rest
+        assert r.lpsu_stats.iterations == N - 1
+
+    def test_single_iteration_never_specializes(self):
+        mem = Memory()
+        mem.write_words(SRC, range(4))
+        r = run_spec(VEC_SCALE, [SRC, DST, 1], mem)
+        assert r.specialized_invocations == 0
+        assert mem.read_words(DST, 1) == [0]
+
+
+class TestORPattern:
+    def test_prefix_sum_exact(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        run_spec(PREFIX_SUM, [SRC, DST, N], mem)
+        assert mem.read_words(DST, N) == list(
+            itertools.accumulate(range(N)))
+
+    def test_cir_stalls_recorded(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(PREFIX_SUM, [SRC, DST, N], mem)
+        assert r.lpsu_stats.stall_cib > 0
+
+    def test_or_slower_than_uc_shape(self):
+        m1, m2 = Memory(), Memory()
+        m1.write_words(SRC, range(N))
+        m2.write_words(SRC, range(N))
+        uc = run_spec(VEC_SCALE, [SRC, DST, N], m1)
+        orr = run_spec(PREFIX_SUM, [SRC, DST, N], m2)
+        assert orr.cycles >= uc.cycles  # serialization through the CIB
+
+    def test_conditional_cir_update(self):
+        # CIR updated only for odd elements: the skipped last-CIR-write
+        # path must forward the incoming value at iteration end
+        asm = """
+main:                       # a0=src, a1=dst, a2=n; dst[i]=sum of odds so far
+    li   t0, 0
+    li   t5, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    andi t4, t3, 1
+    beqz t4, skip
+    add  t5, t5, t3
+skip:
+    slli t1, t0, 2
+    add  t4, a1, t1
+    sw   t5, 0(t4)
+    addi t0, t0, 1
+    xloop.or t0, a2, body
+done:
+    ret
+"""
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        run_spec(asm, [SRC, DST, N], mem)
+        acc, expect = 0, []
+        for i in range(N):
+            if i & 1:
+                acc += i
+            expect.append(acc)
+        assert mem.read_words(DST, N) == expect
+
+
+class TestOMPattern:
+    def test_memory_recurrence_exact(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        mem.store_word(DST, 0)
+        r = run_spec(MEM_RECURRENCE, [SRC, DST, N], mem)
+        expect = [0] * N
+        for i in range(1, N):
+            expect[i] = expect[i - 1] + i
+        assert mem.read_words(DST, N) == expect
+        assert r.lpsu_stats.squashes > 0   # tight recurrence squashes
+
+    def test_disjoint_addresses_no_squash(self):
+        # every iteration touches its own word: no violations
+        asm = VEC_SCALE.replace("xloop.uc", "xloop.om")
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(asm, [SRC, DST, N], mem)
+        assert mem.read_words(DST, N) == [2 * i for i in range(N)]
+        assert r.lpsu_stats.squashes == 0
+
+    def test_store_load_forwarding_within_iteration(self):
+        asm = """
+main:                       # a0=scratch, a1=dst, a2=n
+    li   t0, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    li   t3, 7
+    sw   t3, 0(t2)       # speculative store
+    lw   t4, 0(t2)       # must forward from own LSQ
+    add  t4, t4, t0
+    add  t5, a1, t1
+    sw   t4, 0(t5)
+    addi t0, t0, 1
+    xloop.om t0, a2, body
+done:
+    ret
+"""
+        mem = Memory()
+        run_spec(asm, [SRC, DST, 16], mem)
+        assert mem.read_words(DST, 16) == [7 + i for i in range(16)]
+
+    def test_small_lsq_stalls(self):
+        # slow compute then a burst of stores: younger lanes fill a
+        # 2-entry LSQ while older iterations are still in flight
+        asm = """
+main:
+    li   t6, 3
+    li   t0, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 4
+    add  t2, a1, t1
+    div  t3, t1, t6
+    sw   t3, 0(t2)
+    sw   t0, 4(t2)
+    sw   t0, 8(t2)
+    sw   t0, 12(t2)
+    addi t0, t0, 1
+    xloop.om t0, a2, body
+done:
+    ret
+"""
+        mem = Memory()
+        r_small = run_spec(asm, [SRC, DST, 32], mem,
+                           lpsu=LPSUConfig(lsq_stores=2, lsq_loads=2,
+                                           mem_ports=2, llfus=4))
+        mem2 = Memory()
+        r_big = run_spec(asm, [SRC, DST, 32], mem2,
+                         lpsu=LPSUConfig(lsq_stores=16, lsq_loads=16,
+                                         mem_ports=2, llfus=4))
+        assert mem.read_words(DST, 4) == mem2.read_words(DST, 4)
+        assert (r_small.lpsu_stats.stall_lsq
+                + r_small.lpsu_stats.stall_commit) > 0
+        assert r_big.cycles <= r_small.cycles
+
+
+class TestUAPattern:
+    def test_histogram_atomicity(self):
+        # two histograms updated per iteration; iterations may be
+        # reordered but updates must be atomic (read-modify-write
+        # pairs must not be torn) -- paper Fig 1(d)
+        asm = """
+main:                       # a0=data, a1=histA (histB at +256), a2=n
+    li   t0, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)          # v in 0..15
+    slli t4, t3, 2
+    add  t5, a1, t4
+    lw   t6, 0(t5)
+    addi t6, t6, 1
+    sw   t6, 0(t5)          # histA[v]++
+    addi t5, t5, 256
+    lw   t6, 0(t5)
+    addi t6, t6, 1
+    sw   t6, 0(t5)          # histB[v]++
+    addi t0, t0, 1
+    xloop.ua t0, a2, body
+done:
+    ret
+"""
+        mem = Memory()
+        data = [(i * 7) % 16 for i in range(N)]
+        mem.write_words(SRC, data)
+        run_spec(asm, [SRC, DST, N], mem)
+        expect = [0] * 16
+        for v in data:
+            expect[v] += 1
+        assert mem.read_words(DST, 16) == expect
+        assert mem.read_words(DST + 256, 16) == expect
+
+
+class TestDynamicBound:
+    def test_worklist_growth(self):
+        # seed worklist with one item; each item < LIMIT pushes 2*v+1
+        # and 2*v+2 (binary-tree expansion, paper Fig 1(e))
+        asm = """
+main:                       # a0=worklist, a1=tailptr, a2=sumaddr
+    li   t0, 0
+    lw   t6, 0(a1)          # bound = tail
+    ble  t6, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)          # v = wl[i]
+    amo.add t4, t3, (a2)    # sum += v (AMO: uc iterations race)
+    li   t5, 7
+    bge  t3, t5, nopush
+    li   t5, 2
+    amo.add t5, t5, (a1)    # old tail; tail += 2
+    slli t4, t3, 1
+    addi t4, t4, 1
+    slli t1, t5, 2
+    add  t1, a0, t1
+    sw   t4, 0(t1)          # wl[old] = 2v+1
+    addi t4, t4, 1
+    sw   t4, 4(t1)          # wl[old+1] = 2v+2
+nopush:
+    lw   t6, 0(a1)          # reload bound
+    addi t0, t0, 1
+    xloop.uc.db t0, t6, body
+done:
+    ret
+"""
+        WL, TAIL, SUM = 0x100000, 0x110000, 0x120000
+
+        def run(mode_mem, spec):
+            mem = mode_mem
+            mem.write_words(WL, [0])
+            mem.store_word(TAIL, 1)
+            mem.store_word(SUM, 0)
+            if spec:
+                return run_spec(asm, [WL, TAIL, SUM], mem), mem
+            return run_trad(asm, [WL, TAIL, SUM], mem), mem
+
+        r_t, mem_t = run(Memory(), spec=False)
+        r_s, mem_s = run(Memory(), spec=True)
+        # tree of values v with children 2v+1, 2v+2 while v < 7:
+        # 0,1,2,3,4,5,6 push children -> worklist holds 0..14
+        assert mem_t.load_word(TAIL) == 15
+        assert mem_s.load_word(TAIL) == 15
+        assert mem_s.load_word(SUM) == sum(range(15))
+        assert sorted(mem_s.read_words(WL, 15)) == list(range(15))
+        assert r_s.specialized_invocations >= 1
+        assert r_s.lpsu_stats.iterations > 0
+
+
+class TestXI:
+    def test_miv_initialized_per_iteration(self):
+        # pointer walks the source via addiu.xi instead of idx shifts
+        asm = """
+main:                       # a0=src, a1=dst, a2=n
+    li   t0, 0
+    mv   t6, a0             # MIV pointer
+    ble  a2, zero, done
+body:
+    lw   t3, 0(t6)
+    add  t3, t3, t3
+    slli t1, t0, 2
+    add  t4, a1, t1
+    sw   t3, 0(t4)
+    addiu.xi t6, t6, 4
+    addi t0, t0, 1
+    xloop.uc t0, a2, body
+done:
+    ret
+"""
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(asm, [SRC, DST, N], mem)
+        assert mem.read_words(DST, N) == [2 * i for i in range(N)]
+        assert r.events.miv_mul > 0
+
+
+class TestFallbacks:
+    def test_unsupported_pattern_runs_traditionally(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(VEC_SCALE, [SRC, DST, N], mem,
+                     lpsu=LPSUConfig(specialize_patterns=("or",)))
+        assert r.specialized_invocations == 0
+        assert mem.read_words(DST, N) == [2 * i for i in range(N)]
+
+    def test_oversized_body_falls_back(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(VEC_SCALE, [SRC, DST, N], mem,
+                     lpsu=LPSUConfig(ib_entries=4))
+        assert r.specialized_invocations == 0
+        assert mem.read_words(DST, N) == [2 * i for i in range(N)]
+
+
+class TestMultithreading:
+    def test_mt_correct_and_not_slower_on_raw_bound_loop(self):
+        # dependent-chain body: MT hides RAW stalls (paper Fig 9 +t)
+        asm = """
+main:
+    li   t0, 0
+    ble  a2, zero, done
+body:
+    slli t1, t0, 2
+    add  t2, a0, t1
+    lw   t3, 0(t2)
+    mul  t3, t3, t3
+    add  t4, a1, t1
+    sw   t3, 0(t4)
+    addi t0, t0, 1
+    xloop.uc t0, a2, body
+done:
+    ret
+"""
+        m1, m2 = Memory(), Memory()
+        for m in (m1, m2):
+            m.write_words(SRC, range(N))
+        r1 = run_spec(asm, [SRC, DST, N], m1,
+                      lpsu=LPSUConfig(threads_per_lane=1, llfus=2))
+        r2 = run_spec(asm, [SRC, DST, N], m2,
+                      lpsu=LPSUConfig(threads_per_lane=2, llfus=2))
+        assert m1.read_words(DST, N) == m2.read_words(DST, N) \
+            == [i * i for i in range(N)]
+        assert r2.cycles <= r1.cycles
+
+    def test_mt_disabled_for_ordered_patterns(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        run_spec(PREFIX_SUM, [SRC, DST, N], mem,
+                 lpsu=LPSUConfig(threads_per_lane=2))
+        assert mem.read_words(DST, N) == list(
+            itertools.accumulate(range(N)))
+
+
+class TestStatsAndEnergy:
+    def test_breakdown_covers_lane_cycles(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(PREFIX_SUM, [SRC, DST, N], mem)
+        b = r.lpsu_stats.breakdown()
+        lanes = 4
+        total = r.lpsu_stats.exec_cycles * lanes
+        attributed = sum(v for k, v in b.items() if k != "squash")
+        assert attributed == total
+
+    def test_lpsu_uses_ib_not_icache(self):
+        mem = Memory()
+        mem.write_words(SRC, range(N))
+        r = run_spec(VEC_SCALE, [SRC, DST, N], mem)
+        assert r.events.ib_read > r.events.ic_access

@@ -1,0 +1,192 @@
+"""System-level integration tests: multiple xloops, nesting,
+migration corner cases, and the traditional/specialized seams."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.sim import Memory
+from repro.uarch import (IO, OOO2, LPSUConfig, SystemConfig,
+                         SystemSimulator, simulate)
+
+A, B, C = 0x100000, 0x180000, 0x200000
+IOX = SystemConfig("io+x", IO, lpsu=LPSUConfig())
+
+
+def run(src, entry, args, mem, mode="specialized", cfg=IOX, **ckw):
+    cp = compile_source(src, **ckw)
+    return simulate(cp.program, cfg, entry=entry, args=list(args),
+                    mem=mem, mode=mode), cp
+
+
+class TestMultipleXLoops:
+    SRC = """
+void k(int* a, int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = a[i] + 1; }
+    int acc = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) { acc = acc + b[i]; b[i] = acc; }
+}
+"""
+
+    def test_both_loops_specialize(self):
+        n = 32
+        mem = Memory()
+        mem.write_words(A, range(n))
+        r, cp = run(self.SRC, "k", [A, B, n], mem)
+        assert cp.loop_kinds() == ("xloop.uc", "xloop.or")
+        assert r.specialized_invocations == 2
+        import itertools
+        assert mem.read_words(B, n) == list(
+            itertools.accumulate(i + 1 for i in range(n)))
+
+    def test_partial_support_mixes_modes(self):
+        # an LPSU supporting only uc runs the or loop traditionally
+        n = 32
+        mem = Memory()
+        mem.write_words(A, range(n))
+        cfg = SystemConfig("io+x", IO,
+                           lpsu=LPSUConfig(specialize_patterns=("uc",)))
+        r, _ = run(self.SRC, "k", [A, B, n], mem, cfg=cfg)
+        assert r.specialized_invocations == 1
+        import itertools
+        assert mem.read_words(B, n) == list(
+            itertools.accumulate(i + 1 for i in range(n)))
+
+
+class TestNestedSpecialization:
+    SRC = """
+void k(int* m, int rows, int cols) {
+    #pragma xloops ordered
+    for (int r = 1; r < rows; r++) {
+        #pragma xloops unordered
+        for (int j = 0; j < cols; j++) {
+            m[r*cols + j] = m[(r-1)*cols + j] + m[r*cols + j];
+        }
+    }
+}
+"""
+
+    def test_outer_loop_wins_the_lpsu(self):
+        # the first outer iteration executes traditionally (the scan
+        # starts when the xloop is *reached*), so its inner xloop
+        # specializes once; afterwards the outer xloop owns the LPSU
+        # and the inner xloops run as plain branches inside the lanes
+        rows, cols = 6, 8
+        mem = Memory()
+        data = list(range(rows * cols))
+        mem.write_words(A, data)
+        r, cp = run(self.SRC, "k", [A, rows, cols], mem)
+        assert cp.loop_kinds() == ("xloop.om", "xloop.uc")
+        assert r.specialized_invocations == 2
+        expect = list(data)
+        for rr in range(1, rows):
+            for j in range(cols):
+                expect[rr * cols + j] += expect[(rr - 1) * cols + j]
+        assert mem.read_words(A, rows * cols) == expect
+
+    def test_inner_specializes_when_outer_unsupported(self):
+        rows, cols = 6, 8
+        mem = Memory()
+        data = list(range(rows * cols))
+        mem.write_words(A, data)
+        cfg = SystemConfig("io+x", IO,
+                           lpsu=LPSUConfig(specialize_patterns=("uc",)))
+        r, _ = run(self.SRC, "k", [A, rows, cols], mem, cfg=cfg)
+        assert r.specialized_invocations == rows - 1  # inner, per row
+        expect = list(data)
+        for rr in range(1, rows):
+            for j in range(cols):
+                expect[rr * cols + j] += expect[(rr - 1) * cols + j]
+        assert mem.read_words(A, rows * cols) == expect
+
+
+class TestSeams:
+    def test_first_iteration_runs_on_the_gpp(self):
+        # the GPP executes the body once before reaching the xloop;
+        # the LPSU runs n-1 iterations (paper II-D scan-phase timing)
+        src = """
+void k(int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = i * 7; }
+}
+"""
+        mem = Memory()
+        r, _ = run(src, "k", [B, 16], mem)
+        assert r.lpsu_stats.iterations == 15
+        assert mem.read_words(B, 16) == [7 * i for i in range(16)]
+
+    def test_zero_and_one_trip_loops(self):
+        src = """
+int k(int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = 1; }
+    return 9;
+}
+"""
+        for n in (0, 1):
+            mem = Memory()
+            r, _ = run(src, "k", [B, n], mem)
+            assert r.specialized_invocations == 0
+            assert r.return_value == 9
+            assert mem.read_words(B, 2) == ([0, 0] if n == 0
+                                            else [1, 0])
+
+    def test_loop_in_function_called_repeatedly(self):
+        src = """
+void inner(int* b, int n, int base) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[base + i] = base + i; }
+}
+void k(int* b, int n, int reps) {
+    for (int r = 0; r < reps; r++) { inner(b, n, r * n); }
+}
+"""
+        mem = Memory()
+        r, _ = run(src, "k", [B, 8, 5], mem)
+        assert r.specialized_invocations == 5
+        assert mem.read_words(B, 40) == list(range(40))
+
+    def test_cache_shared_between_gpp_and_lpsu(self):
+        # data touched by the GPP before the loop stays warm for the
+        # lanes (and vice versa): total misses ~= cold footprint
+        src = """
+int k(int* a, int n) {
+    int head = a[0] + a[8] + a[16];
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { a[i] = a[i] + 1; }
+    return head;
+}
+"""
+        n = 64
+        mem = Memory()
+        mem.write_words(A, range(n))
+        r, _ = run(src, "k", [A, n], mem)
+        lines = (4 * n) // 32
+        assert r.cache_misses <= lines + 3
+
+
+class TestOOOHost:
+    def test_ooo_host_specializes_too(self):
+        src = """
+void k(int* a, int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = a[i] * 5; }
+}
+"""
+        n = 48
+        mem = Memory()
+        mem.write_words(A, range(n))
+        cfg = SystemConfig("ooo/2+x", OOO2, lpsu=LPSUConfig())
+        r, _ = run(src, "k", [A, B, n], mem, cfg=cfg)
+        assert r.specialized_invocations == 1
+        assert mem.read_words(B, n) == [5 * i for i in range(n)]
+
+    def test_mode_validation(self):
+        src = "void k() { }"
+        cp = compile_source(src)
+        sim = SystemSimulator(cp.program, SystemConfig("io", IO))
+        with pytest.raises(ValueError):
+            sim.run(entry="k", mode="specialized")
+        with pytest.raises(ValueError):
+            sim.run(entry="k", mode="warp-speed")

@@ -1,0 +1,108 @@
+"""Lane-trace tests: the diagram must reflect what the LPSU did."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.sim import Memory
+from repro.uarch.params import LPSUConfig
+from repro.uarch.tracelog import LEGEND, LaneTrace, trace_specialized
+
+A, B = 0x100000, 0x200000
+
+
+def _trace(src, entry, args, lpsu=None, n_init=None):
+    cp = compile_source(src)
+    mem = Memory()
+    if n_init:
+        mem.write_words(A, n_init)
+    return trace_specialized(cp.program, entry, args, mem,
+                             lpsu_config=lpsu)
+
+
+class TestLaneTrace:
+    def test_mark_and_render(self):
+        t = LaneTrace()
+
+        class Ctx:
+            pass
+
+        c0, c1 = Ctx(), Ctx()
+        t.mark(c0, 0, "E")
+        t.mark(c0, 1, "r", span=3)
+        t.mark(c1, 2, "M")
+        out = t.render()
+        assert "lane0  Errr" in out
+        assert "lane1  ..M" in out
+        assert "RAW" in out   # legend present
+
+    def test_idle_never_overwrites(self):
+        t = LaneTrace()
+
+        class Ctx:
+            pass
+
+        c = Ctx()
+        t.mark(c, 0, "E")
+        t.mark(c, 0, ".")
+        assert "E" in t.render()
+
+    def test_max_cycles_cap(self):
+        t = LaneTrace(max_cycles=4)
+
+        class Ctx:
+            pass
+
+        t.mark(Ctx(), 100, "E")
+        assert t.cycles_seen <= 4
+
+    def test_empty_render(self):
+        assert "no trace" in LaneTrace().render()
+
+    def test_legend_covers_all_codes(self):
+        for code in "EMrcmlqwDX|.":
+            assert code in LEGEND
+
+
+class TestTraceSpecialized:
+    UC = """
+void k(int* a, int* b, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) { b[i] = a[i] * 2; }
+}
+"""
+    OR = """
+void k(int* a, int* b, int n) {
+    int acc = 0;
+    #pragma xloops ordered
+    for (int i = 0; i < n; i++) { acc = acc + a[i]; b[i] = acc; }
+}
+"""
+
+    def test_uc_trace_is_mostly_execution(self):
+        trace, result = _trace(self.UC, "k", [A, B, 32],
+                               n_init=range(32))
+        out = trace.render()
+        assert out.count("E") > out.count("c")
+        assert result.iterations == 31
+
+    def test_or_trace_shows_cib_serialization(self):
+        trace, _ = _trace(self.OR, "k", [A, B, 32], n_init=range(32))
+        out = trace.render(width=200)
+        assert "c" in out   # CIB waits visible
+
+    def test_iteration_boundaries_marked(self):
+        trace, _ = _trace(self.UC, "k", [A, B, 32], n_init=range(32))
+        assert "|" in trace.render(width=400)
+
+    def test_no_xloop_raises(self):
+        src = "void k() { }"
+        cp = compile_source(src)
+        with pytest.raises(ValueError):
+            trace_specialized(cp.program, "k", [], Memory())
+
+    def test_respects_lpsu_config(self):
+        trace, _ = _trace(self.UC, "k", [A, B, 32],
+                          lpsu=LPSUConfig(lanes=2), n_init=range(32))
+        rows = [l for l in trace.render().splitlines()
+                if l.startswith("lane")]
+        assert len(rows) == 2

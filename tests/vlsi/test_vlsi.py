@@ -1,0 +1,80 @@
+"""Table V area / cycle-time model tests (paper Section V)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vlsi import (buffer_array, cache_macro, cycle_time_ns,
+                        gpp_area, lpsu_area, sram, table5_rows)
+
+
+class TestCactiLite:
+    @given(b=st.integers(min_value=64, max_value=1 << 20))
+    def test_area_monotone(self, b):
+        assert sram(2 * b).area_mm2 > sram(b).area_mm2
+        assert buffer_array(2 * b).area_mm2 > buffer_array(b).area_mm2
+
+    def test_buffers_less_dense_than_sram(self):
+        assert buffer_array(512).area_mm2 > sram(512).area_mm2
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            sram(0)
+        with pytest.raises(ValueError):
+            buffer_array(-4)
+
+    def test_cache_macro_includes_tags(self):
+        assert cache_macro(16 * 1024).area_mm2 > sram(16 * 1024).area_mm2
+
+
+class TestTable5:
+    def test_gpp_baseline_area(self):
+        # paper: 0.25 mm^2 in 40 nm
+        assert gpp_area().total_mm2 == pytest.approx(0.25, abs=0.01)
+
+    def test_primary_design_overhead(self):
+        # paper: lpsu+i128+ln4 is ~43% larger than the GPP ("only 40%
+        # area overhead" in the abstract)
+        base = gpp_area()
+        primary = lpsu_area(lanes=4, ib_entries=128)
+        assert 0.35 < primary.overhead_vs(base) < 0.50
+
+    def test_lane_sweep_range(self):
+        # paper: 24-77% overhead for 2-8 lanes at 128 IB entries
+        base = gpp_area()
+        two = lpsu_area(lanes=2).overhead_vs(base)
+        eight = lpsu_area(lanes=8).overhead_vs(base)
+        assert 0.20 < two < 0.30
+        assert 0.70 < eight < 0.85
+
+    def test_area_roughly_linear_in_lanes(self):
+        base = gpp_area()
+        areas = [lpsu_area(lanes=k).lpsu_mm2 for k in (2, 4, 6, 8)]
+        diffs = [b - a for a, b in zip(areas, areas[1:])]
+        assert max(diffs) - min(diffs) < 1e-9   # exactly linear model
+
+    def test_ib_sweep_modest(self):
+        # paper: 41-48% across 96-192 entries
+        base = gpp_area()
+        overheads = [lpsu_area(4, ib).overhead_vs(base)
+                     for ib in (96, 128, 160, 192)]
+        assert overheads == sorted(overheads)
+        assert overheads[-1] - overheads[0] < 0.10
+
+    def test_cycle_time_grows_with_lanes(self):
+        cts = [cycle_time_ns(k, 128) for k in (2, 4, 6, 8)]
+        assert cts == sorted(cts)
+        assert 1.9 < cts[0] < 2.1      # paper: 1.98
+        assert 2.4 < cts[-1] < 2.7     # paper: 2.54
+
+    def test_table5_rows_shape(self):
+        rows = table5_rows()
+        assert rows[0][0] == "scalar"
+        names = [r[0] for r in rows]
+        assert "lpsu+i128+ln4" in names
+        assert len(rows) == 8
+
+    def test_breakdown_sums(self):
+        rep = lpsu_area()
+        assert rep.total_mm2 == pytest.approx(
+            sum(rep.breakdown.values()))
+        assert rep.lpsu_mm2 < rep.total_mm2
