@@ -5,6 +5,11 @@
 * shared vs doubled memory port + LLFU
 * xi enabled vs disabled (Fig 10's sgemm observation)
 * adaptive profiling thresholds
+
+Every point goes through the sweep executor as an ad-hoc
+:class:`SystemConfig` (the runner accepts config objects as well as
+names), so the whole ablation grid is cacheable and parallelizable
+like the paper artifacts.
 """
 
 from dataclasses import replace
@@ -12,60 +17,106 @@ from dataclasses import replace
 from conftest import run_once
 
 from repro.eval import render_table
-from repro.eval.configs import ADAPTIVE, CONFIGS, PRIMARY_LPSU
-from repro.eval.runner import run, speedup
-from repro.kernels import get_kernel
-from repro.lang import compile_source
-from repro.sim import Memory
-from repro.uarch import IO, SystemConfig, SystemSimulator
+from repro.eval.configs import ADAPTIVE, PRIMARY_LPSU
+from repro.eval.parallel import SweepPoint, sweep
+from repro.eval.runner import run
+from repro.uarch import IO, OOO4, SystemConfig
 from repro.uarch.params import AdaptiveConfig
 
+_JOBS = None  # in-process; set to an int to fan the grid out
 
-def _spec_cycles(kernel, lpsu, xi_enabled=True, scale="small"):
-    spec = get_kernel(kernel)
-    cp = compile_source(spec.source, xi_enabled=xi_enabled)
-    wl = spec.workload(scale)
-    mem = Memory()
-    args = wl.apply(mem)
-    cfg = SystemConfig("ablate", IO, lpsu=lpsu, adaptive=ADAPTIVE)
-    sim = SystemSimulator(cp.program, cfg, mem=mem)
-    r = sim.run(entry=spec.entry, args=args, mode="specialized")
-    wl.check(mem)
-    return r
+
+def _cfg(lpsu, gpp=IO, adaptive=ADAPTIVE, name="ablate"):
+    return SystemConfig(name, gpp, lpsu=lpsu, adaptive=adaptive)
+
+
+def _spec(kernel, lpsu, xi_enabled=True, schedule_cirs=False,
+          mode="specialized", config=None):
+    return run(kernel, config or _cfg(lpsu), mode=mode,
+               xi_enabled=xi_enabled, schedule_cirs=schedule_cirs,
+               scale="small")
+
+
+def _point(kernel, lpsu, xi_enabled=True, schedule_cirs=False,
+           mode="specialized", config=None):
+    return SweepPoint(kernel, config or _cfg(lpsu), mode=mode,
+                      xi_enabled=xi_enabled, schedule_cirs=schedule_cirs,
+                      scale="small")
+
+
+_LSQ_GRID = {"small": replace(PRIMARY_LPSU, lsq_loads=4, lsq_stores=4),
+             "default": PRIMARY_LPSU,
+             "big": replace(PRIMARY_LPSU, lsq_loads=16, lsq_stores=16)}
+_ADAPTIVE_GRID = ((8, 100), (32, 400), (128, 1600))
+
+
+def _all_points():
+    """The full ablation grid, submitted through the executor."""
+    points = []
+    for kernel in ("dynprog-om", "btree-ua"):
+        points += [_point(kernel, lpsu) for lpsu in _LSQ_GRID.values()]
+    for kernel in ("rgb2cmyk-uc", "covar-or"):
+        points += [_point(kernel, replace(PRIMARY_LPSU, lanes=k))
+                   for k in (2, 4, 8)]
+    points += [_point("rgb2cmyk-uc",
+                      replace(PRIMARY_LPSU, lanes=k, mem_ports=2))
+               for k in (2, 8)]
+    for kernel in ("viterbi-uc", "sgemm-uc"):
+        points += [_point(kernel, PRIMARY_LPSU),
+                   _point(kernel, replace(PRIMARY_LPSU, mem_ports=2,
+                                          llfus=2))]
+    for kernel in ("rgb2cmyk-uc", "adpcm-or"):
+        points += [_point(kernel, PRIMARY_LPSU, xi_enabled=True),
+                   _point(kernel, PRIMARY_LPSU, xi_enabled=False)]
+    for kernel, hand in (("dither-or", "dither-or-opt"),
+                         ("sha-or", "sha-or-opt")):
+        points += [_point(kernel, PRIMARY_LPSU),
+                   _point(kernel, PRIMARY_LPSU, schedule_cirs=True),
+                   _point(hand, PRIMARY_LPSU)]
+    for kernel in ("dynprog-om", "ksack-sm-om"):
+        points += [_point(kernel, PRIMARY_LPSU),
+                   _point(kernel, replace(PRIMARY_LPSU,
+                                          inter_lane_forwarding=True))]
+    for iters, cycles_thr in _ADAPTIVE_GRID:
+        points.append(_point(
+            "sha-or", PRIMARY_LPSU, mode="adaptive",
+            config=_cfg(PRIMARY_LPSU, gpp=OOO4,
+                        adaptive=AdaptiveConfig(
+                            profile_iters=iters,
+                            profile_cycles=cycles_thr))))
+    return points
 
 
 def _sweep():
+    sweep(_all_points(), jobs=_JOBS)  # prefills the memo
     rows = []
 
     # LSQ capacity (om/ua kernels)
     for kernel in ("dynprog-om", "btree-ua"):
-        small = _spec_cycles(kernel, replace(PRIMARY_LPSU, lsq_loads=4,
-                                             lsq_stores=4)).cycles
-        default = _spec_cycles(kernel, PRIMARY_LPSU).cycles
-        big = _spec_cycles(kernel, replace(PRIMARY_LPSU, lsq_loads=16,
-                                           lsq_stores=16)).cycles
+        small = _spec(kernel, _LSQ_GRID["small"]).cycles
+        default = _spec(kernel, _LSQ_GRID["default"]).cycles
+        big = _spec(kernel, _LSQ_GRID["big"]).cycles
         rows.append(["lsq 4/8/16", kernel,
                      "%d / %d / %d" % (small, default, big)])
         assert big <= default <= small * 1.05
 
     # lanes
     for kernel in ("rgb2cmyk-uc", "covar-or"):
-        cyc = [
-            _spec_cycles(kernel, replace(PRIMARY_LPSU, lanes=k)).cycles
-            for k in (2, 4, 8)]
+        cyc = [_spec(kernel, replace(PRIMARY_LPSU, lanes=k)).cycles
+               for k in (2, 4, 8)]
         rows.append(["lanes 2/4/8", kernel,
                      "%d / %d / %d" % tuple(cyc)])
     # uc kernels scale with lanes; CIR-bound kernels do not
-    uc = [_spec_cycles("rgb2cmyk-uc",
-                       replace(PRIMARY_LPSU, lanes=k,
-                               mem_ports=2)).cycles for k in (2, 8)]
+    uc = [_spec("rgb2cmyk-uc",
+                replace(PRIMARY_LPSU, lanes=k, mem_ports=2)).cycles
+          for k in (2, 8)]
     assert uc[1] < uc[0]
 
     # memory port / LLFU bandwidth
     for kernel in ("viterbi-uc", "sgemm-uc"):
-        shared = _spec_cycles(kernel, PRIMARY_LPSU).cycles
-        doubled = _spec_cycles(kernel, replace(PRIMARY_LPSU, mem_ports=2,
-                                               llfus=2)).cycles
+        shared = _spec(kernel, PRIMARY_LPSU).cycles
+        doubled = _spec(kernel, replace(PRIMARY_LPSU, mem_ports=2,
+                                        llfus=2)).cycles
         rows.append(["ports+llfus x2", kernel,
                      "%d -> %d" % (shared, doubled)])
         assert doubled <= shared
@@ -76,64 +127,44 @@ def _sweep():
     # pointers live in *inner* plain loops, which legally strength-
     # reduce with plain adds whether or not xi exists)
     for kernel in ("rgb2cmyk-uc", "adpcm-or"):
-        with_xi = _spec_cycles(kernel, PRIMARY_LPSU, xi_enabled=True)
-        without = _spec_cycles(kernel, PRIMARY_LPSU, xi_enabled=False)
+        with_xi = _spec(kernel, PRIMARY_LPSU, xi_enabled=True)
+        without = _spec(kernel, PRIMARY_LPSU, xi_enabled=False)
         rows.append(["xi on/off", kernel, "%d -> %d (instrs %d -> %d)"
                      % (with_xi.cycles, without.cycles,
-                        with_xi.gpp_instrs + with_xi.lpsu_instrs,
-                        without.gpp_instrs + without.lpsu_instrs)])
-        assert (without.gpp_instrs + without.lpsu_instrs
-                > with_xi.gpp_instrs + with_xi.lpsu_instrs)
+                        with_xi.total_instrs, without.total_instrs)])
+        assert without.total_instrs > with_xi.total_instrs
 
     # automatic CIR scheduling (Section IV-G automated): dither must
     # recover the full hand-optimized gain
     for kernel, hand in (("dither-or", "dither-or-opt"),
                          ("sha-or", "sha-or-opt")):
-        base = _spec_cycles(kernel, PRIMARY_LPSU).cycles
-        spec = get_kernel(kernel)
-        cp = compile_source(spec.source, schedule_cirs=True)
-        wl = spec.workload("small")
-        mem = Memory()
-        wargs = wl.apply(mem)
-        cfg = SystemConfig("sched", IO, lpsu=PRIMARY_LPSU,
-                           adaptive=ADAPTIVE)
-        r = SystemSimulator(cp.program, cfg, mem=mem).run(
-            entry=spec.entry, args=wargs, mode="specialized")
-        wl.check(mem)
-        handc = _spec_cycles(hand, PRIMARY_LPSU).cycles
+        base = _spec(kernel, PRIMARY_LPSU).cycles
+        auto = _spec(kernel, PRIMARY_LPSU, schedule_cirs=True).cycles
+        handc = _spec(hand, PRIMARY_LPSU).cycles
         rows.append(["auto-schedule", kernel,
                      "base %d -> auto %d (hand %d)"
-                     % (base, r.cycles, handc)])
-        assert r.cycles <= base
+                     % (base, auto, handc)])
+        assert auto <= base
 
     # inter-lane store-load forwarding: never hurts, architecturally
     # identical (the window rarely opens at this scale -- commits
     # drain fast; see tests/uarch/test_extensions.py for a case where
     # it fires)
     for kernel in ("dynprog-om", "ksack-sm-om"):
-        plain = _spec_cycles(kernel, PRIMARY_LPSU).cycles
-        fwd = _spec_cycles(kernel, replace(
-            PRIMARY_LPSU, inter_lane_forwarding=True)).cycles
+        plain = _spec(kernel, PRIMARY_LPSU).cycles
+        fwd = _spec(kernel, replace(PRIMARY_LPSU,
+                                    inter_lane_forwarding=True)).cycles
         rows.append(["inter-lane fwd", kernel,
                      "%d -> %d" % (plain, fwd)])
         assert fwd <= plain * 1.05
 
     # adaptive profiling thresholds (sha-or on ooo/4+x: migrate back)
-    from repro.eval.runner import clear_cache
-    from repro.uarch import OOO4
-    spec = get_kernel("sha-or")
-    cp = compile_source(spec.source)
-    for iters, cycles_thr in ((8, 100), (32, 400), (128, 1600)):
-        wl = spec.workload("small")
-        mem = Memory()
-        args = wl.apply(mem)
-        cfg = SystemConfig("a", OOO4, lpsu=PRIMARY_LPSU,
-                           adaptive=AdaptiveConfig(
-                               profile_iters=iters,
-                               profile_cycles=cycles_thr))
-        sim = SystemSimulator(cp.program, cfg, mem=mem)
-        r = sim.run(entry=spec.entry, args=args, mode="adaptive")
-        wl.check(mem)
+    for iters, cycles_thr in _ADAPTIVE_GRID:
+        r = _spec("sha-or", PRIMARY_LPSU, mode="adaptive",
+                  config=_cfg(PRIMARY_LPSU, gpp=OOO4,
+                              adaptive=AdaptiveConfig(
+                                  profile_iters=iters,
+                                  profile_cycles=cycles_thr)))
         rows.append(["adaptive %d/%d" % (iters, cycles_thr), "sha-or",
                      "%d cycles" % r.cycles])
     return rows

@@ -1,0 +1,89 @@
+"""Simulator speed bench: wall-time per dependence pattern, and
+cached-vs-cold artifact regeneration.
+
+Times one representative point per inter-iteration dependence pattern
+(uc / or / om / ua / db), each cold (fresh memo, compile included, no
+disk cache), then a full Table II regeneration cold vs warm.  The
+warm pass must be served entirely from the persistent result cache --
+it is asserted to complete without invoking ``SystemSimulator``.
+
+Emits a machine-readable JSON report on stdout (one line prefixed
+``BENCH_SPEED_JSON``), also available standalone via
+``PYTHONPATH=src python benchmarks/bench_speed.py``.
+"""
+
+import json
+import tempfile
+import time
+
+from repro.eval import build_table2, diskcache
+from repro.eval.runner import clear_cache, run
+from repro.eval import runner
+
+#: one kernel per inter-iteration dependence pattern (paper Table I)
+PATTERN_POINTS = {
+    "uc": ("sgemm-uc", "io+x", "specialized"),
+    "or": ("adpcm-or", "io+x", "specialized"),
+    "om": ("dynprog-om", "io+x", "specialized"),
+    "ua": ("btree-ua", "io+x", "specialized"),
+    "db": ("qsort-uc-db", "io+x", "specialized"),
+}
+
+
+def _cold_point(kernel, config, mode, scale):
+    """Wall time of one fully cold point (compile + simulate)."""
+    clear_cache(keep_disk=True)
+    t0 = time.perf_counter()
+    run(kernel, config, mode=mode, scale=scale, use_disk_cache=False)
+    return time.perf_counter() - t0
+
+
+def speed_report(scale="small"):
+    report = {"scale": scale, "patterns": {}, "table2": {}}
+
+    for pattern, (kernel, config, mode) in PATTERN_POINTS.items():
+        wall = _cold_point(kernel, config, mode, scale)
+        report["patterns"][pattern] = {
+            "kernel": kernel, "config": config, "mode": mode,
+            "cold_seconds": round(wall, 4)}
+
+    # Table II: cold (fresh cache dir) vs warm (served from disk)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        saved = diskcache._dir_override
+        diskcache.configure(cache_dir=tmp)
+        try:
+            clear_cache(keep_disk=True)
+            t0 = time.perf_counter()
+            build_table2(scale=scale)
+            cold = time.perf_counter() - t0
+
+            clear_cache(keep_disk=True)
+            sims_before = runner.simulations
+            t0 = time.perf_counter()
+            build_table2(scale=scale)
+            warm = time.perf_counter() - t0
+            warm_simulations = runner.simulations - sims_before
+            # the warm pass must never touch the simulator
+            assert warm_simulations == 0, warm_simulations
+        finally:
+            diskcache._dir_override = saved
+            clear_cache(keep_disk=True)
+
+    report["table2"] = {
+        "cold_seconds": round(cold, 3),
+        "warm_seconds": round(warm, 3),
+        "warm_over_cold": round(warm / cold, 4) if cold else None,
+        "warm_simulator_invocations": warm_simulations,
+    }
+    return report
+
+
+def test_speed(benchmark):
+    from conftest import run_once
+    report = run_once(benchmark, speed_report)
+    print()
+    print("BENCH_SPEED_JSON " + json.dumps(report))
+
+
+if __name__ == "__main__":
+    print(json.dumps(speed_report(), indent=2))

@@ -8,6 +8,7 @@ run       compile a MiniC file and simulate a function call
 kernels   list the bundled Table II / Table IV application kernels
 kernel    run one bundled kernel on a platform and report stats
 table     regenerate one of the paper's tables/figures
+sweep     run an artifact's simulation points in parallel, cached
 isa       print the XLOOPS instruction-set extensions (Table I)
 """
 
@@ -25,6 +26,25 @@ def _add_platform_args(p):
                    help="platform configuration (default io+x)")
     p.add_argument("--mode", default="specialized", choices=MODES,
                    help="execution mode (default specialized)")
+
+
+def _add_cache_args(p):
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="fan simulation points across N worker "
+                        "processes (default: in-process)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent result cache location "
+                        "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the persistent result cache")
+
+
+def _apply_cache_args(args):
+    from .eval import diskcache
+    if args.cache_dir:
+        diskcache.configure(cache_dir=args.cache_dir)
+    if args.no_cache:
+        diskcache.configure(enabled=False)
 
 
 def build_parser():
@@ -74,6 +94,24 @@ def build_parser():
                    help="restrict to these kernels")
     p.add_argument("--json", metavar="FILE",
                    help="also write the raw data as JSON")
+    _add_cache_args(p)
+
+    p = sub.add_parser("sweep",
+                       help="run a batch of simulation points "
+                            "(parallel, cached)")
+    p.add_argument("what", nargs="?", default="table2",
+                   choices=("table2", "table4", "fig5", "fig6", "fig7",
+                            "fig8", "fig9", "fig10", "all"),
+                   help="which artifact's point set to run "
+                        "(default table2)")
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kernels", nargs="*",
+                   help="restrict to these kernels")
+    p.add_argument("--quiet", action="store_true",
+                   help="omit the per-point wall-time table")
+    _add_cache_args(p)
 
     sub.add_parser("isa", help="print Table I")
     return parser
@@ -197,7 +235,8 @@ def cmd_kernel(args):
 def cmd_table(args):
     from . import eval as ev
     from .eval import export
-    kw = {"scale": args.scale}
+    _apply_cache_args(args)
+    kw = {"scale": args.scale, "jobs": args.jobs}
     if args.kernels:
         kw["kernels"] = args.kernels
     payload = None
@@ -230,7 +269,7 @@ def cmd_table(args):
         print(ev.render_fig7(series))
         payload = export.series_to_dict(series)
     elif args.which == "fig9":
-        series = ev.fig9_data(scale=args.scale)
+        series = ev.fig9_data(scale=args.scale, jobs=args.jobs)
         print(ev.render_fig9(series))
         payload = export.series_to_dict(series)
     elif args.which == "fig10":
@@ -240,6 +279,34 @@ def cmd_table(args):
     if args.json and payload is not None:
         export.save_json(args.json, payload)
         print("wrote %s" % args.json)
+    return 0
+
+
+def cmd_sweep(args):
+    from .eval import parallel
+    from .eval.figures import FIG9_KERNELS, FIG10_KERNELS
+    _apply_cache_args(args)
+    kernels = args.kernels or None
+    scale, seed = args.scale, args.seed
+    sets = {
+        "table2": lambda: parallel.table2_points(kernels, scale, seed),
+        "table4": lambda: parallel.table4_points(kernels, scale, seed),
+        "fig5": lambda: parallel.fig5_points(kernels, scale, seed),
+        "fig6": lambda: parallel.fig6_points(kernels, scale, seed),
+        "fig7": lambda: parallel.fig7_points(kernels, scale, seed),
+        "fig8": lambda: parallel.fig8_points(kernels, scale=scale,
+                                             seed=seed),
+        "fig9": lambda: parallel.fig9_points(kernels or FIG9_KERNELS,
+                                             scale=scale, seed=seed),
+        "fig10": lambda: parallel.fig10_points(
+            kernels or FIG10_KERNELS, scale=scale, seed=seed),
+    }
+    if args.what == "all":
+        points = [pt for make in sets.values() for pt in make()]
+    else:
+        points = sets[args.what]()
+    summary = parallel.sweep(points, jobs=args.jobs)
+    print(summary.render(per_point=not args.quiet))
     return 0
 
 
@@ -261,7 +328,7 @@ def cmd_isa(_args):
 _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
-    "isa": cmd_isa,
+    "sweep": cmd_sweep, "isa": cmd_isa,
 }
 
 

@@ -1,0 +1,161 @@
+"""Persistent, content-addressed cache for simulation results.
+
+A cache record is one pickled :class:`~repro.eval.runner.KernelRun`
+stored under ``<cache-dir>/<key[:2]>/<key>.pkl``, where *key* is the
+SHA-256 of everything that determines the result bit-for-bit:
+
+* the kernel's MiniC source (and serial source, when that is the
+  binary being simulated),
+* the full platform configuration (``repr`` of the frozen
+  :class:`~repro.uarch.params.SystemConfig` tree),
+* the package version (stale results die on upgrade),
+* the run parameters (mode, binary, xi, scale, seed, scheduling).
+
+Because the key is derived from content rather than names, editing a
+kernel or a config invalidates exactly the affected points.
+
+Writes are process-safe: records are written to a temporary file in
+the destination directory and published with :func:`os.replace`, so a
+concurrent reader sees either nothing or a complete record, and two
+workers racing on the same point both write the same bytes.
+
+Environment knobs (read at call time, so they work for forked pool
+workers too):
+
+``REPRO_CACHE_DIR``
+    overrides the default ``~/.cache/repro`` location.
+``REPRO_NO_CACHE``
+    any of ``1/true/yes`` disables the disk cache entirely (used by CI
+    to stay hermetic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: process-local override (set by :func:`configure`); beats the env var
+_dir_override = None
+_force_disabled = False
+
+#: process-local counters, reported in sweep summaries
+stats = {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+
+
+def configure(cache_dir=None, enabled=None):
+    """Set the cache directory and/or force-disable the disk cache for
+    this process (and, via the environment, for forked workers)."""
+    global _dir_override, _force_disabled
+    if cache_dir is not None:
+        _dir_override = str(cache_dir)
+        os.environ[ENV_CACHE_DIR] = str(cache_dir)
+    if enabled is not None:
+        _force_disabled = not enabled
+        if enabled:
+            os.environ.pop(ENV_NO_CACHE, None)
+        else:
+            os.environ[ENV_NO_CACHE] = "1"
+
+
+def reset_stats():
+    for k in stats:
+        stats[k] = 0
+
+
+def enabled():
+    if _force_disabled:
+        return False
+    return os.environ.get(ENV_NO_CACHE, "").lower() not in _TRUTHY
+
+
+def cache_dir():
+    if _dir_override:
+        return _dir_override
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def cache_key(*parts):
+    """SHA-256 fingerprint of the ``repr`` of *parts*."""
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+def _record_path(key):
+    return os.path.join(cache_dir(), key[:2], key + ".pkl")
+
+
+def load(key):
+    """Return the cached object for *key*, or None.  Corrupt or
+    unreadable records count as misses (and are left for the next
+    store to overwrite)."""
+    if not enabled():
+        return None
+    path = _record_path(key)
+    try:
+        with open(path, "rb") as f:
+            obj = pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        stats["misses"] += 1
+        return None
+    stats["hits"] += 1
+    return obj
+
+
+def store(key, obj):
+    """Atomically publish *obj* under *key* (write-to-temp + rename)."""
+    if not enabled():
+        return False
+    path = _record_path(key)
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        stats["errors"] += 1
+        return False
+    stats["writes"] += 1
+    return True
+
+
+def clear():
+    """Delete every cache record under the active cache directory."""
+    root = cache_dir()
+    if not os.path.isdir(root):
+        return 0
+    removed = 0
+    for sub in os.listdir(root):
+        subdir = os.path.join(root, sub)
+        if not (len(sub) == 2 and os.path.isdir(subdir)):
+            continue
+        for name in os.listdir(subdir):
+            if name.endswith(".pkl") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(subdir, name))
+                    removed += 1
+                except OSError:
+                    pass
+        try:
+            os.rmdir(subdir)
+        except OSError:
+            pass
+    return removed

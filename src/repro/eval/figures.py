@@ -25,9 +25,14 @@ _TABLE2_NAMES = tuple(k.name for k in TABLE2_KERNELS)
 
 
 def fig5_data(kernels=_TABLE2_NAMES, normalize_to="ooo/2",
-              scale="small", seed=0):
+              scale="small", seed=0, jobs=None):
     """Per-kernel speedups of {io, ooo/2, ooo/4, ooo/2+x(S)} relative
     to the GP binary on *normalize_to*."""
+    from .parallel import baseline_point, fig5_points, sweep
+    points = fig5_points(kernels, scale, seed)
+    points += [baseline_point(k, normalize_to, scale, seed)
+               for k in kernels]
+    sweep(points, jobs=jobs)
     series = {name: {} for name in ("io", "ooo/2", "ooo/4",
                                     "ooo/2+x:S")}
     for k in kernels:
@@ -52,8 +57,10 @@ def render_fig5(series=None, **kw):
 # ---------------------------------------------------------------------------
 
 
-def fig6_data(kernels=_TABLE2_NAMES, scale="small", seed=0):
+def fig6_data(kernels=_TABLE2_NAMES, scale="small", seed=0, jobs=None):
     """Per-kernel fractional breakdown of LPSU lane cycles."""
+    from .parallel import fig6_points, sweep
+    sweep(fig6_points(kernels, scale, seed), jobs=jobs)
     out = {}
     for k in kernels:
         r = run(k, "io+x", mode="specialized", scale=scale, seed=seed)
@@ -88,7 +95,9 @@ def render_fig6(data=None, **kw):
 # ---------------------------------------------------------------------------
 
 
-def fig7_data(kernels=_TABLE2_NAMES, scale="small", seed=0):
+def fig7_data(kernels=_TABLE2_NAMES, scale="small", seed=0, jobs=None):
+    from .parallel import fig7_points, sweep
+    sweep(fig7_points(kernels, scale, seed), jobs=jobs)
     series = {"S": {}, "A": {}}
     for k in kernels:
         series["S"][k] = speedup(k, "ooo/4+x", "specialized",
@@ -126,7 +135,10 @@ class Fig8Point:
 
 def fig8_data(kernels=_TABLE2_NAMES, configs=("io+x", "ooo/2+x",
                                               "ooo/4+x"),
-              modes=("specialized", "adaptive"), scale="small", seed=0):
+              modes=("specialized", "adaptive"), scale="small", seed=0,
+              jobs=None):
+    from .parallel import fig8_points, sweep
+    sweep(fig8_points(kernels, configs, modes, scale, seed), jobs=jobs)
     points = []
     for cfg in configs:
         for mode in modes:
@@ -159,7 +171,9 @@ FIG9_KERNELS = ("sgemm-uc", "viterbi-uc", "kmeans-or", "covar-or",
 
 
 def fig9_data(kernels=FIG9_KERNELS, configs=DESIGN_SPACE_NAMES,
-              scale="small", seed=0):
+              scale="small", seed=0, jobs=None):
+    from .parallel import fig9_points, sweep
+    sweep(fig9_points(kernels, configs, scale, seed), jobs=jobs)
     series = {cfg: {} for cfg in configs}
     for cfg in configs:
         for k in kernels:
@@ -182,10 +196,12 @@ FIG10_KERNELS = ("rgb2cmyk-uc", "sgemm-uc", "ssearch-uc", "symm-uc",
                  "viterbi-uc")
 
 
-def fig10_data(kernels=FIG10_KERNELS, scale="small", seed=0):
+def fig10_data(kernels=FIG10_KERNELS, scale="small", seed=0, jobs=None):
     """RTL-calibrated evaluation: xi disabled (the RTL does not
     implement it), VLSI energy table, wall-clock performance includes
     the post-PnR cycle times."""
+    from .parallel import fig10_points, sweep
+    sweep(fig10_points(kernels, scale, seed), jobs=jobs)
     ct_gpp = cycle_time_ns()
     ct_lpsu = cycle_time_ns(lanes=4, ib_entries=128)
     points = []

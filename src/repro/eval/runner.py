@@ -2,7 +2,9 @@
 
 All table/figure generators go through :func:`run`, which memoizes
 results per process (one Table II sweep feeds Figs 5-8 without
-re-simulating)."""
+re-simulating) and persists them to the content-addressed disk cache
+(:mod:`repro.eval.diskcache`), so a repeated sweep -- in this process
+or the next one -- skips simulation entirely."""
 
 from __future__ import annotations
 
@@ -10,6 +12,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
+from .. import __version__
 from ..energy import MCPAT_45NM, VLSI_40NM, system_energy
 from ..energy.events import EnergyEvents
 from ..kernels import get_kernel
@@ -17,6 +20,8 @@ from ..lang import compile_source
 from ..sim import Memory
 from ..uarch import SystemSimulator
 from ..uarch.lpsu import LPSUStats
+from ..uarch.params import SystemConfig
+from . import diskcache
 from .configs import BASELINE_OF, config
 
 #: binaries: the XLOOPS binary, the same source compiled for the GP
@@ -50,11 +55,12 @@ class KernelRun:
 
 
 @lru_cache(maxsize=None)
-def _compiled(kernel_name, binary, xi_enabled):
+def _compiled(kernel_name, binary, xi_enabled, schedule_cirs=False):
     spec = get_kernel(kernel_name)
     if binary == "xloops":
         return compile_source(spec.source, xloops=True,
-                              xi_enabled=xi_enabled)
+                              xi_enabled=xi_enabled,
+                              schedule_cirs=schedule_cirs)
     if binary == "gp":
         return compile_source(spec.source, xloops=False)
     if binary == "serial":
@@ -65,29 +71,71 @@ def _compiled(kernel_name, binary, xi_enabled):
 
 _RESULTS: Dict[tuple, KernelRun] = {}
 
+#: count of actual :class:`SystemSimulator` invocations in this
+#: process -- cache hits (memo or disk) don't bump it, so callers can
+#: tell a served point from a simulated one
+simulations = 0
+
+
+def _resolve_config(config_name):
+    """Accept a named platform or an ad-hoc :class:`SystemConfig`
+    (the ablation benches sweep configurations that have no name)."""
+    if isinstance(config_name, SystemConfig):
+        return config_name
+    return config(config_name)
+
+
+def _fingerprint(spec, sysconfig, mode, binary, xi_enabled, scale,
+                 seed, schedule_cirs):
+    """Content hash of everything the simulation result depends on."""
+    sources = (spec.source,
+               spec.serial_source if binary == "serial" else None)
+    return diskcache.cache_key(
+        __version__, sources, repr(sysconfig), mode, binary,
+        xi_enabled, scale, seed, schedule_cirs)
+
 
 def run(kernel_name, config_name, mode="traditional", binary="xloops",
-        xi_enabled=True, scale="small", seed=0, verify=True):
-    """Simulate one (kernel, platform, mode) point; memoized."""
+        xi_enabled=True, scale="small", seed=0, verify=True,
+        schedule_cirs=False, use_disk_cache=True):
+    """Simulate one (kernel, platform, mode) point.
+
+    Results are memoized in-process and persisted to the disk cache;
+    either hit returns without touching the simulator.  *config_name*
+    is a configuration name or a :class:`SystemConfig` instance.
+    """
+    global simulations
     key = (kernel_name, config_name, mode, binary, xi_enabled, scale,
-           seed)
+           seed, schedule_cirs)
     hit = _RESULTS.get(key)
     if hit is not None:
         return hit
 
     spec = get_kernel(kernel_name)
-    compiled = _compiled(kernel_name, binary, xi_enabled)
+    sysconfig = _resolve_config(config_name)
+    use_disk = use_disk_cache and diskcache.enabled()
+    ckey = None
+    if use_disk:
+        ckey = _fingerprint(spec, sysconfig, mode, binary, xi_enabled,
+                            scale, seed, schedule_cirs)
+        cached = diskcache.load(ckey)
+        if cached is not None:
+            _RESULTS[key] = cached
+            return cached
+
+    compiled = _compiled(kernel_name, binary, xi_enabled, schedule_cirs)
     workload = spec.workload(scale, seed)
     mem = Memory()
     args = workload.apply(mem)
-    sysconfig = config(config_name)
     sim = SystemSimulator(compiled.program, sysconfig, mem=mem)
+    simulations += 1
     result = sim.run(entry=spec.entry, args=args, mode=mode)
     if verify:
         workload.check(mem)
 
     out = KernelRun(
-        kernel=kernel_name, config=config_name, mode=mode, binary=binary,
+        kernel=kernel_name, config=sysconfig.name, mode=mode,
+        binary=binary,
         cycles=result.cycles, gpp_instrs=result.gpp_instrs,
         lpsu_instrs=result.lpsu_instrs,
         energy_nj=system_energy(result, sysconfig, MCPAT_45NM),
@@ -100,7 +148,24 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
                          if result.cache_accesses else 0.0),
         static_xloops=compiled.loop_kinds())
     _RESULTS[key] = out
+    if use_disk:
+        diskcache.store(ckey, out)
     return out
+
+
+def seed_result(key, result):
+    """Prefill the in-process memo (the sweep executor installs the
+    results its workers computed, so subsequent table/figure assembly
+    hits the memo)."""
+    _RESULTS[key] = result
+
+
+def memo_key(kernel_name, config_name, mode="traditional",
+             binary="xloops", xi_enabled=True, scale="small", seed=0,
+             schedule_cirs=False):
+    """The in-process memo key :func:`run` uses for these arguments."""
+    return (kernel_name, config_name, mode, binary, xi_enabled, scale,
+            seed, schedule_cirs)
 
 
 def baseline_run(kernel_name, config_name, scale="small", seed=0):
@@ -123,16 +188,20 @@ def speedup(kernel_name, config_name, mode, scale="small", seed=0,
 
 
 def energy_efficiency(kernel_name, config_name, mode, scale="small",
-                      seed=0, table="mcpat"):
+                      seed=0, table="mcpat", **run_kw):
     """Energy efficiency (baseline energy / this energy, Fig 8)."""
     base = baseline_run(kernel_name, config_name, scale, seed)
     this = run(kernel_name, config_name, mode=mode, scale=scale,
-               seed=seed)
+               seed=seed, **run_kw)
     if table == "vlsi":
         return base.vlsi_energy_nj / this.vlsi_energy_nj
     return base.energy_nj / this.energy_nj
 
 
-def clear_cache():
+def clear_cache(keep_disk=False):
+    """Forget all memoized results and compiled binaries.  Also wipes
+    the on-disk result cache unless *keep_disk* is true."""
     _RESULTS.clear()
     _compiled.cache_clear()
+    if not keep_disk:
+        diskcache.clear()

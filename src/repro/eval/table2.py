@@ -54,8 +54,12 @@ def build_row(name, scale="small", seed=0, modes=MODES,
 
 
 def build_table2(kernels=None, scale="small", seed=0, modes=MODES,
-                 gpps=GPP_NAMES):
+                 gpps=GPP_NAMES, jobs=None):
     names = kernels or [k.name for k in TABLE2_KERNELS]
+    # submit the whole point set through the sweep executor first;
+    # the row assembly below then runs entirely out of the memo
+    from .parallel import sweep, table2_points
+    sweep(table2_points(names, scale, seed, modes, gpps), jobs=jobs)
     return [build_row(n, scale, seed, modes, gpps) for n in names]
 
 

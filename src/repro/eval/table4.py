@@ -22,8 +22,10 @@ class Table4Row:
 
 
 def build_table4(kernels=None, scale="small", seed=0,
-                 configs=XLOOPS_NAMES):
+                 configs=XLOOPS_NAMES, jobs=None):
     names = kernels or [k.name for k in TABLE4_KERNELS]
+    from .parallel import sweep, table4_points
+    sweep(table4_points(names, scale, seed, configs), jobs=jobs)
     rows = []
     for name in names:
         spec = get_kernel(name)
@@ -45,12 +47,19 @@ def render_table4(rows, configs=XLOOPS_NAMES):
                               "(specialized execution)")
 
 
-def opt_improvements(scale="small", seed=0):
+def opt_improvements(scale="small", seed=0, jobs=None):
     """Speedup of each hand-optimized or-kernel over its baseline on
     io+x (paper: 50-70% boosts)."""
     pairs = (("adpcm-or", "adpcm-or-opt"),
              ("dither-or", "dither-or-opt"),
              ("sha-or", "sha-or-opt"))
+    from .parallel import SweepPoint, baseline_point, sweep
+    points = []
+    for name in (n for pair in pairs for n in pair):
+        points.append(baseline_point(name, "io+x", scale, seed))
+        points.append(SweepPoint(name, "io+x", mode="specialized",
+                                 scale=scale, seed=seed))
+    sweep(points, jobs=jobs)
     out = {}
     for base, opt in pairs:
         b = speedup(base, "io+x", "specialized", scale=scale, seed=seed)

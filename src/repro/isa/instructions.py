@@ -177,6 +177,14 @@ class Instr:
     # Scheduling metadata set by the assembler / compiler:
     last_cir_write: bool = False   # paper II-D: "last CIR write" bit
     srcline: Optional[int] = None
+    # Operand caches, filled lazily on first query.  Operand fields are
+    # only mutated during assembly, before any simulator touches the
+    # instruction, so caching after assembly is safe; the timing models
+    # query these on every dynamic instruction.
+    _srcs: Optional[tuple] = field(default=None, init=False, repr=False,
+                                   compare=False)
+    _dst: object = field(default=False, init=False, repr=False,
+                         compare=False)
 
     @property
     def mnemonic(self):
@@ -184,22 +192,27 @@ class Instr:
 
     def src_regs(self):
         """Architectural source register numbers (may contain duplicates)."""
-        fmt = self.op.fmt
-        if fmt == Fmt.R or fmt == Fmt.XI_R:
-            return (self.rs1, self.rs2)
-        if fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.XI_I, Fmt.R2):
-            return (self.rs1,)
-        if fmt == Fmt.STORE or fmt == Fmt.AMO:
-            return (self.rs1, self.rs2)
-        if fmt == Fmt.BRANCH or fmt == Fmt.XLOOP:
-            return (self.rs1, self.rs2)
-        return ()
+        srcs = self._srcs
+        if srcs is None:
+            fmt = self.op.fmt
+            if fmt in (Fmt.R, Fmt.XI_R, Fmt.STORE, Fmt.AMO, Fmt.BRANCH,
+                       Fmt.XLOOP):
+                srcs = (self.rs1, self.rs2)
+            elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.LOAD, Fmt.JALR, Fmt.XI_I,
+                         Fmt.R2):
+                srcs = (self.rs1,)
+            else:
+                srcs = ()
+            self._srcs = srcs
+        return srcs
 
     def dst_reg(self):
         """Destination register number, or None."""
-        if self.op.writes_rd and self.rd != 0:
-            return self.rd
-        return None
+        dst = self._dst
+        if dst is False:            # sentinel: None is a valid answer
+            dst = self.rd if (self.op.writes_rd and self.rd != 0) else None
+            self._dst = dst
+        return dst
 
     def branch_target(self):
         """Absolute byte target for branches / jumps / xloops."""

@@ -4,8 +4,10 @@ instruction-set-level golden-model executor."""
 from .memory import (Memory, MASK32, to_u32, to_s32, f32_to_bits,
                      bits_to_f32)
 from .functional import (FunctionalCore, StepInfo, SimError, execute,
-                         run_program, HALT_PC)
+                         decode_instr, decode_program, run_program,
+                         HALT_PC)
 
 __all__ = ["Memory", "MASK32", "to_u32", "to_s32", "f32_to_bits",
            "bits_to_f32", "FunctionalCore", "StepInfo", "SimError",
-           "execute", "run_program", "HALT_PC"]
+           "execute", "decode_instr", "decode_program", "run_program",
+           "HALT_PC"]

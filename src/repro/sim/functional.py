@@ -28,7 +28,12 @@ class SimError(Exception):
 
 
 class StepInfo:
-    """Per-instruction record handed to timing models."""
+    """Per-instruction record handed to timing models.
+
+    :meth:`FunctionalCore.step` reuses one mutable instance per core to
+    avoid per-instruction allocation churn; consumers (the online timing
+    models) must read it before the next ``step()``.
+    """
 
     __slots__ = ("instr", "pc", "next_pc", "taken", "addr")
 
@@ -229,12 +234,208 @@ def execute(instr, regs, mem, pc):
     return next_pc, addr, taken
 
 
+# ---------------------------------------------------------------------------
+# pre-decoded dispatch: one specialized closure per static instruction
+# ---------------------------------------------------------------------------
+#
+# ``execute`` re-derives format, mnemonic, and operand fields on every
+# dynamic instruction.  ``decode_program`` does that work once per
+# *static* instruction, producing a PC-indexed table of handlers
+# ``(regs, mem) -> (next_pc, addr, taken)`` with operands, immediates,
+# and semantic functions bound in the closure.  Handlers are exact
+# behavioural replicas of :func:`execute` (the unit suite and the
+# kernel goldens cross-check them), so cycle/energy results are
+# bit-identical whichever path runs.
+
+def _fp_div(a, b):
+    fb = bits_to_f32(b)
+    return f32_to_bits(bits_to_f32(a) / fb) if fb != 0.0 else 0x7FC00000
+
+
+_FP_R = {
+    "fadd.s": lambda a, b: f32_to_bits(bits_to_f32(a) + bits_to_f32(b)),
+    "fsub.s": lambda a, b: f32_to_bits(bits_to_f32(a) - bits_to_f32(b)),
+    "fmul.s": lambda a, b: f32_to_bits(bits_to_f32(a) * bits_to_f32(b)),
+    "fdiv.s": _fp_div,
+    "fmin.s": lambda a, b: f32_to_bits(min(bits_to_f32(a),
+                                           bits_to_f32(b))),
+    "fmax.s": lambda a, b: f32_to_bits(max(bits_to_f32(a),
+                                           bits_to_f32(b))),
+    "flt.s": lambda a, b: 1 if bits_to_f32(a) < bits_to_f32(b) else 0,
+    "fle.s": lambda a, b: 1 if bits_to_f32(a) <= bits_to_f32(b) else 0,
+    "feq.s": lambda a, b: 1 if bits_to_f32(a) == bits_to_f32(b) else 0,
+}
+
+_MULDIV_R = {m: (lambda a, b, _m=m: _muldiv(_m, a, b))
+             for m in ("mul", "mulh", "div", "divu", "rem", "remu")}
+
+_R2_OPS = {
+    "fcvt.s.w": lambda a: f32_to_bits(float(to_s32(a))),
+    "fcvt.w.s": lambda a: int(bits_to_f32(a)),
+    "fsqrt.s": lambda a: (f32_to_bits(bits_to_f32(a) ** 0.5)
+                          if bits_to_f32(a) >= 0.0 else 0x7FC00000),
+}
+
+
+def decode_instr(instr, pc=None):
+    """Specialized handler ``(regs, mem) -> (next_pc, addr, taken)``
+    for one static instruction at byte address *pc* (default:
+    ``instr.pc``)."""
+    op = instr.op
+    m = op.mnemonic
+    fmt = op.fmt
+    if pc is None:
+        pc = instr.pc
+    pc4 = pc + 4
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+
+    if fmt == Fmt.R or fmt == Fmt.XI_R:
+        fn = _ALU_R.get(m) or _FP_R.get(m) or _MULDIV_R.get(m)
+        if fn is not None:
+            if rd:
+                def h(regs, mem):
+                    regs[rd] = fn(regs[rs1], regs[rs2]) & MASK32
+                    return pc4, None, False
+            else:
+                def h(regs, mem):
+                    return pc4, None, False
+            return h
+    elif fmt in (Fmt.I, Fmt.I_SHIFT, Fmt.XI_I):
+        fn = _ALU_I[m]
+        if rd:
+            def h(regs, mem):
+                regs[rd] = fn(regs[rs1], imm) & MASK32
+                return pc4, None, False
+        else:
+            def h(regs, mem):
+                return pc4, None, False
+        return h
+    elif fmt == Fmt.R2:
+        fn = _R2_OPS.get(m)
+        if fn is not None:
+            # always evaluate: fcvt.w.s can raise on NaN/inf inputs even
+            # with rd == x0, matching :func:`execute`
+            if rd:
+                def h(regs, mem):
+                    regs[rd] = fn(regs[rs1]) & MASK32
+                    return pc4, None, False
+            else:
+                def h(regs, mem):
+                    fn(regs[rs1])
+                    return pc4, None, False
+            return h
+    elif fmt == Fmt.LOAD:
+        size, signed = _LOAD_SIZE[m]
+        if rd:
+            def h(regs, mem):
+                addr = (regs[rs1] + imm) & MASK32
+                regs[rd] = mem.load(addr, size, signed)
+                return pc4, addr, False
+        else:
+            def h(regs, mem):
+                addr = (regs[rs1] + imm) & MASK32
+                mem.load(addr, size, signed)
+                return pc4, addr, False
+        return h
+    elif fmt == Fmt.STORE:
+        size = _STORE_SIZE[m]
+
+        def h(regs, mem):
+            addr = (regs[rs1] + imm) & MASK32
+            mem.store(addr, size, regs[rs2])
+            return pc4, addr, False
+        return h
+    elif fmt == Fmt.AMO:
+        if rd:
+            def h(regs, mem):
+                addr = regs[rs1]
+                regs[rd] = mem.amo(m, addr, regs[rs2])
+                return pc4, addr, False
+        else:
+            def h(regs, mem):
+                addr = regs[rs1]
+                mem.amo(m, addr, regs[rs2])
+                return pc4, addr, False
+        return h
+    elif fmt == Fmt.BRANCH:
+        cond = _BRANCH[m]
+        target = pc + imm
+
+        def h(regs, mem):
+            if cond(regs[rs1], regs[rs2]):
+                return target, None, True
+            return pc4, None, False
+        return h
+    elif fmt == Fmt.XLOOP:
+        target = pc + imm
+
+        def h(regs, mem):
+            if to_s32(regs[rs1]) < to_s32(regs[rs2]):
+                return target, None, True
+            return pc4, None, False
+        return h
+    elif fmt == Fmt.JAL:
+        target = pc + imm
+        link = to_u32(pc + 4)
+        if rd:
+            def h(regs, mem):
+                regs[rd] = link
+                return target, None, True
+        else:
+            def h(regs, mem):
+                return target, None, True
+        return h
+    elif fmt == Fmt.JALR:
+        link = to_u32(pc + 4)
+        if rd:
+            def h(regs, mem):
+                target = (regs[rs1] + imm) & MASK32 & ~1
+                regs[rd] = link
+                return target, None, True
+        else:
+            def h(regs, mem):
+                return (regs[rs1] + imm) & MASK32 & ~1, None, True
+        return h
+    elif fmt == Fmt.LUI:
+        if rd:
+            value = to_u32(imm << 12)
+
+            def h(regs, mem):
+                regs[rd] = value
+                return pc4, None, False
+        else:
+            def h(regs, mem):
+                return pc4, None, False
+        return h
+    elif fmt == Fmt.NONE:
+        def h(regs, mem):
+            return pc4, None, False
+        return h
+
+    # anything unrecognized falls back to the generic interpreter so a
+    # new mnemonic degrades gracefully instead of silently diverging
+    def h(regs, mem, _i=instr, _pc=pc):
+        return execute(_i, regs, mem, _pc)
+    return h
+
+
+def decode_program(program):
+    """PC-indexed handler table for *program*, cached on the object."""
+    cached = getattr(program, "_decoded", None)
+    if cached is not None and len(cached) == len(program.instrs):
+        return cached
+    table = [decode_instr(ins) for ins in program.instrs]
+    program._decoded = table
+    return table
+
+
 class FunctionalCore:
     """Sequential golden-model core.
 
     Runs a :class:`~repro.asm.program.Program` against a
     :class:`~repro.sim.memory.Memory`.  ``step()`` returns a
-    :class:`StepInfo` that online timing models consume.
+    :class:`StepInfo` that online timing models consume (one reused
+    record per core; see :class:`StepInfo`).
     """
 
     def __init__(self, program, mem=None):
@@ -245,6 +446,11 @@ class FunctionalCore:
         self.icount = 0
         self.halted = False
         self.mem.load_program(program)
+        self._decoded = decode_program(program)
+        self._instrs = program.instrs
+        self._base = program.text_base
+        self._n = len(program.instrs)
+        self._info = StepInfo(None, 0, 0, False, None)
 
     # -- ABI helpers ----------------------------------------------------------
 
@@ -269,19 +475,28 @@ class FunctionalCore:
         if self.halted:
             raise SimError("core is halted")
         pc = self.pc
-        instr = self.program.instr_at(pc)
-        next_pc, addr, taken = execute(instr, self.regs, self.mem, pc)
+        idx = (pc - self._base) >> 2
+        if pc & 3 or not 0 <= idx < self._n:
+            raise IndexError("bad instruction fetch at pc=0x%x" % pc)
+        next_pc, addr, taken = self._decoded[idx](self.regs, self.mem)
         self.pc = next_pc
         self.icount += 1
         if next_pc == HALT_PC:
             self.halted = True
-        return StepInfo(instr, pc, next_pc, taken, addr)
+        info = self._info
+        info.instr = self._instrs[idx]
+        info.pc = pc
+        info.next_pc = next_pc
+        info.taken = taken
+        info.addr = addr
+        return info
 
     def run(self, max_steps=50_000_000):
         """Run to completion; returns the dynamic instruction count."""
         steps0 = self.icount
+        step = self.step
         while not self.halted:
-            self.step()
+            step()
             if self.icount - steps0 > max_steps:
                 raise SimError("exceeded %d steps (livelock?)" % max_steps)
         return self.icount - steps0

@@ -36,18 +36,21 @@ class InOrderTiming:
         instr = step.instr
         op = instr.op
         ev = self.events
+        srcs = instr.src_regs()
         if ev is not None:
             ev.ic_access += 1
-            for s in instr.src_regs():
+            for s in srcs:
                 if s:
                     ev.rf_read += 1
 
-        issue = self.cycle
-        for s in instr.src_regs():
-            t = self.reg_ready[s]
+        cycle = self.cycle
+        reg_ready = self.reg_ready
+        issue = cycle
+        for s in srcs:
+            t = reg_ready[s]
             if t > issue:
                 issue = t
-        self.stall_raw += issue - self.cycle
+        self.stall_raw += issue - cycle
 
         latency = 1
         if op.is_mem:
@@ -78,7 +81,7 @@ class InOrderTiming:
         done = issue + latency
         dst = instr.dst_reg()
         if dst is not None:
-            self.reg_ready[dst] = done
+            reg_ready[dst] = done
             if ev is not None:
                 ev.rf_write += 1
 

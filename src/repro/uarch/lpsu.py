@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..isa.instructions import FU, Fmt
-from ..sim.functional import execute
+from ..sim.functional import decode_instr, execute
 from ..sim.memory import MASK32, to_s32
 from .descriptor import LoopDescriptor
 from .params import LPSUConfig
@@ -101,6 +101,12 @@ class LPSUResult:
     #                           # exiting lane's register copy-back
 
 
+def _ctx_order(ctx):
+    """Per-cycle issue order: active contexts first, oldest iteration
+    (smallest k) first; ``sorted`` is stable so ties keep lane order."""
+    return (not ctx.active, ctx.k)
+
+
 class _StoreEntry:
     __slots__ = ("addr", "size", "value")
 
@@ -113,7 +119,7 @@ class _StoreEntry:
 class _Context:
     """One iteration context (a lane has 1, or 2 with multithreading)."""
 
-    __slots__ = ("lane_id", "regs", "k", "pc_index", "ready_at",
+    __slots__ = ("lane_id", "regs", "ready", "k", "pc_index", "ready_at",
                  "stall_kind", "iter_start", "attempt_instrs",
                  "received_cirs", "cir_written", "store_buf",
                  "load_words", "bypass", "committing", "active",
@@ -122,6 +128,7 @@ class _Context:
     def __init__(self, lane_id, live_in_regs):
         self.lane_id = lane_id
         self.regs = list(live_in_regs)
+        self.ready = [0] * 32      # per-lane register scoreboard
         self.k = -1
         self.pc_index = 0
         self.ready_at = 0
@@ -165,7 +172,7 @@ class LPSU:
     """
 
     def __init__(self, descriptor, live_in_regs, mem, cache, config=None,
-                 events=None, trace=None):
+                 events=None, trace=None, decoded_body=None):
         self.d = descriptor
         self.cfg = config or LPSUConfig()
         self.mem = mem
@@ -201,7 +208,17 @@ class LPSU:
 
         # CIB channels: (cir_reg, iteration k) -> (cycle, value)
         self._cib: Dict[tuple, tuple] = {}
-        self._reg_ready = [[0] * 32 for _ in self.contexts]
+        # pre-decoded body handlers (lane "instruction buffer"): one
+        # specialized closure per slot, indexed by pc_index
+        if decoded_body is None:
+            decoded_body = [
+                decode_instr(ins, descriptor.body_start_pc + 4 * i)
+                for i, ins in enumerate(descriptor.body)]
+        self._body_exec = decoded_body
+        self._body_n = descriptor.body_len
+        self._body_base = descriptor.body_start_pc
+        self._meta = None          # built by run() (needs latencies)
+        self._exec_counts = [0] * self._body_n
         self.stats = LPSUStats()
         self._next_k = 0
         self._commit_next = 0
@@ -209,15 +226,82 @@ class LPSU:
         self._mem_grants = 0
         self._cycle = 0
         self._max_iters = None
+        self._active_count = 0
+        self._order = list(self.contexts)
+        self._order_dirty = True
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
+    def _build_meta(self, latencies):
+        """Static per-slot facts, resolved once so the per-cycle step
+        does table lookups instead of property chains: the handler,
+        operand registers, issue class (0=ALU 1=mem 2=LLFU), latency /
+        LLFU occupancy, and the CIR/bound bookkeeping flags."""
+        d = self.d
+        cirs = d.cirs
+        ordered = self.ordered_regs
+        meta = []
+        for i, ins in enumerate(d.body):
+            op = ins.op
+            srcs = ins.src_regs()
+            dst = ins.dst_reg()
+            if op.is_mem and not op.is_fence:
+                kind, latency, occupy = 1, 0, 0
+            elif op.is_llfu:
+                kind = 2
+                latency = latencies.for_fu(op.fu)
+                occupy = latency if op.fu in (FU.DIV, FU.FDIV) else 1
+            else:
+                kind, latency, occupy = 0, 1, 0
+            has_cir_srcs = ordered and any(s in cirs for s in srcs)
+            meta.append((
+                self._body_exec[i], srcs, dst, kind, latency, occupy,
+                op.is_xbreak,
+                op.is_branch or op.is_jump or op.is_xloop,
+                has_cir_srcs,
+                ordered and dst is not None and dst in cirs,
+                ins.last_cir_write,
+                self.dynamic_bound and dst == d.bound_reg,
+                ins))
+        return meta
+
+    def _apply_exec_counts(self, ev):
+        """Fold the deferred per-slot execution counts into the energy
+        event totals (order-independent integer sums, so this matches
+        per-instruction counting exactly)."""
+        d = self.d
+        for i, n in enumerate(self._exec_counts):
+            if not n:
+                continue
+            ins = d.body[i]
+            op = ins.op
+            ev.ib_read += n
+            reads = 0
+            for s in ins.src_regs():
+                if s:
+                    reads += 1
+            ev.rf_read += reads * n
+            if ins.dst_reg() is not None:
+                ev.rf_write += n
+            fu = op.fu
+            if fu == FU.MUL:
+                ev.mul_op += n
+            elif fu == FU.DIV:
+                ev.div_op += n
+            elif fu == FU.FPU:
+                ev.fpu_op += n
+            elif fu == FU.FDIV:
+                ev.fdiv_op += n
+            elif not op.is_mem:
+                ev.alu_op += n
+
     def run(self, latencies, max_iters=None):
         """Execute the loop; returns an :class:`LPSUResult`."""
         self.lat = latencies
         self._max_iters = max_iters
+        self._meta = self._build_meta(latencies)
         d, cfg, ev = self.d, self.cfg, self.events
 
         # -- scan phase --------------------------------------------------
@@ -235,26 +319,41 @@ class LPSU:
         # -- specialized execution phase -----------------------------------
         cycle = 0
         guard = 0
+        contexts = self.contexts
+        step = self._step
+        finished = self._finished
+        # with one context per lane every lane_id is unique, so the
+        # issue-slot dedupe can never fire; skip its bookkeeping
+        multithreaded = len(contexts) > cfg.lanes
         while True:
-            if self._finished():
+            if finished():
                 break
             self._mem_grants = 0
-            order = sorted(range(len(self.contexts)),
-                           key=lambda i: (not self.contexts[i].active,
-                                          self.contexts[i].k))
-            issued_lanes = set()
-            for ci in order:
-                ctx = self.contexts[ci]
-                if ctx.lane_id in issued_lanes:
-                    continue
-                if self._step(ci, ctx, cycle):
-                    issued_lanes.add(ctx.lane_id)
+            # issue order depends only on (active, k), which change
+            # solely at iteration begin/retire/discard — re-sort only
+            # after one of those happened
+            if self._order_dirty:
+                self._order = sorted(contexts, key=_ctx_order)
+                self._order_dirty = False
+            order = self._order
+            if multithreaded:
+                issued_lanes = set()
+                for ctx in order:
+                    if ctx.lane_id in issued_lanes:
+                        continue
+                    if step(ctx, cycle):
+                        issued_lanes.add(ctx.lane_id)
+            else:
+                for ctx in order:
+                    step(ctx, cycle)
             cycle += 1
             guard += 1
             if guard > 200_000_000:  # pragma: no cover
                 raise RuntimeError("LPSU livelock")
         self.stats.exec_cycles = cycle
         self.stats.finish_cycles = cfg.finish_overhead
+        if ev is not None:
+            self._apply_exec_counts(ev)
 
         # idle lane-cycles = lane-cycles not otherwise attributed
         total_lane_cycles = cycle * len(self.contexts)
@@ -293,7 +392,7 @@ class LPSU:
     # ------------------------------------------------------------------
 
     def _finished(self):
-        if any(ctx.active for ctx in self.contexts):
+        if self._active_count:
             return False
         return not self._more_iterations()
 
@@ -315,6 +414,8 @@ class LPSU:
             if self.events is not None:
                 self.events.squashed_instr += other.attempt_instrs
             other.active = False
+            self._active_count -= 1
+            self._order_dirty = True
             other.committing = False
             other.attempt_instrs = 0
             other.store_buf.clear()
@@ -324,7 +425,7 @@ class LPSU:
             other.exit_flag = False
             other.bypass = False
 
-    def _step(self, ci, ctx, cycle):
+    def _step(self, ctx, cycle):
         """Advance one context by at most one issue slot.  Returns True
         when the context consumed its lane's issue slot this cycle."""
         if not ctx.active:
@@ -343,23 +444,22 @@ class LPSU:
                 and ctx.k == self._commit_next):
             return self._drain_one(ctx, cycle, promote=True)
 
-        d = self.d
-        if ctx.pc_index >= d.body_len:
+        pc_index = ctx.pc_index
+        if pc_index >= self._body_n:
             return self._end_iteration(ctx, cycle)
 
-        instr = d.body[ctx.pc_index]
-        op = instr.op
-        regs = ctx.regs
-        ready = self._reg_ready[ci]
+        (handler, srcs, dst, kind, latency, _occupy, is_xbreak, branchy,
+         has_cir_srcs, publishes_cir, last_cir, bound_dst,
+         instr) = self._meta[pc_index]
 
         # CIR delivery: the first read of a CIR waits on the CIB
-        if self.ordered_regs and not self._deliver_cirs(ci, ctx, instr,
-                                                        cycle):
+        if has_cir_srcs and not self._deliver_cirs(ctx, instr, cycle):
             return False
 
         # RAW hazards (per-lane scoreboard)
+        ready = ctx.ready
         avail = cycle
-        for s in instr.src_regs():
+        for s in srcs:
             t = ready[s]
             if t > avail:
                 avail = t
@@ -367,32 +467,27 @@ class LPSU:
             self._stall(ctx, cycle, avail, "raw")
             return False
 
-        if op.is_mem and not op.is_fence:
-            return self._step_mem(ci, ctx, instr, cycle)
+        if kind == 1:
+            return self._step_mem(ctx, instr, cycle)
 
         # LLFU structural hazard (shared with the GPP, Fig 4)
-        if op.is_llfu:
-            unit = self._llfu_acquire(cycle, op)
+        if kind == 2:
+            unit = self._llfu_acquire(cycle, _occupy)
             if unit is None:
                 self._stall_one(ctx, cycle, "llfu")
                 return True  # occupied the issue slot attempting
-            latency = self.lat.for_fu(op.fu)
-        else:
-            latency = 1
 
-        pc = d.body_start_pc + 4 * ctx.pc_index
-        next_pc, _addr, taken = execute(instr, regs, self.mem, pc)
-        self._count_exec(instr)
+        next_pc, _addr, taken = handler(ctx.regs, self.mem)
+        self._exec_counts[pc_index] += 1
         ctx.attempt_instrs += 1
 
-        if op.is_xbreak:
+        if is_xbreak:
             ctx.exit_flag = True
-        dst = instr.dst_reg()
         if dst is not None:
             ready[dst] = cycle + latency
-        ctx.pc_index = d.body_index(next_pc)
+        ctx.pc_index = (next_pc - self._body_base) >> 2
         ctx.ready_at = cycle + 1
-        if (op.is_branch or op.is_jump or op.is_xloop) and taken:
+        if branchy and taken:
             ctx.ready_at += self.cfg.branch_penalty
             self.stats.stall_branch += self.cfg.branch_penalty
         self.stats.busy += 1
@@ -400,19 +495,19 @@ class LPSU:
             self.trace.mark(ctx, cycle, "E")
 
         # CIB publish: last CIR write (or dynamic-bound notification)
-        if self.ordered_regs and dst is not None and dst in d.cirs:
+        if publishes_cir:
             ctx.cir_written.add(dst)
-            if instr.last_cir_write:
+            if last_cir:
                 self._publish_cir(ctx, dst, cycle + latency)
-        if self.dynamic_bound and dst == d.bound_reg:
-            new_bound = to_s32(regs[dst])
+        if bound_dst:
+            new_bound = to_s32(ctx.regs[dst])
             if new_bound > self.bound:
                 self.bound = new_bound
         return True
 
     # -- memory operations -------------------------------------------------
 
-    def _deliver_cirs(self, ci, ctx, instr, cycle):
+    def _deliver_cirs(self, ctx, instr, cycle):
         """First read of each CIR waits for the previous iteration's
         value in the CIB.  Returns False when the context must stall."""
         d = self.d
@@ -425,7 +520,7 @@ class LPSU:
                     return False
                 ctx.regs[s] = chan[1]
                 ctx.received_cirs[s] = chan[1]
-                self._reg_ready[ci][s] = cycle
+                ctx.ready[s] = cycle
                 if self.events is not None:
                     self.events.cib_read += 1
                     self.events.rf_write += 1
@@ -436,12 +531,12 @@ class LPSU:
         if self.events is not None:
             self.events.cib_write += 1
 
-    def _step_mem(self, ci, ctx, instr, cycle):
+    def _step_mem(self, ctx, instr, cycle):
         op = instr.op
         regs = ctx.regs
         d = self.d
 
-        if self.ordered_regs and not self._deliver_cirs(ci, ctx, instr,
+        if self.ordered_regs and not self._deliver_cirs(ctx, instr,
                                                         cycle):
             return False
         speculative = (self.needs_lsq and not ctx.bypass
@@ -495,7 +590,7 @@ class LPSU:
         else:
             access = 1  # store->load forwarding inside the LSQ
 
-        ready = self._reg_ready[ci]
+        ready = ctx.ready
         result_time = cycle + 1
         if op.is_load:
             size = _LOAD_SIZE[op.mnemonic]
@@ -545,7 +640,7 @@ class LPSU:
             if instr.last_cir_write:
                 self._publish_cir(ctx, dst, result_time)
 
-        self._count_exec(instr)
+        self._exec_counts[ctx.pc_index] += 1
         ctx.attempt_instrs += 1
         ctx.pc_index += 1
         ctx.ready_at = cycle + 1
@@ -665,6 +760,8 @@ class LPSU:
             self._discard_younger(ctx.k, cycle)
             ctx.exit_flag = False
         ctx.active = False
+        self._active_count -= 1
+        self._order_dirty = True
         ctx.committing = False
         ctx.attempt_instrs = 0
         ctx.store_buf.clear()
@@ -723,6 +820,8 @@ class LPSU:
         self._next_k += 1
         ctx.k = k
         ctx.active = True
+        self._active_count += 1
+        self._order_dirty = True
         ctx.committing = False
         ctx.bypass = False
         ctx.pc_index = 0
@@ -778,33 +877,9 @@ class LPSU:
         if self.trace is not None:
             self.trace.mark(ctx, cycle, self._TRACE_CODES[kind])
 
-    def _llfu_acquire(self, cycle, op):
-        latency = self.lat.for_fu(op.fu)
-        occupy = latency if op.fu in (FU.DIV, FU.FDIV) else 1
+    def _llfu_acquire(self, cycle, occupy):
         for i, free in enumerate(self._llfu_free):
             if free <= cycle:
                 self._llfu_free[i] = cycle + occupy
                 return i
         return None
-
-    def _count_exec(self, instr):
-        ev = self.events
-        if ev is None:
-            return
-        ev.ib_read += 1
-        for s in instr.src_regs():
-            if s:
-                ev.rf_read += 1
-        if instr.dst_reg() is not None:
-            ev.rf_write += 1
-        fu = instr.op.fu
-        if fu == FU.MUL:
-            ev.mul_op += 1
-        elif fu == FU.DIV:
-            ev.div_op += 1
-        elif fu == FU.FPU:
-            ev.fpu_op += 1
-        elif fu == FU.FDIV:
-            ev.fdiv_op += 1
-        elif not instr.op.is_mem:
-            ev.alu_op += 1

@@ -115,26 +115,29 @@ class OOOTiming:
         instr = step.instr
         op = instr.op
         ev = self.events
+        srcs = instr.src_regs()
         if ev is not None:
             ev.ic_access += 1
             ev.ooo_rename += 1
             ev.iq_op += 1
             ev.rob_op += 1
-            for s in instr.src_regs():
+            for s in srcs:
                 if s:
                     ev.rf_read += 1
 
+        rob = self._rob
         fetch = self._fetch()
         dispatch = fetch + 1
         # ROB occupancy: wait for a slot
-        if len(self._rob) >= self._rob_size:
-            oldest = self._rob.popleft()
+        if len(rob) >= self._rob_size:
+            oldest = rob.popleft()
             if oldest > dispatch:
                 dispatch = oldest
 
+        reg_ready = self.reg_ready
         ready = dispatch
-        for s in instr.src_regs():
-            t = self.reg_ready[s]
+        for s in srcs:
+            t = reg_ready[s]
             if t > ready:
                 ready = t
 
@@ -182,7 +185,7 @@ class OOOTiming:
 
         dst = instr.dst_reg()
         if dst is not None:
-            self.reg_ready[dst] = complete
+            reg_ready[dst] = complete
             if ev is not None:
                 ev.rf_write += 1
         if op.is_store or op.is_amo:
@@ -208,7 +211,7 @@ class OOOTiming:
                 self._redirect = complete
 
         retire = self._retire(complete)
-        self._rob.append(retire)
+        rob.append(retire)
         self.retired += 1
         return issue
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..energy.events import EnergyEvents
-from ..sim.functional import FunctionalCore, SimError
+from ..sim.functional import FunctionalCore, SimError, decode_program
 from ..sim.memory import Memory, to_s32
 from .adaptive import (AdaptiveProfilingTable, DECIDED_SPECIALIZED,
                        DECIDED_TRADITIONAL, GPP_PROFILING, LPSU_PROFILING)
@@ -96,16 +96,31 @@ class SystemSimulator:
         core = self.core
         core.setup_call(entry, args)
         steps = 0
-        while not core.halted:
-            instr = self.program.instr_at(core.pc)
-            if instr.op.is_xloop and mode != "traditional":
-                if self._maybe_specialize(instr, mode):
-                    continue
-            step = core.step()
-            self.timing.consume(step)
-            steps += 1
-            if steps > max_steps:
-                raise SimError("GPP exceeded %d steps" % max_steps)
+        core_step = core.step
+        consume = self.timing.consume
+        if mode == "traditional":
+            # no xloop can be intercepted: run the fetch/step/consume
+            # loop without the dispatch check
+            while not core.halted:
+                consume(core_step())
+                steps += 1
+                if steps > max_steps:
+                    raise SimError("GPP exceeded %d steps" % max_steps)
+        else:
+            instrs = self.program.instrs
+            base = self.program.text_base
+            xloop_idx = frozenset(
+                i for i, ins in enumerate(instrs) if ins.op.is_xloop)
+            while not core.halted:
+                pc = core.pc
+                idx = (pc - base) >> 2
+                if idx in xloop_idx and not pc & 3:
+                    if self._maybe_specialize(instrs[idx], mode):
+                        continue
+                consume(core_step())
+                steps += 1
+                if steps > max_steps:
+                    raise SimError("GPP exceeded %d steps" % max_steps)
         return RunResult(
             config_name=self.config.name, mode=mode,
             cycles=self.timing.cycles, gpp_instrs=core.icount,
@@ -207,8 +222,13 @@ class SystemSimulator:
     def _run_specialized(self, desc, max_iters=None):
         """Scan + specialized execution phase; updates arch state."""
         core = self.core
+        # reuse the program's pre-decoded handler table for the body
+        # (the body is a contiguous slice of the text section)
+        decoded = decode_program(self.program)
+        lo = (desc.body_start_pc - self.program.text_base) >> 2
         lpsu = LPSU(desc, core.regs, self.mem, self.cache,
-                    self.config.lpsu, self.events)
+                    self.config.lpsu, self.events,
+                    decoded_body=decoded[lo:lo + desc.body_len])
         result = lpsu.run(self.config.gpp.latencies, max_iters=max_iters)
 
         self.specialized_invocations += 1

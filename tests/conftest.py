@@ -1,0 +1,16 @@
+"""Shared test fixtures.
+
+The persistent result cache is redirected into a per-session temporary
+directory so the suite exercises the disk-cache code paths without
+reading or polluting the user's real ``~/.cache/repro``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    from repro.eval import diskcache
+    diskcache.configure(
+        cache_dir=str(tmp_path_factory.mktemp("repro-cache")))
+    yield
