@@ -9,6 +9,8 @@ kernels   list the bundled Table II / Table IV application kernels
 kernel    run one bundled kernel on a platform and report stats
 table     regenerate one of the paper's tables/figures
 sweep     run an artifact's simulation points in parallel, cached
+verify    traditional-vs-specialized differential conformance under
+          the runtime invariant monitor
 isa       print the XLOOPS instruction-set extensions (Table I)
 """
 
@@ -112,6 +114,24 @@ def build_parser():
     p.add_argument("--quiet", action="store_true",
                    help="omit the per-point wall-time table")
     _add_cache_args(p)
+
+    p = sub.add_parser("verify",
+                       help="differential conformance: traditional vs "
+                            "specialized under the invariant monitor")
+    p.add_argument("kernels", nargs="*", metavar="KERNEL",
+                   help="kernels to check (default: all registered; "
+                        "see 'repro kernels')")
+    p.add_argument("--all", action="store_true",
+                   help="check every registered kernel (the default "
+                        "when no kernels are named)")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "large"),
+                   help="workload scale (default tiny)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="dataset + loop-generator seed (default 0)")
+    p.add_argument("--gen", type=int, default=0, metavar="N",
+                   help="also check N randomly generated annotated "
+                        "loops (default 0)")
 
     sub.add_parser("isa", help="print Table I")
     return parser
@@ -310,6 +330,30 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_verify(args):
+    from .verify import run_conformance
+    kernels = args.kernels or None
+    if args.all:
+        kernels = None
+
+    def progress(res):
+        if res.ok:
+            print("ok   %-16s %-14s %3d configs  %5d iterations  "
+                  "%4d squashes"
+                  % (res.name, ",".join(res.kinds), res.configs,
+                     res.iterations, res.squashes))
+        else:
+            print("FAIL %-16s %s" % (res.name, res.detail))
+
+    results = run_conformance(kernels=kernels, gen=args.gen,
+                              seed=args.seed, scale=args.scale,
+                              progress=progress)
+    bad = [r for r in results if not r.ok]
+    print("%d loop%s checked, %d failed"
+          % (len(results), "s" if len(results) != 1 else "", len(bad)))
+    return 1 if bad else 0
+
+
 def cmd_isa(_args):
     from .isa import PATTERN_DESCRIPTIONS
     print("XLOOPS instruction-set extensions (paper Table I + the .de "
@@ -328,7 +372,7 @@ def cmd_isa(_args):
 _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
-    "sweep": cmd_sweep, "isa": cmd_isa,
+    "sweep": cmd_sweep, "verify": cmd_verify, "isa": cmd_isa,
 }
 
 

@@ -96,24 +96,34 @@ def _fingerprint(spec, sysconfig, mode, binary, xi_enabled, scale,
 
 
 def run(kernel_name, config_name, mode="traditional", binary="xloops",
-        xi_enabled=True, scale="small", seed=0, verify=True,
-        schedule_cirs=False, use_disk_cache=True):
+        xi_enabled=True, scale="small", seed=0, check=True,
+        schedule_cirs=False, use_disk_cache=True, verify=False):
     """Simulate one (kernel, platform, mode) point.
 
     Results are memoized in-process and persisted to the disk cache;
     either hit returns without touching the simulator.  *config_name*
     is a configuration name or a :class:`SystemConfig` instance.
+
+    *check* runs the workload's architectural result check after the
+    simulation.  *verify* additionally runs every specialized xloop
+    under the :mod:`repro.verify` runtime invariant monitor; because a
+    verified run must actually simulate (and an
+    :class:`~repro.verify.InvariantViolation` must never be masked by
+    an earlier unverified result), ``verify=True`` bypasses both the
+    in-process memo and the disk cache, for reads *and* writes --
+    verified runs are never cache-served and never pollute the cache.
     """
     global simulations
     key = (kernel_name, config_name, mode, binary, xi_enabled, scale,
            seed, schedule_cirs)
-    hit = _RESULTS.get(key)
-    if hit is not None:
-        return hit
+    if not verify:
+        hit = _RESULTS.get(key)
+        if hit is not None:
+            return hit
 
     spec = get_kernel(kernel_name)
     sysconfig = _resolve_config(config_name)
-    use_disk = use_disk_cache and diskcache.enabled()
+    use_disk = use_disk_cache and not verify and diskcache.enabled()
     ckey = None
     if use_disk:
         ckey = _fingerprint(spec, sysconfig, mode, binary, xi_enabled,
@@ -127,10 +137,11 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
     workload = spec.workload(scale, seed)
     mem = Memory()
     args = workload.apply(mem)
-    sim = SystemSimulator(compiled.program, sysconfig, mem=mem)
+    sim = SystemSimulator(compiled.program, sysconfig, mem=mem,
+                          verify=verify)
     simulations += 1
     result = sim.run(entry=spec.entry, args=args, mode=mode)
-    if verify:
+    if check:
         workload.check(mem)
 
     out = KernelRun(
@@ -147,7 +158,8 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
         cache_miss_rate=(result.cache_misses / result.cache_accesses
                          if result.cache_accesses else 0.0),
         static_xloops=compiled.loop_kinds())
-    _RESULTS[key] = out
+    if not verify:
+        _RESULTS[key] = out
     if use_disk:
         diskcache.store(ckey, out)
     return out

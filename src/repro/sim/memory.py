@@ -196,3 +196,36 @@ class Memory:
     def snapshot_words(self, addr, count):
         """Immutable tuple snapshot (for test assertions)."""
         return tuple(self.read_words(addr, count))
+
+    # -- whole-memory operations (the runtime verifier's shadow copy) ---------
+
+    def clone(self):
+        """Independent deep copy of the full address space."""
+        other = Memory()
+        other._pages = {key: bytearray(page)
+                        for key, page in self._pages.items()}
+        return other
+
+    def pages_equal(self, other):
+        """Content equality; pages absent on one side compare as zeros
+        (reads allocate zero-filled pages, so allocation history must
+        not affect equality)."""
+        zeros = bytes(PAGE_SIZE)
+        for key in self._pages.keys() | other._pages.keys():
+            a = self._pages.get(key) or zeros
+            b = other._pages.get(key) or zeros
+            if bytes(a) != bytes(b):
+                return False
+        return True
+
+    def first_difference(self, other):
+        """Lowest byte address where the two memories differ, or None
+        (diagnostic companion to :meth:`pages_equal`)."""
+        zeros = bytes(PAGE_SIZE)
+        for key in sorted(self._pages.keys() | other._pages.keys()):
+            a = self._pages.get(key) or zeros
+            b = other._pages.get(key) or zeros
+            for off in range(PAGE_SIZE):
+                if a[off] != b[off]:
+                    return (key << PAGE_SHIFT) | off
+        return None

@@ -172,13 +172,18 @@ class LPSU:
     """
 
     def __init__(self, descriptor, live_in_regs, mem, cache, config=None,
-                 events=None, trace=None, decoded_body=None):
+                 events=None, trace=None, decoded_body=None,
+                 monitor=None):
         self.d = descriptor
         self.cfg = config or LPSUConfig()
         self.mem = mem
         self.cache = cache
         self.events = events
         self.trace = trace   # optional LaneTrace (repro.uarch.tracelog)
+        # optional InvariantMonitor (repro.verify): a pure observer fed
+        # through the same style of hook points as the tracer, so a
+        # monitored run is cycle/energy-identical to an unmonitored one
+        self.monitor = monitor
         self.lat = None  # set by run() from the GPP latency table
 
         self.live_in = list(live_in_regs)
@@ -408,6 +413,8 @@ class LPSU:
         for other in self.contexts:
             if not other.active or other.k <= k:
                 continue
+            if self.monitor is not None:
+                self.monitor.on_discard(other.lane_id, other.k, cycle)
             self.stats.squashes += 1
             self.stats.squashed_instrs += other.attempt_instrs
             self.stats.squash_cycles += max(0, cycle - other.iter_start)
@@ -524,12 +531,19 @@ class LPSU:
                 if self.events is not None:
                     self.events.cib_read += 1
                     self.events.rf_write += 1
+                if self.monitor is not None:
+                    self.monitor.on_cib_consume(ctx.lane_id, ctx.k, s,
+                                                chan[1], cycle)
         return True
 
     def _publish_cir(self, ctx, cir, avail_cycle):
         self._cib[(cir, ctx.k + 1)] = (avail_cycle, ctx.regs[cir])
         if self.events is not None:
             self.events.cib_write += 1
+        if self.monitor is not None:
+            self.monitor.on_cib_publish(ctx.lane_id, ctx.k, cir,
+                                        ctx.regs[cir], avail_cycle,
+                                        avail_cycle)
 
     def _step_mem(self, ctx, instr, cycle):
         op = instr.op
@@ -597,7 +611,16 @@ class LPSU:
             if forwarded is not None and forwarded != "overlap":
                 value = forwarded
                 if forward_source >= 0 and self.squash_on_conflict:
-                    ctx.load_words[addr & ~3] = forward_source
+                    # keep the *oldest* source seen for this word: an
+                    # earlier read served by memory (-1) or an older
+                    # lane must stay squashable by that source's later
+                    # commits -- overwriting with a younger source
+                    # would hide the earlier read from the broadcast
+                    word = addr & ~3
+                    prev = ctx.load_words.get(word)
+                    ctx.load_words[word] = (forward_source
+                                            if prev is None
+                                            else min(prev, forward_source))
             else:
                 value = self.mem.load(addr, size, _SIGNED_LOAD[op.mnemonic])
                 if speculative and self.squash_on_conflict:
@@ -617,16 +640,30 @@ class LPSU:
                 ctx.store_buf.append(_StoreEntry(addr, size, value))
                 if self.events is not None:
                     self.events.lsq_write += 1
+                if self.cfg.inter_lane_forwarding:
+                    self._invalidate_stale_forwards(ctx, addr, cycle)
             else:
                 self.mem.store(addr, size, value)
+                if self.monitor is not None:
+                    self.monitor.on_commit_store(
+                        ctx.lane_id, ctx.k, "st", addr, size, value,
+                        cycle)
+                if self.cfg.inter_lane_forwarding:
+                    self._invalidate_stale_forwards(ctx, addr, cycle)
                 if self.squash_on_conflict:
                     self._broadcast(addr, ctx, cycle)
         else:  # AMO, non-speculative by construction here
+            if self.monitor is not None:
+                self.monitor.on_commit_store(
+                    ctx.lane_id, ctx.k, "amo", addr, 4,
+                    regs[instr.rs2], cycle)
             old = self.mem.amo(op.mnemonic, addr, regs[instr.rs2])
             if instr.rd:
                 regs[instr.rd] = old
                 ready[instr.rd] = cycle + self.lat.amo
                 result_time = cycle + self.lat.amo
+            if self.cfg.inter_lane_forwarding:
+                self._invalidate_stale_forwards(ctx, addr, cycle)
             if self.squash_on_conflict:
                 self._broadcast(addr, ctx, cycle)
             if self.dynamic_bound and instr.rd == d.bound_reg:
@@ -684,6 +721,20 @@ class LPSU:
                 return hit, other.k
         return None, -1
 
+    def _invalidate_stale_forwards(self, ctx, addr, cycle):
+        """A new store by *ctx* to a word some younger iteration already
+        forwarded out of ctx's store buffer leaves that iteration holding
+        an intermediate value -- serial execution would see ctx's final
+        store.  The commit-time broadcast deliberately ignores readers
+        whose recorded source is the committing iteration itself (that is
+        what makes forwarding pay off), so the repeated-store case must
+        squash here, at execute time."""
+        word = addr & ~3
+        for other in self.contexts:
+            if (other is not ctx and other.active and other.k > ctx.k
+                    and other.load_words.get(word) == ctx.k):
+                self._squash(other, cycle)
+
     # -- commit / squash machinery --------------------------------------------
 
     def _end_iteration(self, ctx, cycle):
@@ -708,6 +759,9 @@ class LPSU:
                 self._cib[(cir, ctx.k + 1)] = (cycle, chan[1])
                 if self.events is not None:
                     self.events.cib_write += 1
+                if self.monitor is not None:
+                    self.monitor.on_cib_publish(ctx.lane_id, ctx.k, cir,
+                                                chan[1], cycle, cycle)
         if self.needs_lsq:
             ctx.committing = True
             return self._advance_commit(ctx, cycle)
@@ -734,6 +788,10 @@ class LPSU:
         self.mem.store(entry.addr, entry.size, entry.value)
         if self.events is not None:
             self.events.dc_access += 1
+        if self.monitor is not None:
+            self.monitor.on_commit_store(
+                ctx.lane_id, ctx.k, "st", entry.addr, entry.size,
+                entry.value, cycle)
         if self.squash_on_conflict:
             self._broadcast(entry.addr, ctx, cycle)
         ctx.ready_at = cycle + 1
@@ -746,6 +804,8 @@ class LPSU:
         return True
 
     def _retire_iteration(self, ctx, cycle):
+        if self.monitor is not None:
+            self.monitor.on_retire(ctx.lane_id, ctx.k, cycle, ctx.regs)
         self.stats.iterations += 1
         self.stats.instrs += ctx.attempt_instrs
         if self.needs_lsq:
@@ -774,6 +834,9 @@ class LPSU:
     def _broadcast(self, addr, src_ctx, cycle):
         """Committed-store address broadcast: squash younger readers."""
         word = addr & ~3
+        if self.monitor is not None:
+            self.monitor.on_broadcast(src_ctx.lane_id, src_ctx.k, word,
+                                      cycle)
         for other in self.contexts:
             if other is src_ctx or not other.active:
                 continue
@@ -785,6 +848,9 @@ class LPSU:
                 self.events.lsq_search += 1
 
     def _squash(self, ctx, cycle):
+        if self.monitor is not None:
+            self.monitor.on_squash(ctx.lane_id, ctx.k, cycle,
+                                   len(ctx.store_buf))
         self.stats.squashes += 1
         self.stats.squashed_instrs += ctx.attempt_instrs
         self.stats.squash_cycles += max(0, cycle - ctx.iter_start)
@@ -830,6 +896,8 @@ class LPSU:
         ctx.received_cirs.clear()
         ctx.cir_written.clear()
         self._init_iter_regs(ctx)
+        if self.monitor is not None:
+            self.monitor.on_begin(ctx.lane_id, k, cycle, ctx.regs)
         ctx.ready_at = cycle
         if self.trace is not None and k:
             self.trace.mark(ctx, max(0, cycle - 1), "|")

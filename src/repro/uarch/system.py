@@ -64,9 +64,13 @@ class RunResult:
 class SystemSimulator:
     """Simulate *program* on *config* in a given execution mode."""
 
-    def __init__(self, program, config, mem=None):
+    def __init__(self, program, config, mem=None, verify=False):
         self.program = program
         self.config = config
+        # when set, every specialized invocation runs under a
+        # repro.verify InvariantMonitor (pure observer: cycles, energy
+        # and stats stay bit-identical; raises InvariantViolation)
+        self.verify = verify
         self.mem = mem if mem is not None else Memory()
         self.events = EnergyEvents()
         self.cache = L1Cache(config.gpp.cache)
@@ -226,10 +230,18 @@ class SystemSimulator:
         # (the body is a contiguous slice of the text section)
         decoded = decode_program(self.program)
         lo = (desc.body_start_pc - self.program.text_base) >> 2
+        monitor = None
+        if self.verify:
+            # imported lazily: repro.verify depends on uarch.params
+            from ..verify import InvariantMonitor
+            monitor = InvariantMonitor(desc, core.regs, self.mem)
         lpsu = LPSU(desc, core.regs, self.mem, self.cache,
                     self.config.lpsu, self.events,
-                    decoded_body=decoded[lo:lo + desc.body_len])
+                    decoded_body=decoded[lo:lo + desc.body_len],
+                    monitor=monitor)
         result = lpsu.run(self.config.gpp.latencies, max_iters=max_iters)
+        if monitor is not None:
+            monitor.finalize(result)
 
         self.specialized_invocations += 1
         self.lpsu_stats.__dict__.update({
@@ -263,7 +275,13 @@ class SystemSimulator:
 
 
 def simulate(program, config, entry="main", args=(), mode="traditional",
-             mem=None):
-    """One-shot convenience wrapper returning a :class:`RunResult`."""
-    sim = SystemSimulator(program, config, mem=mem)
+             mem=None, verify=False):
+    """One-shot convenience wrapper returning a :class:`RunResult`.
+
+    With ``verify=True`` every specialized xloop invocation is checked
+    against the :mod:`repro.verify` runtime invariants (raising
+    :class:`~repro.verify.InvariantViolation` on the first breach)
+    without perturbing cycles, energy, or statistics.
+    """
+    sim = SystemSimulator(program, config, mem=mem, verify=verify)
     return sim.run(entry=entry, args=args, mode=mode)

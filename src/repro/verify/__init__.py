@@ -1,0 +1,28 @@
+"""Runtime invariant checking and differential conformance.
+
+Three entry points, all built on the same machinery:
+
+* ``simulate(..., verify=True)`` / ``SystemSimulator(..., verify=True)``
+  attach an :class:`InvariantMonitor` to every specialized xloop
+  invocation, raising :class:`InvariantViolation` (cycle- and
+  lane-stamped) on the first breach without perturbing timing or
+  energy;
+* the ``repro verify`` CLI subcommand runs the
+  :mod:`~repro.verify.conformance` traditional-vs-specialized sweep
+  over registered kernels and generated loops; and
+* the ``tests/verify`` suite, which shares the random loop generators
+  in :mod:`~repro.verify.genloops` with the hypothesis fuzz tests.
+"""
+
+from .conformance import (ConformanceResult, check_case, check_kernel,
+                          run_conformance)
+from .genloops import LPSU_SWEEP, GenCase, RandomChooser, random_cases
+from .invariants import InvariantMonitor, InvariantViolation
+from .oracle import OracleError, SerialOracle
+
+__all__ = [
+    "ConformanceResult", "check_case", "check_kernel",
+    "run_conformance", "LPSU_SWEEP", "GenCase", "RandomChooser",
+    "random_cases", "InvariantMonitor", "InvariantViolation",
+    "OracleError", "SerialOracle",
+]

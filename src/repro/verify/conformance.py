@@ -1,0 +1,188 @@
+"""Traditional-vs-specialized differential conformance harness.
+
+This is the core of the ``repro verify`` CLI subcommand.  For each
+checked loop — a registered application kernel or a random
+:class:`~repro.verify.genloops.GenCase` — it executes:
+
+1. the GP binary traditionally (architectural reference semantics),
+2. the XLOOPS binary traditionally (xloops as plain branches), and
+3. the XLOOPS binary specialized on every LPSU design point in the
+   sweep (plus one adaptive-mode run, which exercises the
+   profiling/early-stop migration path), each under the runtime
+   :class:`~repro.verify.invariants.InvariantMonitor`,
+
+and demands that every run agrees: the workload's own result check
+passes, return values match, and — for runs of the *same* binary —
+the full final memory image is identical (different binaries may
+legitimately differ in stack layout, so the GP reference is compared
+through the workload check and return value only).
+
+Failures are collected per loop, not raised, so one bad kernel does
+not hide the rest of the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..kernels import ALL_KERNELS, get_kernel
+from ..lang import compile_source
+from ..sim import Memory
+from ..uarch import IO, SystemConfig, simulate
+from .genloops import LPSU_SWEEP, random_cases
+
+#: GPP design point used for every conformance run: the in-order core
+#: (fastest to simulate; the LPSU-side invariants are GPP-agnostic)
+_GPP = IO
+
+
+@dataclass
+class ConformanceResult:
+    """Outcome of the conformance sweep for one loop."""
+
+    name: str
+    kinds: Tuple[str, ...] = ()
+    configs: int = 0        # LPSU design points x modes checked
+    invocations: int = 0    # verified specialized invocations
+    iterations: int = 0     # LPSU iterations retired under the monitor
+    squashes: int = 0
+    ok: bool = True
+    detail: str = ""
+
+    def fail(self, detail):
+        self.ok = False
+        if not self.detail:
+            self.detail = detail
+        return self
+
+
+def _specialized_points(sweep, adaptive):
+    points = [("specialized", lpsu) for lpsu in sweep]
+    if adaptive and sweep:
+        points.append(("adaptive", sweep[0]))
+    return points
+
+
+def _run_verified(res, program, entry, args, mem, lpsu, mode):
+    r = simulate(program, SystemConfig("conf-x", _GPP, lpsu),
+                 entry=entry, args=args, mem=mem, mode=mode,
+                 verify=True)
+    res.configs += 1
+    res.invocations += r.specialized_invocations
+    res.iterations += r.lpsu_stats.iterations
+    res.squashes += r.lpsu_stats.squashes
+    return r
+
+
+def check_kernel(name, scale="tiny", seed=0, sweep=LPSU_SWEEP,
+                 adaptive=True):
+    """Conformance-check one registered kernel; never raises."""
+    res = ConformanceResult(name=name)
+    try:
+        spec = get_kernel(name)
+        xl = compile_source(spec.source)
+        gp = compile_source(spec.source, xloops=False)
+        res.kinds = xl.loop_kinds()
+        # worklist kernels claim output slots through AMOs inside
+        # unordered loops: any lane interleaving is architecturally
+        # valid, so only the workload's own check applies -- the exact
+        # memory image is order-dependent by design.  LSQ-backed
+        # patterns (om/orm/ua, .de) commit in index order and stay
+        # bit-deterministic even with AMOs.
+        deterministic = (
+            not any(ins.op.is_amo for ins in xl.program.instrs)
+            or not any(k.startswith("xloop.uc") and not k.endswith(".de")
+                       for k in res.kinds))
+
+        def fresh():
+            workload = spec.workload(scale, seed)
+            mem = Memory()
+            return workload, mem, workload.apply(mem)
+
+        # reference: the XLOOPS binary executed traditionally
+        wl, mem_ref, args = fresh()
+        ref = simulate(xl.program, SystemConfig("conf-io", _GPP),
+                       entry=spec.entry, args=args, mem=mem_ref,
+                       mode="traditional")
+        wl.check(mem_ref)
+
+        # the GP binary agrees at the workload level (return values and
+        # full memory may legitimately differ between binaries: stack
+        # layout, scratch registers of void kernels)
+        wl, mem_gp, args = fresh()
+        simulate(gp.program, SystemConfig("conf-io", _GPP),
+                 entry=spec.entry, args=args, mem=mem_gp,
+                 mode="traditional")
+        wl.check(mem_gp)
+
+        for mode, lpsu in _specialized_points(sweep, adaptive):
+            wl, mem, args = fresh()
+            _run_verified(res, xl.program, spec.entry, args, mem,
+                          lpsu, mode)
+            wl.check(mem)
+            if deterministic and not mem.pages_equal(mem_ref):
+                return res.fail(
+                    "%s/%r memory differs from traditional at 0x%x"
+                    % (mode, lpsu, mem.first_difference(mem_ref)))
+    except Exception as exc:
+        return res.fail("%s: %s" % (type(exc).__name__, exc))
+    return res
+
+
+def check_case(case, sweep=LPSU_SWEEP, adaptive=False):
+    """Conformance-check one generated loop case; never raises."""
+    res = ConformanceResult(name=case.name)
+    try:
+        xl = compile_source(case.source)
+        gp = compile_source(case.source, xloops=False)
+        res.kinds = xl.loop_kinds()
+
+        mem = Memory()
+        r = simulate(gp.program, SystemConfig("conf-io", _GPP),
+                     entry=case.entry, args=case.apply(mem), mem=mem,
+                     mode="traditional")
+        ref_out = case.outputs(mem, r.return_value)
+
+        mem_ref = Memory()
+        r = simulate(xl.program, SystemConfig("conf-io", _GPP),
+                     entry=case.entry, args=case.apply(mem_ref),
+                     mem=mem_ref, mode="traditional")
+        if case.outputs(mem_ref, r.return_value) != ref_out:
+            return res.fail("XLOOPS binary disagrees with the GP "
+                            "binary under traditional execution")
+
+        for mode, lpsu in _specialized_points(sweep, adaptive):
+            mem = Memory()
+            r = _run_verified(res, xl.program, case.entry,
+                              case.apply(mem), mem, lpsu, mode)
+            if case.outputs(mem, r.return_value) != ref_out:
+                return res.fail("%s/%r outputs differ from traditional"
+                                % (mode, lpsu))
+            if not mem.pages_equal(mem_ref):
+                return res.fail(
+                    "%s/%r memory differs from traditional at 0x%x"
+                    % (mode, lpsu, mem.first_difference(mem_ref)))
+    except Exception as exc:
+        return res.fail("%s: %s" % (type(exc).__name__, exc))
+    return res
+
+
+def run_conformance(kernels=None, gen=0, seed=0, scale="tiny",
+                    sweep=LPSU_SWEEP, progress=None):
+    """Sweep kernels (all registered when *kernels* is None) plus *gen*
+    generated loops; returns a list of :class:`ConformanceResult`."""
+    names = ([s.name for s in ALL_KERNELS] if kernels is None
+             else list(kernels))
+    results = []
+    for name in names:
+        res = check_kernel(name, scale=scale, seed=seed, sweep=sweep)
+        results.append(res)
+        if progress is not None:
+            progress(res)
+    for case in random_cases(seed, gen):
+        res = check_case(case, sweep=sweep)
+        results.append(res)
+        if progress is not None:
+            progress(res)
+    return results

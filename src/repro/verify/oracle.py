@@ -1,0 +1,136 @@
+"""Serial golden oracle for one specialized xloop execution.
+
+A :class:`SerialOracle` executes the loop the way traditional execution
+would — the body instructions run through the functional-core semantics
+(:func:`repro.sim.functional.execute`) in strict index order — against a
+*shadow* clone of the architectural memory taken when the LPSU was
+invoked.  The invariant monitor advances it one iteration at a time, in
+lockstep with LPSU iteration retirement, and compares:
+
+* register state at iteration boundaries (index, MIVs, CIRs),
+* the per-iteration committed store/AMO stream (for LSQ patterns), and
+* the final shadow memory against the real memory when the loop hands
+  back to the GPP.
+
+The oracle never touches the timing models, the cache, or the energy
+counters, so attaching it cannot perturb cycles or statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.functional import execute
+from ..sim.memory import MASK32, to_s32
+
+#: per-iteration instruction budget: a serial iteration exceeding this
+#: means the shadow execution livelocked (a verifier bug, not a loop)
+_ITER_GUARD = 2_000_000
+
+
+class OracleError(Exception):
+    """The shadow serial execution itself went wrong (bad body)."""
+
+
+class SerialOracle:
+    """Iteration-by-iteration serial execution of one xloop.
+
+    Parameters
+    ----------
+    descriptor
+        The :class:`~repro.uarch.descriptor.LoopDescriptor` the LPSU
+        is executing.
+    live_in_regs
+        GPP register file at loop entry (copied).
+    mem
+        The shared architectural memory at loop entry (cloned).
+    """
+
+    def __init__(self, descriptor, live_in_regs, mem):
+        self.d = descriptor
+        self.regs = list(live_in_regs)
+        self.mem = mem.clone()
+        self.start_idx = to_s32(live_in_regs[descriptor.idx_reg])
+        self.iterations = 0        # completed serial iterations
+        self.exited = False        # an xloop.break left the loop
+        self.running = True        # the xloop back-branch would be taken
+        #: committed stores of the most recent iteration, as
+        #: ("st"|"amo", addr, size, value) in program order
+        self.store_log: List[Tuple[str, int, int, int]] = []
+        #: registers the most recent iteration read before writing --
+        #: exactly the registers whose value at the iteration boundary
+        #: is architecturally observable (a register recomputed at body
+        #: entry is dead there, so e.g. an inner loop's xi pointer can
+        #: carry a bogus outer-loop MIVT claim harmlessly)
+        self.read_first: set = set()
+        #: registers written by the most recent iteration (drives the
+        #: exit-register copy-back comparison for ``.de`` loops)
+        self.last_written: set = set()
+        #: union of read_first over every iteration run so far
+        self.ever_read_first: set = set()
+
+    # ------------------------------------------------------------------
+
+    def would_iterate(self):
+        """Would traditional execution run another iteration?"""
+        d = self.d
+        return (self.running and not self.exited
+                and to_s32(self.regs[d.idx_reg])
+                < to_s32(self.regs[d.bound_reg]))
+
+    def run_iteration(self):
+        """Execute one serial iteration; fills :attr:`store_log`.
+
+        The caller must have checked :meth:`would_iterate`.
+        """
+        d = self.d
+        regs, mem = self.regs, self.mem
+        log = self.store_log
+        log.clear()
+        read_first = self.read_first
+        read_first.clear()
+        written = self.last_written
+        written.clear()
+        pc = d.body_start_pc
+        steps = 0
+        while d.body_start_pc <= pc < d.xloop_pc:
+            instr = d.body[(pc - d.body_start_pc) >> 2]
+            op = instr.op
+            for s in instr.src_regs():
+                if s and s not in written:
+                    read_first.add(s)
+            if op.is_store:
+                # log the store before executing (value from the regs)
+                addr = (regs[instr.rs1] + instr.imm) & MASK32
+                size = {"sw": 4, "sh": 2, "sb": 1}[op.mnemonic]
+                log.append(("st", addr, size, regs[instr.rs2] & MASK32))
+            elif op.is_amo:
+                log.append(("amo", regs[instr.rs1] & MASK32, 4,
+                            regs[instr.rs2] & MASK32))
+            pc, _addr, _taken = execute(instr, regs, mem, pc)
+            dst = instr.dst_reg()
+            if dst:
+                written.add(dst)
+            steps += 1
+            if steps > _ITER_GUARD:
+                raise OracleError("serial iteration exceeded %d steps"
+                                  % _ITER_GUARD)
+        if pc == d.xloop_pc:
+            # iteration fell through to the xloop test
+            self.running = (to_s32(regs[d.idx_reg])
+                            < to_s32(regs[d.bound_reg]))
+        elif pc == d.xloop_pc + 4:
+            # xloop.break targets the xloop fall-through (checked by
+            # the scan phase), terminating the loop
+            self.exited = True
+            self.running = False
+        else:
+            raise OracleError(
+                "serial execution left the loop body at pc=0x%x" % pc)
+        self.iterations += 1
+        self.ever_read_first |= read_first
+        return log
+
+    def reg(self, r):
+        """Canonical u32 value of shadow register *r*."""
+        return self.regs[r] & MASK32

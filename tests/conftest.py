@@ -1,11 +1,23 @@
-"""Shared test fixtures.
+"""Shared test fixtures and hypothesis profiles.
 
 The persistent result cache is redirected into a per-session temporary
 directory so the suite exercises the disk-cache code paths without
 reading or polluting the user's real ``~/.cache/repro``.
+
+Hypothesis profiles: the default stays as each test's own
+``@settings``; the nightly CI job selects ``--hypothesis-profile=
+thorough`` for a much deeper example budget.
 """
 
 import pytest
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+else:
+    settings.register_profile("thorough", max_examples=300,
+                              deadline=None)
 
 
 @pytest.fixture(autouse=True, scope="session")

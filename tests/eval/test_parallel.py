@@ -172,3 +172,48 @@ class TestRunnerForwarding:
             xi_enabled=False)
         assert with_xi > 0 and without > 0
         assert with_xi != without
+
+
+class TestVerifiedRunsBypassCache:
+    """runner.run(verify=True) must always simulate: a verified run is
+    never served from the memo or the disk cache, and never writes
+    either -- otherwise a cached unverified result would mask an
+    InvariantViolation, or a verified result would shadow the normal
+    key space."""
+
+    POINT = dict(kernel_name="sgemm-uc", config_name="io+x",
+                 mode="specialized", scale=SCALE)
+
+    def test_never_served_and_never_stored(self, tmp_path):
+        diskcache.configure(cache_dir=str(tmp_path))
+        runner.clear_cache()
+        n0 = runner.simulations
+
+        r1 = runner.run(verify=True, **self.POINT)
+        assert runner.simulations == n0 + 1
+
+        # the verified run left no memo/disk record: a normal run must
+        # simulate from scratch ...
+        r2 = runner.run(**self.POINT)
+        assert runner.simulations == n0 + 2
+
+        # ... and is now cached (memo hit),
+        r3 = runner.run(**self.POINT)
+        assert runner.simulations == n0 + 2
+
+        # while verify=True keeps re-simulating despite the warm cache
+        r4 = runner.run(verify=True, **self.POINT)
+        assert runner.simulations == n0 + 3
+
+        # every path reports the same bit-identical record
+        assert _snapshot(r1) == _snapshot(r2) == _snapshot(r3) \
+            == _snapshot(r4)
+
+    def test_verified_run_skips_disk_cache_reads(self, tmp_path):
+        diskcache.configure(cache_dir=str(tmp_path))
+        runner.clear_cache()
+        runner.run(**self.POINT)          # populates the disk cache
+        runner.clear_cache(keep_disk=True)
+        n = runner.simulations
+        runner.run(verify=True, **self.POINT)
+        assert runner.simulations == n + 1  # disk record not served

@@ -7,6 +7,11 @@ This exercises the whole stack at once: parser, dependence analysis,
 pattern selection, strength reduction, register allocation, the
 assembler, the functional model, and the LPSU's CIB/LSQ/squash
 machinery.
+
+The loop generators and source templates live in
+:mod:`repro.verify.genloops`, shared with the ``repro verify``
+conformance sweep; this suite adds hypothesis's shrinking and example
+database on top.
 """
 
 import pytest
@@ -14,56 +19,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.lang import compile_source
 from repro.sim import Memory
-from repro.uarch import IO, LPSUConfig, SystemConfig, simulate
+from repro.uarch import IO, SystemConfig, simulate
+from repro.verify.genloops import (A, B, C, DE_SOURCE, LPSU_SWEEP, N,
+                                   om_source, or_loop_body, or_source,
+                                   ua_source, uc_loop_body, uc_source)
 
-A, B, C = 0x100000, 0x180000, 0x200000
-N = 24
-
-LPSUS = (
-    LPSUConfig(),
-    LPSUConfig(lanes=2, lsq_loads=4, lsq_stores=4),
-    LPSUConfig(lanes=8, mem_ports=2, llfus=2),
-    LPSUConfig(inter_lane_forwarding=True),
-)
-
-# -- random expression / statement generators ------------------------------
-
-_BINOPS = ("+", "-", "*", "&", "|", "^")
-
-
-@st.composite
-def _expr(draw, depth=0, vars_=("x", "y")):
-    choice = draw(st.integers(0, 5 if depth < 2 else 2))
-    if choice == 0:
-        return str(draw(st.integers(-40, 40)))
-    if choice == 1:
-        return draw(st.sampled_from(vars_))
-    if choice == 2:
-        return "a[i]"
-    op = draw(st.sampled_from(_BINOPS))
-    left = draw(_expr(depth + 1, vars_))
-    right = draw(_expr(depth + 1, vars_))
-    return "(%s %s %s)" % (left, op, right)
-
-
-@st.composite
-def uc_loop_body(draw):
-    """Statements for an unordered body writing only b[i]/c[i]."""
-    stmts = ["int x = a[i];", "int y = i * 3;"]
-    n = draw(st.integers(1, 4))
-    for k in range(n):
-        e = draw(_expr())
-        if draw(st.booleans()):
-            stmts.append("x = %s;" % e)
-        else:
-            stmts.append("y = %s;" % e)
-    if draw(st.booleans()):
-        cond = draw(_expr())
-        stmts.append("if (%s) { x = x + 1; } else { y = y - 2; }"
-                     % cond)
-    stmts.append("b[i] = x;")
-    stmts.append("c[i] = y;")
-    return "\n        ".join(stmts)
+LPSUS = LPSU_SWEEP
 
 
 class TestUnorderedFuzz:
@@ -72,13 +33,7 @@ class TestUnorderedFuzz:
                          max_size=N))
     @settings(max_examples=25, deadline=None)
     def test_uc_loop_trimodal(self, body, data):
-        src = """
-void k(int* a, int* b, int* c, int n) {
-    #pragma xloops unordered
-    for (int i = 0; i < n; i++) {
-        %s
-    }
-}""" % body
+        src = uc_source(body)
         outs = []
         runs = [(compile_source(src, xloops=False),
                  SystemConfig("io", IO), "traditional"),
@@ -95,36 +50,13 @@ void k(int* a, int* b, int* c, int n) {
         assert all(o == outs[0] for o in outs[1:])
 
 
-@st.composite
-def or_loop_body(draw):
-    """Ordered body with a CIR accumulator, possibly conditional."""
-    update = draw(st.sampled_from((
-        "acc = acc + a[i];",
-        "acc = (acc ^ a[i]) + 1;",
-        "if (a[i] > 0) { acc = acc + a[i]; }",
-        "if ((a[i] & 1) == 0) { acc = acc * 3; } "
-        "else { acc = acc - a[i]; }",
-        "acc = acc + a[i]; acc = acc & 65535;",
-    )))
-    return update
-
-
 class TestOrderedFuzz:
     @given(update=or_loop_body(),
            data=st.lists(st.integers(-50, 50), min_size=N, max_size=N),
            init=st.integers(-10, 10))
     @settings(max_examples=25, deadline=None)
     def test_or_loop_trimodal(self, update, data, init):
-        src = """
-int k(int* a, int* b, int n, int init) {
-    int acc = init;
-    #pragma xloops ordered
-    for (int i = 0; i < n; i++) {
-        %s
-        b[i] = acc;
-    }
-    return acc;
-}""" % update
+        src = or_source(update)
         compiled = compile_source(src)
         assert compiled.loop_kinds()[0].startswith("xloop.or")
         results = []
@@ -151,13 +83,7 @@ class TestMemoryOrderedFuzz:
     def test_om_recurrence_trimodal(self, stride, scale, data):
         # a[i] = a[i-stride] * scale + a[i] -- dependence distance is
         # the fuzzed stride, so squash behaviour varies per example
-        src = """
-void k(int* a, int n, int stride) {
-    #pragma xloops ordered
-    for (int i = stride; i < n; i++) {
-        a[i] = a[i-stride] * %d + a[i];
-    }
-}""" % scale
+        src = om_source(scale)
         compiled = compile_source(src)
         assert compiled.loop_kinds() == ("xloop.om",)
         outs = []
@@ -179,17 +105,7 @@ class TestExitFuzz:
            threshold=st.integers(5, 120))
     @settings(max_examples=20, deadline=None)
     def test_de_loop_trimodal(self, data, threshold):
-        src = """
-int k(int* a, int* b, int n, int limit) {
-    int acc = 0;
-    #pragma xloops ordered
-    for (int i = 0; i < n; i++) {
-        acc = acc + a[i];
-        b[i] = acc;
-        if (acc > limit) { break; }
-    }
-    return acc;
-}"""
+        src = DE_SOURCE
         outs = []
         runs = [(compile_source(src, xloops=False),
                  SystemConfig("io", IO), "traditional")]
@@ -212,15 +128,7 @@ class TestAtomicFuzz:
            incr=st.integers(1, 5))
     @settings(max_examples=15, deadline=None)
     def test_ua_histogram_trimodal(self, data, incr):
-        src = """
-void k(int* d, int* h, int n) {
-    #pragma xloops atomic
-    for (int i = 0; i < n; i++) {
-        int s = d[i];
-        h[s] = h[s] + %d;
-        h[s + 8] = h[s + 8] + 1;
-    }
-}""" % incr
+        src = ua_source(incr)
         outs = []
         runs = [(compile_source(src, xloops=False),
                  SystemConfig("io", IO), "traditional")]

@@ -1,0 +1,63 @@
+"""Differential conformance harness (the ``repro verify`` engine)."""
+
+import pytest
+
+from repro.verify import (ConformanceResult, check_case, check_kernel,
+                          run_conformance)
+from repro.verify.genloops import LPSU_SWEEP, random_cases
+
+#: one representative per dependence pattern + both control extensions
+REPRESENTATIVES = ("rgb2cmyk-uc", "sha-or", "ksack-sm-om", "mm-orm",
+                   "btree-ua", "qsort-uc-db", "ssearch-de")
+
+
+class TestCheckKernel:
+    @pytest.mark.parametrize("name", REPRESENTATIVES)
+    def test_representative_kernels_conform(self, name):
+        res = check_kernel(name, scale="tiny")
+        assert res.ok, res.detail
+        # every sweep config plus the adaptive point actually ran
+        assert res.configs == len(LPSU_SWEEP) + 1
+        assert res.invocations > 0
+        assert res.iterations > 0
+
+    def test_unknown_kernel_is_a_failure_not_a_crash(self):
+        res = check_kernel("no-such-kernel")
+        assert not res.ok
+        assert "no-such-kernel" in res.detail or res.detail
+
+    def test_failure_detail_is_kept(self):
+        res = ConformanceResult(name="x")
+        res.fail("first")
+        res.fail("second")
+        assert not res.ok and res.detail == "first"
+
+
+class TestCheckCase:
+    def test_generated_cases_conform(self):
+        for case in random_cases(seed=7, count=5):
+            res = check_case(case)
+            assert res.ok, "%s: %s" % (res.name, res.detail)
+
+    def test_case_sweep_covers_all_families(self):
+        kinds = set()
+        for case in random_cases(seed=0, count=5):
+            res = check_case(case, sweep=LPSU_SWEEP[:1])
+            assert res.ok, res.detail
+            kinds.update(res.kinds)
+        assert any(k.startswith("xloop.uc") for k in kinds)
+        assert any(k.startswith("xloop.or") for k in kinds)
+        assert "xloop.om" in kinds
+        assert "xloop.ua" in kinds
+        assert any(k.endswith(".de") for k in kinds)
+
+
+class TestRunConformance:
+    def test_subset_sweep_with_progress(self):
+        seen = []
+        results = run_conformance(kernels=["sha-or", "btree-ua"],
+                                  gen=2, seed=3,
+                                  progress=seen.append)
+        assert len(results) == 4 == len(seen)
+        assert all(r.ok for r in results), \
+            [(r.name, r.detail) for r in results if not r.ok]
