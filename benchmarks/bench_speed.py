@@ -1,81 +1,198 @@
-"""Simulator speed bench: wall-time per dependence pattern, and
-cached-vs-cold artifact regeneration.
+"""Simulator speed bench: wall-time per dependence pattern, fast path
+vs slow path, and cached-vs-cold artifact regeneration.
 
-Times one representative point per inter-iteration dependence pattern
-(uc / or / om / ua / db), each cold (fresh memo, compile included, no
-disk cache), then a full Table II regeneration cold vs warm.  The
-warm pass must be served entirely from the persistent result cache --
-it is asserted to complete without invoking ``SystemSimulator``.
+Three sections, emitted as a stable-schema JSON report
+(``BENCH_speed.json`` at the repository root):
 
-Emits a machine-readable JSON report on stdout (one line prefixed
-``BENCH_SPEED_JSON``), also available standalone via
-``PYTHONPATH=src python benchmarks/bench_speed.py``.
+``patterns``
+    One representative point per inter-iteration dependence pattern
+    (uc / or / om / ua / db), timed fully cold (fresh memo, compile
+    included, no disk cache) with the fast path on and off, plus a
+    warm pass served from the persistent result cache.  Measured at
+    large scale so steady-state simulation, not the fixed compile +
+    fusion-codegen cost (~10ms), dominates the wall time.
+
+``long_kernels``
+    The long-running kernels the fast path is asked to carry: cold
+    fast-vs-slow wall time at large scale.  The acceptance bar for the
+    fast path is >=3x on at least two of these.
+
+``table2``
+    A full Table II regeneration cold vs warm.  The warm pass must be
+    served entirely from the persistent result cache -- it is asserted
+    to complete without invoking ``SystemSimulator``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py            # write baseline
+    PYTHONPATH=src python benchmarks/bench_speed.py --check    # CI regression gate
+
+``--check`` re-measures and fails (exit 1) if any cold wall-time
+regressed more than 25% against the committed ``BENCH_speed.json``.
 """
 
+import argparse
 import json
+import os
+import sys
 import tempfile
 import time
 
 from repro.eval import build_table2, diskcache
-from repro.eval.runner import clear_cache, run
 from repro.eval import runner
+from repro.eval.runner import clear_cache, run
+
+#: schema version of BENCH_speed.json; bump on layout changes
+SCHEMA = 2
+
+#: committed baseline location (repository root)
+REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_speed.json")
 
 #: one kernel per inter-iteration dependence pattern (paper Table I)
 PATTERN_POINTS = {
-    "uc": ("sgemm-uc", "io+x", "specialized"),
-    "or": ("adpcm-or", "io+x", "specialized"),
-    "om": ("dynprog-om", "io+x", "specialized"),
-    "ua": ("btree-ua", "io+x", "specialized"),
-    "db": ("qsort-uc-db", "io+x", "specialized"),
+    "uc": ("sgemm-uc", "io+x", "specialized", "large"),
+    "or": ("adpcm-or", "io+x", "specialized", "large"),
+    "om": ("dynprog-om", "io+x", "specialized", "large"),
+    "ua": ("btree-ua", "io+x", "specialized", "large"),
+    "db": ("qsort-uc-db", "io+x", "specialized", "large"),
 }
 
+#: long-running points the fast path must carry (>=3x on >=2 of them);
+#: traditional io runs are dominated by the fused-superblock GPP model,
+#: hsort-ua's specialized run by LPSU commit-stall parking
+LONG_POINTS = {
+    "sgemm-uc": ("io", "traditional", "large"),
+    "rgb2cmyk-uc": ("io", "traditional", "large"),
+    "hsort-ua": ("io", "traditional", "large"),
+    "viterbi-uc": ("io", "traditional", "large"),
+}
 
-def _cold_point(kernel, config, mode, scale):
-    """Wall time of one fully cold point (compile + simulate)."""
-    clear_cache(keep_disk=True)
+#: cold regression tolerance for --check (fraction over baseline)
+TOLERANCE = 0.25
+
+#: the two kernels the nightly CI smoke job re-measures (--smoke)
+SMOKE_KERNELS = ("rgb2cmyk-uc", "viterbi-uc")
+
+
+def _cold(kernel, config, mode, scale, fast, repeats=3):
+    """Best-of-*repeats* wall time of a fully cold point (compile +
+    simulate, no caches)."""
+    best = None
+    for _ in range(repeats):
+        clear_cache(keep_disk=True)
+        t0 = time.perf_counter()
+        run(kernel, config, mode=mode, scale=scale,
+            use_disk_cache=False, fast=fast)
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best
+
+
+def _warm(kernel, config, mode, scale):
+    """Wall time of the same point served from the disk cache."""
+    clear_cache(keep_disk=True)                     # force a real run...
+    run(kernel, config, mode=mode, scale=scale)     # ...that stores to disk
+    clear_cache(keep_disk=True)                     # drop the memo
     t0 = time.perf_counter()
-    run(kernel, config, mode=mode, scale=scale, use_disk_cache=False)
+    run(kernel, config, mode=mode, scale=scale)     # disk hit
     return time.perf_counter() - t0
 
 
-def speed_report(scale="small"):
-    report = {"scale": scale, "patterns": {}, "table2": {}}
+def speed_report(scale="small", smoke=False):
+    """Measure every section (or, with *smoke*, just the two nightly
+    smoke kernels) and return the report dict."""
+    report = {"schema": SCHEMA, "scale": scale, "patterns": {},
+              "long_kernels": {}, "table2": {}}
+    pattern_points = {} if smoke else PATTERN_POINTS
+    long_points = {k: v for k, v in LONG_POINTS.items()
+                   if not smoke or k in SMOKE_KERNELS}
 
-    for pattern, (kernel, config, mode) in PATTERN_POINTS.items():
-        wall = _cold_point(kernel, config, mode, scale)
-        report["patterns"][pattern] = {
-            "kernel": kernel, "config": config, "mode": mode,
-            "cold_seconds": round(wall, 4)}
-
-    # Table II: cold (fresh cache dir) vs warm (served from disk)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         saved = diskcache._dir_override
+        saved_env = os.environ.get(diskcache.ENV_CACHE_DIR)
         diskcache.configure(cache_dir=tmp)
         try:
-            clear_cache(keep_disk=True)
-            t0 = time.perf_counter()
-            build_table2(scale=scale)
-            cold = time.perf_counter() - t0
+            for pattern, (kernel, config, mode,
+                          kscale) in pattern_points.items():
+                fast = _cold(kernel, config, mode, kscale, True)
+                slow = _cold(kernel, config, mode, kscale, False)
+                warm = _warm(kernel, config, mode, kscale)
+                report["patterns"][pattern] = {
+                    "kernel": kernel, "config": config, "mode": mode,
+                    "scale": kscale,
+                    "cold_fast_seconds": round(fast, 4),
+                    "cold_slow_seconds": round(slow, 4),
+                    "warm_seconds": round(warm, 4),
+                    "speedup": round(slow / fast, 2)}
 
-            clear_cache(keep_disk=True)
-            sims_before = runner.simulations
-            t0 = time.perf_counter()
-            build_table2(scale=scale)
-            warm = time.perf_counter() - t0
-            warm_simulations = runner.simulations - sims_before
-            # the warm pass must never touch the simulator
-            assert warm_simulations == 0, warm_simulations
+            for kernel, (config, mode, kscale) in long_points.items():
+                fast = _cold(kernel, config, mode, kscale, True)
+                slow = _cold(kernel, config, mode, kscale, False)
+                report["long_kernels"][kernel] = {
+                    "config": config, "mode": mode, "scale": kscale,
+                    "cold_fast_seconds": round(fast, 4),
+                    "cold_slow_seconds": round(slow, 4),
+                    "speedup": round(slow / fast, 2)}
+
+            if not smoke:
+                # Table II: cold (fresh cache dir) vs warm (disk-served)
+                clear_cache(keep_disk=True)
+                t0 = time.perf_counter()
+                build_table2(scale=scale)
+                cold = time.perf_counter() - t0
+
+                clear_cache(keep_disk=True)
+                sims_before = runner.simulations
+                t0 = time.perf_counter()
+                build_table2(scale=scale)
+                warm = time.perf_counter() - t0
+                warm_simulations = runner.simulations - sims_before
+                # the warm pass must never touch the simulator
+                assert warm_simulations == 0, warm_simulations
         finally:
             diskcache._dir_override = saved
+            if saved_env is None:
+                os.environ.pop(diskcache.ENV_CACHE_DIR, None)
+            else:
+                os.environ[diskcache.ENV_CACHE_DIR] = saved_env
             clear_cache(keep_disk=True)
 
-    report["table2"] = {
-        "cold_seconds": round(cold, 3),
-        "warm_seconds": round(warm, 3),
-        "warm_over_cold": round(warm / cold, 4) if cold else None,
-        "warm_simulator_invocations": warm_simulations,
-    }
+    if not smoke:
+        report["table2"] = {
+            "cold_seconds": round(cold, 3),
+            "warm_seconds": round(warm, 3),
+            "warm_over_cold": round(warm / cold, 4) if cold else None,
+            "warm_simulator_invocations": warm_simulations,
+        }
     return report
+
+
+def _check(report, baseline):
+    """Compare *report* against *baseline*; returns a list of
+    regression strings (empty = pass).  Only keys present in both are
+    compared, so adding or renaming points never fails the gate."""
+    problems = []
+
+    def cmp(label, now, then):
+        if then and now > then * (1 + TOLERANCE):
+            problems.append(
+                "%s: cold %.3fs vs baseline %.3fs (+%d%%)"
+                % (label, now, then, round(100 * (now / then - 1))))
+
+    for section in ("patterns", "long_kernels"):
+        base = baseline.get(section, {})
+        for key, entry in report.get(section, {}).items():
+            b = base.get(key)
+            if b is None:
+                continue
+            cmp("%s/%s" % (section, key),
+                entry["cold_fast_seconds"], b.get("cold_fast_seconds"))
+    now = report.get("table2", {}).get("cold_seconds")
+    if now is not None:
+        cmp("table2", now, baseline.get("table2", {}).get("cold_seconds"))
+    return problems
 
 
 def test_speed(benchmark):
@@ -85,5 +202,56 @@ def test_speed(benchmark):
     print("BENCH_SPEED_JSON " + json.dumps(report))
 
 
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", default="small",
+                    choices=("tiny", "small", "large"),
+                    help="table2 workload scale (default small; "
+                         "pattern and long-kernel points always run "
+                         "at their own fixed scale)")
+    ap.add_argument("--check", action="store_true",
+                    help="compare against the committed "
+                         "BENCH_speed.json instead of overwriting it; "
+                         "exit 1 on a >25%% cold regression")
+    ap.add_argument("--smoke", action="store_true",
+                    help="nightly CI mode: only the %s long-kernel "
+                         "points, no patterns or table2 section"
+                         % (SMOKE_KERNELS,))
+    ap.add_argument("--output", default=REPORT_PATH, metavar="FILE",
+                    help="report destination (default repo root)")
+    args = ap.parse_args(argv)
+
+    report = speed_report(scale=args.scale, smoke=args.smoke)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    if args.check:
+        try:
+            with open(args.output) as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as exc:
+            print("no usable baseline at %s (%s); nothing to check"
+                  % (args.output, exc), file=sys.stderr)
+            return 0
+        problems = _check(report, baseline)
+        for p in problems:
+            print("REGRESSION " + p, file=sys.stderr)
+        if problems:
+            return 1
+        print("within %d%% of the committed baseline"
+              % round(TOLERANCE * 100))
+        return 0
+
+    if args.smoke:
+        # a smoke report is partial by design: never let it replace
+        # the full committed baseline
+        print("smoke report not written (use --check to gate on it)")
+        return 0
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s" % args.output)
+    return 0
+
+
 if __name__ == "__main__":
-    print(json.dumps(speed_report(), indent=2))
+    sys.exit(main())

@@ -30,6 +30,19 @@ def _add_platform_args(p):
                    help="execution mode (default specialized)")
 
 
+def _add_fast_arg(p):
+    p.add_argument("--no-fast", action="store_true",
+                   help="disable the verified simulator fast path "
+                        "(superblock fusion + schedule memoization); "
+                        "results are bit-identical either way")
+
+
+def _apply_fast_arg(args):
+    if getattr(args, "no_fast", False):
+        from .eval import runner
+        runner.set_default_fast(False)
+
+
 def _add_cache_args(p):
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="fan simulation points across N worker "
@@ -73,6 +86,7 @@ def build_parser():
     p.add_argument("args", nargs="*", type=lambda v: int(v, 0),
                    help="integer arguments")
     _add_platform_args(p)
+    _add_fast_arg(p)
 
     sub.add_parser("kernels", help="list bundled application kernels")
 
@@ -85,6 +99,7 @@ def build_parser():
                         "the first specialized xloop")
     p.add_argument("--trace-width", type=int, default=120)
     _add_platform_args(p)
+    _add_fast_arg(p)
 
     p = sub.add_parser("table", help="regenerate a paper artifact")
     p.add_argument("which",
@@ -97,6 +112,7 @@ def build_parser():
     p.add_argument("--json", metavar="FILE",
                    help="also write the raw data as JSON")
     _add_cache_args(p)
+    _add_fast_arg(p)
 
     p = sub.add_parser("sweep",
                        help="run a batch of simulation points "
@@ -114,6 +130,7 @@ def build_parser():
     p.add_argument("--quiet", action="store_true",
                    help="omit the per-point wall-time table")
     _add_cache_args(p)
+    _add_fast_arg(p)
 
     p = sub.add_parser("verify",
                        help="differential conformance: traditional vs "
@@ -132,6 +149,25 @@ def build_parser():
     p.add_argument("--gen", type=int, default=0, metavar="N",
                    help="also check N randomly generated annotated "
                         "loops (default 0)")
+    p.add_argument("--fast-slow", action="store_true",
+                   help="instead check the simulator fast path "
+                        "(fusion + schedule memoization) bit-identical "
+                        "to the slow path: cycles, events, stats, and "
+                        "final memory")
+
+    p = sub.add_parser("cache",
+                       help="inspect, clear, or prune the persistent "
+                            "result cache")
+    p.add_argument("action", choices=("stats", "clear", "prune"),
+                   help="stats: show record count and size; clear: "
+                        "delete everything; prune: drop the oldest "
+                        "records down to --max-size")
+    p.add_argument("--max-size", metavar="SIZE",
+                   help="prune target, e.g. 256M, 2G, or bytes "
+                        "(required for 'prune')")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache location (default ~/.cache/repro or "
+                        "$REPRO_CACHE_DIR)")
 
     sub.add_parser("isa", help="print Table I")
     return parser
@@ -188,7 +224,8 @@ def cmd_run(args):
               % args.config, file=sys.stderr)
         return 2
     result = simulate(compiled.program, config, entry=args.entry,
-                      args=args.args, mode=args.mode)
+                      args=args.args, mode=args.mode,
+                      fast=not args.no_fast)
     print("cycles:        %d" % result.cycles)
     print("instructions:  %d gpp + %d lpsu"
           % (result.gpp_instrs, result.lpsu_instrs))
@@ -214,6 +251,7 @@ def cmd_kernels(_args):
 
 def cmd_kernel(args):
     from .eval.runner import baseline_run, run
+    _apply_fast_arg(args)
     result = run(args.name, args.config, mode=args.mode,
                  scale=args.scale)
     base = baseline_run(args.name, args.config, scale=args.scale)
@@ -256,6 +294,7 @@ def cmd_table(args):
     from . import eval as ev
     from .eval import export
     _apply_cache_args(args)
+    _apply_fast_arg(args)
     kw = {"scale": args.scale, "jobs": args.jobs}
     if args.kernels:
         kw["kernels"] = args.kernels
@@ -306,6 +345,7 @@ def cmd_sweep(args):
     from .eval import parallel
     from .eval.figures import FIG9_KERNELS, FIG10_KERNELS
     _apply_cache_args(args)
+    _apply_fast_arg(args)
     kernels = args.kernels or None
     scale, seed = args.scale, args.seed
     sets = {
@@ -331,13 +371,16 @@ def cmd_sweep(args):
 
 
 def cmd_verify(args):
-    from .verify import run_conformance
+    from .verify import run_conformance, run_fast_slow
     kernels = args.kernels or None
     if args.all:
         kernels = None
 
     def progress(res):
-        if res.ok:
+        if res.ok and args.fast_slow:
+            print("ok   %-16s %-14s %3d points bit-identical"
+                  % (res.name, ",".join(res.kinds), res.configs))
+        elif res.ok:
             print("ok   %-16s %-14s %3d configs  %5d iterations  "
                   "%4d squashes"
                   % (res.name, ",".join(res.kinds), res.configs,
@@ -345,13 +388,68 @@ def cmd_verify(args):
         else:
             print("FAIL %-16s %s" % (res.name, res.detail))
 
-    results = run_conformance(kernels=kernels, gen=args.gen,
-                              seed=args.seed, scale=args.scale,
-                              progress=progress)
+    harness = run_fast_slow if args.fast_slow else run_conformance
+    results = harness(kernels=kernels, gen=args.gen,
+                      seed=args.seed, scale=args.scale,
+                      progress=progress)
     bad = [r for r in results if not r.ok]
     print("%d loop%s checked, %d failed"
           % (len(results), "s" if len(results) != 1 else "", len(bad)))
     return 1 if bad else 0
+
+
+def _parse_size(text):
+    """``256M``/``2G``/``4096`` -> bytes (suffixes K/M/G, powers of
+    1024)."""
+    s = text.strip().upper()
+    factor = 1
+    for suffix, mult in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if s.endswith(suffix):
+            s = s[:-1]
+            factor = mult
+            break
+    return int(float(s) * factor)
+
+
+def _fmt_size(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return ("%d %s" % (n, unit) if unit == "B"
+                    else "%.1f %s" % (n, unit))
+        n /= 1024.0
+
+
+def cmd_cache(args):
+    from .eval import diskcache
+    if args.cache_dir:
+        diskcache.configure(cache_dir=args.cache_dir)
+    if args.action == "stats":
+        st = diskcache.disk_stats()
+        print("cache dir: %s" % st["dir"])
+        print("records:   %d" % st["records"])
+        print("size:      %s" % _fmt_size(st["bytes"]))
+        return 0
+    if args.action == "clear":
+        removed = diskcache.clear()
+        print("removed %d record(s)" % removed)
+        return 0
+    # prune
+    if not args.max_size:
+        print("error: prune requires --max-size (e.g. --max-size 256M)",
+              file=sys.stderr)
+        return 2
+    try:
+        budget = _parse_size(args.max_size)
+    except ValueError:
+        print("error: unparseable --max-size %r" % args.max_size,
+              file=sys.stderr)
+        return 2
+    removed, freed = diskcache.prune(budget)
+    st = diskcache.disk_stats()
+    print("removed %d record(s), freed %s; now %d record(s), %s"
+          % (removed, _fmt_size(freed), st["records"],
+             _fmt_size(st["bytes"])))
+    return 0
 
 
 def cmd_isa(_args):
@@ -373,6 +471,7 @@ _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
     "sweep": cmd_sweep, "verify": cmd_verify, "isa": cmd_isa,
+    "cache": cmd_cache,
 }
 
 

@@ -84,9 +84,44 @@ def cache_dir():
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
 
 
+#: memoized fingerprint of the package's own source code
+_code_fp = None
+
+
+def code_fingerprint():
+    """SHA-256 over every ``.py`` file in the installed ``repro``
+    package (path + contents, in sorted order).
+
+    Folded into every :func:`cache_key`, this guarantees a result
+    simulated by *older code* is never served after any source change
+    -- even an unreleased, unversioned edit during development.  The
+    version string alone only protects across releases."""
+    global _code_fp
+    if _code_fp is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                h.update(os.path.relpath(path, root).encode("utf-8"))
+                try:
+                    with open(path, "rb") as f:
+                        h.update(f.read())
+                except OSError:
+                    pass
+        _code_fp = h.hexdigest()
+    return _code_fp
+
+
 def cache_key(*parts):
-    """SHA-256 fingerprint of the ``repr`` of *parts*."""
-    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+    """SHA-256 fingerprint of the ``repr`` of *parts*, salted with
+    :func:`code_fingerprint`."""
+    payload = code_fingerprint() + repr(parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _record_path(key):
@@ -135,6 +170,57 @@ def store(key, obj):
         return False
     stats["writes"] += 1
     return True
+
+
+def _iter_records():
+    """Yield ``(path, size, mtime)`` for every record on disk."""
+    root = cache_dir()
+    if not os.path.isdir(root):
+        return
+    for sub in sorted(os.listdir(root)):
+        subdir = os.path.join(root, sub)
+        if not (len(sub) == 2 and os.path.isdir(subdir)):
+            continue
+        for name in sorted(os.listdir(subdir)):
+            if not (name.endswith(".pkl") or name.endswith(".tmp")):
+                continue
+            path = os.path.join(subdir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            yield path, st.st_size, st.st_mtime
+
+
+def disk_stats():
+    """Totals for the on-disk cache: record count and byte size."""
+    records = 0
+    total = 0
+    for _path, size, _mtime in _iter_records():
+        records += 1
+        total += size
+    return {"dir": cache_dir(), "records": records, "bytes": total}
+
+
+def prune(max_bytes):
+    """Shrink the cache to at most *max_bytes* by deleting the
+    least-recently-touched records first (loads don't update mtime, so
+    this approximates oldest-first).  Returns ``(removed, freed)``."""
+    entries = sorted(_iter_records(), key=lambda e: e[2], reverse=True)
+    kept = 0
+    removed = 0
+    freed = 0
+    for path, size, _mtime in entries:
+        if kept + size <= max_bytes:
+            kept += size
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        removed += 1
+        freed += size
+    return removed, freed
 
 
 def clear():

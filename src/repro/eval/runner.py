@@ -8,6 +8,7 @@ or the next one -- skips simulation entirely."""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
@@ -71,6 +72,32 @@ def _compiled(kernel_name, binary, xi_enabled, schedule_cirs=False):
 
 _RESULTS: Dict[tuple, KernelRun] = {}
 
+#: process-wide default for :func:`run`'s *fast* parameter.  ``None``
+#: means "not decided yet": the first resolution consults
+#: ``$REPRO_NO_FAST`` so sweep worker processes inherit the CLI's
+#: ``--no-fast`` without explicit plumbing.
+_DEFAULT_FAST: Optional[bool] = None
+
+
+def default_fast():
+    """The *fast* value :func:`run` uses when none is passed."""
+    global _DEFAULT_FAST
+    if _DEFAULT_FAST is None:
+        _DEFAULT_FAST = not os.environ.get("REPRO_NO_FAST")
+    return _DEFAULT_FAST
+
+
+def set_default_fast(value):
+    """Override the process-wide fast-path default (CLI ``--no-fast``).
+    Also mirrors the choice into ``$REPRO_NO_FAST`` so worker
+    processes spawned later agree."""
+    global _DEFAULT_FAST
+    _DEFAULT_FAST = bool(value)
+    if value:
+        os.environ.pop("REPRO_NO_FAST", None)
+    else:
+        os.environ["REPRO_NO_FAST"] = "1"
+
 #: count of actual :class:`SystemSimulator` invocations in this
 #: process -- cache hits (memo or disk) don't bump it, so callers can
 #: tell a served point from a simulated one
@@ -97,12 +124,20 @@ def _fingerprint(spec, sysconfig, mode, binary, xi_enabled, scale,
 
 def run(kernel_name, config_name, mode="traditional", binary="xloops",
         xi_enabled=True, scale="small", seed=0, check=True,
-        schedule_cirs=False, use_disk_cache=True, verify=False):
+        schedule_cirs=False, use_disk_cache=True, verify=False,
+        fast=None):
     """Simulate one (kernel, platform, mode) point.
 
     Results are memoized in-process and persisted to the disk cache;
     either hit returns without touching the simulator.  *config_name*
     is a configuration name or a :class:`SystemConfig` instance.
+
+    *fast* enables the verified fast path (superblock fusion plus
+    iteration-schedule memoization); ``None`` defers to
+    :func:`default_fast`.  Fast and slow runs are bit-identical --
+    ``repro verify --fast-slow`` enforces this -- so the cache keys
+    deliberately do not include it; ``fast=False`` is an escape hatch
+    for debugging the fast path itself.
 
     *check* runs the workload's architectural result check after the
     simulation.  *verify* additionally runs every specialized xloop
@@ -114,6 +149,8 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
     verified runs are never cache-served and never pollute the cache.
     """
     global simulations
+    if fast is None:
+        fast = default_fast()
     key = (kernel_name, config_name, mode, binary, xi_enabled, scale,
            seed, schedule_cirs)
     if not verify:
@@ -138,7 +175,7 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
     mem = Memory()
     args = workload.apply(mem)
     sim = SystemSimulator(compiled.program, sysconfig, mem=mem,
-                          verify=verify)
+                          verify=verify, fast=fast)
     simulations += 1
     result = sim.run(entry=spec.entry, args=args, mode=mode)
     if check:

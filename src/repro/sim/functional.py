@@ -491,10 +491,29 @@ class FunctionalCore:
         info.addr = addr
         return info
 
-    def run(self, max_steps=50_000_000):
-        """Run to completion; returns the dynamic instruction count."""
+    def run(self, max_steps=50_000_000, fast=True):
+        """Run to completion; returns the dynamic instruction count.
+
+        With *fast* (the default) straight-line runs execute through
+        fused superblock closures (:mod:`repro.sim.fusion`) — one
+        dispatch per basic block; unknown pcs fall back to
+        :meth:`step`.  Architectural results are identical either way.
+        """
         steps0 = self.icount
         step = self.step
+        if fast:
+            from .fusion import fused_blocks
+            get = fused_blocks(self.program, "func").get
+            while not self.halted:
+                blk = get(self.pc)
+                if blk is None:
+                    step()
+                elif blk(self) == HALT_PC:
+                    self.halted = True
+                if self.icount - steps0 > max_steps:
+                    raise SimError("exceeded %d steps (livelock?)"
+                                   % max_steps)
+            return self.icount - steps0
         while not self.halted:
             step()
             if self.icount - steps0 > max_steps:
@@ -507,9 +526,9 @@ class FunctionalCore:
 
 
 def run_program(program, entry="main", args=(), mem=None,
-                max_steps=50_000_000):
+                max_steps=50_000_000, fast=True):
     """One-shot helper: call *entry* with *args*; returns the core."""
     core = FunctionalCore(program, mem)
     core.setup_call(entry, args)
-    core.run(max_steps)
+    core.run(max_steps, fast=fast)
     return core

@@ -1,0 +1,605 @@
+"""Basic-block fusion: superblock closures over the decoded program.
+
+:func:`~repro.sim.functional.decode_program` removed per-instruction
+*decode* work; this module removes per-instruction *dispatch* work.  At
+first use it partitions the text section into basic blocks (straight
+-line runs ending at a control instruction or a join point) and
+``exec``-compiles one Python function per block that inlines the
+functional semantics of every instruction in the block — one call per
+block instead of one table lookup + closure call per instruction.
+
+Three flavours are generated, sharing the block layout:
+
+``func``
+    ``blk(core) -> next_pc``: architectural state only.  Used by
+    :meth:`FunctionalCore.run` and the LPSU-free portions of system
+    simulation.
+``io``
+    ``blk(core, timing, events) -> next_pc``: additionally inlines the
+    :class:`~repro.uarch.inorder.InOrderTiming` scoreboard update and
+    energy-event accounting for the whole block (static event counts
+    are folded into one batched update per block).
+``ooo``
+    ``blk(core, timing) -> next_pc``: inlines functional semantics and
+    feeds the out-of-order model through its
+    :meth:`~repro.uarch.ooo.OOOTiming.consume_op` entry point (the OOO
+    window state is too dynamic to fold statically).
+
+Every generated function is an exact behavioural replica of the
+step-at-a-time path: same architectural updates in the same order, same
+cache/predictor access sequence, same stall and energy accounting.
+``repro verify --fast-slow`` and the tier-1 suite enforce this
+bit-for-bit.  Instructions the generator does not recognize are simply
+left out of any block; the drivers fall back to single-stepping them
+through the decoded-handler path, so unknown ops degrade gracefully
+instead of diverging.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FU, Fmt
+from .functional import (_ALU_I, _BRANCH, _LOAD_SIZE, _STORE_SIZE, _fp_div,
+                         _muldiv)
+from .memory import bits_to_f32, f32_to_bits, to_s32, to_u32
+
+#: 0xFFFFFFFF as a decimal literal for emitted source
+_M = "4294967295"
+
+
+def _fsqrt(a):
+    fa = bits_to_f32(a)
+    return f32_to_bits(fa ** 0.5) if fa >= 0.0 else 0x7FC00000
+
+
+# ---------------------------------------------------------------------------
+# per-mnemonic expression templates ({A}/{B} are register value exprs);
+# each mirrors the corresponding decode_instr handler exactly
+# ---------------------------------------------------------------------------
+
+_ALU_R_EXPR = {
+    "add": "({A} + {B})",
+    "addu.xi": "({A} + {B})",
+    "sub": "({A} - {B})",
+    "and": "({A} & {B})",
+    "or": "({A} | {B})",
+    "xor": "({A} ^ {B})",
+    "sll": "({A} << ({B} & 31))",
+    "srl": "({A} >> ({B} & 31))",
+    "sra": "(s32({A}) >> ({B} & 31))",
+    "slt": "(1 if s32({A}) < s32({B}) else 0)",
+    "sltu": "(1 if {A} < {B} else 0)",
+}
+
+_FP_R_EXPR = {
+    "fadd.s": "f2b(b2f({A}) + b2f({B}))",
+    "fsub.s": "f2b(b2f({A}) - b2f({B}))",
+    "fmul.s": "f2b(b2f({A}) * b2f({B}))",
+    "fdiv.s": "fdivb({A}, {B})",
+    "fmin.s": "f2b(min(b2f({A}), b2f({B})))",
+    "fmax.s": "f2b(max(b2f({A}), b2f({B})))",
+    "flt.s": "(1 if b2f({A}) < b2f({B}) else 0)",
+    "fle.s": "(1 if b2f({A}) <= b2f({B}) else 0)",
+    "feq.s": "(1 if b2f({A}) == b2f({B}) else 0)",
+}
+
+_MULDIV_MNEMONICS = ("mul", "mulh", "div", "divu", "rem", "remu")
+
+_R2_EXPR = {
+    "fcvt.s.w": "f2b(float(s32({A})))",
+    "fcvt.w.s": "int(b2f({A}))",
+    "fsqrt.s": "fsqrtb({A})",
+}
+
+_BR_EXPR = {
+    "beq": "{A} == {B}",
+    "bne": "{A} != {B}",
+    "blt": "s32({A}) < s32({B})",
+    "bge": "s32({A}) >= s32({B})",
+    "bltu": "{A} < {B}",
+    "bgeu": "{A} >= {B}",
+}
+
+
+def _alu_i_expr(m, a, imm):
+    if m == "addi" or m == "addiu.xi":
+        return "(%s + %d)" % (a, imm)
+    if m == "andi":
+        return "(%s & %d)" % (a, to_u32(imm))
+    if m == "ori":
+        return "(%s | %d)" % (a, to_u32(imm))
+    if m == "xori":
+        return "(%s ^ %d)" % (a, to_u32(imm))
+    if m == "slti":
+        return "(1 if s32(%s) < %d else 0)" % (a, imm)
+    if m == "sltiu":
+        return "(1 if %s < %d else 0)" % (a, to_u32(imm))
+    if m == "slli":
+        return "(%s << %d)" % (a, imm & 31)
+    if m == "srli":
+        return "(%s >> %d)" % (a, imm & 31)
+    if m == "srai":
+        return "(s32(%s) >> %d)" % (a, imm & 31)
+    return None
+
+
+def emittable(instr):
+    """Can this instruction be inlined into a fused block?"""
+    op = instr.op
+    fmt = op.fmt
+    m = op.mnemonic
+    if fmt == Fmt.R or fmt == Fmt.XI_R:
+        return (m in _ALU_R_EXPR or m in _FP_R_EXPR
+                or m in _MULDIV_MNEMONICS)
+    if fmt == Fmt.I or fmt == Fmt.I_SHIFT or fmt == Fmt.XI_I:
+        return m in _ALU_I
+    if fmt == Fmt.R2:
+        return m in _R2_EXPR
+    if fmt == Fmt.LOAD:
+        return m in _LOAD_SIZE
+    if fmt == Fmt.STORE:
+        return m in _STORE_SIZE
+    if fmt == Fmt.BRANCH:
+        return m in _BRANCH
+    return fmt in (Fmt.AMO, Fmt.XLOOP, Fmt.JAL, Fmt.JALR, Fmt.LUI,
+                   Fmt.NONE)
+
+
+# ---------------------------------------------------------------------------
+# block layout
+# ---------------------------------------------------------------------------
+
+def block_runs(program, break_pcs=frozenset()):
+    """Partition the text section into fusable straight-line runs.
+
+    Returns a list of index lists.  A run starts at every join point
+    (program entry, control-flow target, post-control fall-through,
+    symbol, and every pc in *break_pcs* — the system simulator passes
+    xloop pcs so the dispatch check happens between blocks) and ends at
+    the first control instruction.  Unrecognized instructions belong to
+    no run; the drivers single-step them.
+    """
+    instrs = program.instrs
+    n = len(instrs)
+    base = program.text_base
+    leaders = set()
+    if n:
+        leaders.add(0)
+    for i, ins in enumerate(instrs):
+        op = ins.op
+        if op.is_branch or op.is_xloop or op.is_jump:
+            if i + 1 < n:
+                leaders.add(i + 1)
+            if op.fmt != Fmt.JALR:
+                t = ins.pc + ins.imm
+                if not t & 3:
+                    ti = (t - base) >> 2
+                    if 0 <= ti < n:
+                        leaders.add(ti)
+    for a in program.symbols.values():
+        if not a & 3:
+            ti = (a - base) >> 2
+            if 0 <= ti < n:
+                leaders.add(ti)
+    for pc in break_pcs:
+        ti = (pc - base) >> 2
+        if 0 <= ti < n:
+            leaders.add(ti)
+
+    runs = []
+    cur = []
+    for i in range(n):
+        if i in leaders and cur:
+            runs.append(cur)
+            cur = []
+        ins = instrs[i]
+        if not emittable(ins):
+            if cur:
+                runs.append(cur)
+                cur = []
+            continue
+        cur.append(i)
+        op = ins.op
+        if op.is_branch or op.is_xloop or op.is_jump:
+            runs.append(cur)
+            cur = []
+    if cur:
+        runs.append(cur)
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# code emission
+# ---------------------------------------------------------------------------
+
+def _sem_value_expr(ins):
+    """Value expression for register-writing compute ops, or None."""
+    op = ins.op
+    m = op.mnemonic
+    fmt = op.fmt
+    A = "R[%d]" % ins.rs1
+    B = "R[%d]" % ins.rs2
+    if fmt == Fmt.R or fmt == Fmt.XI_R:
+        t = _ALU_R_EXPR.get(m) or _FP_R_EXPR.get(m)
+        if t is not None:
+            return t.format(A=A, B=B)
+        return "md(%r, %s, %s)" % (m, A, B)
+    if fmt == Fmt.I or fmt == Fmt.I_SHIFT or fmt == Fmt.XI_I:
+        return _alu_i_expr(m, A, ins.imm)
+    if fmt == Fmt.R2:
+        return _R2_EXPR[m].format(A=A)
+    if fmt == Fmt.LUI:
+        return "%d" % to_u32(ins.imm << 12)
+    return None
+
+
+def _emit_sem(out, ins):
+    """Append the pure functional statements for a non-control *ins*.
+
+    Mem ops leave the access address in ``_a``.  Mirrors the
+    ``decode_instr`` handlers: compute ops with rd == x0 are no-ops
+    except R2 (evaluated for exceptions, like the slow path)."""
+    op = ins.op
+    fmt = op.fmt
+    m = op.mnemonic
+    rd = ins.rd
+    if fmt == Fmt.LOAD:
+        size, signed = _LOAD_SIZE[m]
+        out.append("_a = (R[%d] + %d) & %s" % (ins.rs1, ins.imm, _M))
+        if rd:
+            out.append("R[%d] = mem.load(_a, %d, %r)" % (rd, size, signed))
+        else:
+            out.append("mem.load(_a, %d, %r)" % (size, signed))
+        return
+    if fmt == Fmt.STORE:
+        out.append("_a = (R[%d] + %d) & %s" % (ins.rs1, ins.imm, _M))
+        out.append("mem.store(_a, %d, R[%d])"
+                   % (_STORE_SIZE[m], ins.rs2))
+        return
+    if fmt == Fmt.AMO:
+        out.append("_a = R[%d]" % ins.rs1)
+        if rd:
+            out.append("R[%d] = mem.amo(%r, _a, R[%d])" % (rd, m, ins.rs2))
+        else:
+            out.append("mem.amo(%r, _a, R[%d])" % (m, ins.rs2))
+        return
+    if fmt == Fmt.NONE:
+        return
+    expr = _sem_value_expr(ins)
+    if rd:
+        if fmt == Fmt.LUI:
+            out.append("R[%d] = %s" % (rd, expr))
+        else:
+            out.append("R[%d] = %s & %s" % (rd, expr, _M))
+    elif fmt == Fmt.R2:
+        out.append(expr)  # may raise (fcvt.w.s on NaN), like slow path
+
+
+def _ctrl_of(ins):
+    """Terminator description for a control *ins*.
+
+    ``("cond", cond_expr, target, fallthrough)`` for branches/xloops,
+    ``("jump", target_expr, link_lines)`` for jal/jalr, None otherwise.
+    """
+    op = ins.op
+    fmt = op.fmt
+    pc = ins.pc
+    A = "R[%d]" % ins.rs1
+    B = "R[%d]" % ins.rs2
+    if fmt == Fmt.BRANCH:
+        cond = _BR_EXPR[op.mnemonic].format(A=A, B=B)
+        return ("cond", cond, pc + ins.imm, pc + 4)
+    if fmt == Fmt.XLOOP:
+        return ("cond", "s32(%s) < s32(%s)" % (A, B), pc + ins.imm, pc + 4)
+    if fmt == Fmt.JAL:
+        link = []
+        if ins.rd:
+            link.append("R[%d] = %d" % (ins.rd, to_u32(pc + 4)))
+        return ("jump", "%d" % (pc + ins.imm), link)
+    if fmt == Fmt.JALR:
+        # target is computed before the link write, like decode_instr
+        link = ["_t = (R[%d] + %d) & 4294967294" % (ins.rs1, ins.imm)]
+        if ins.rd:
+            link.append("R[%d] = %d" % (ins.rd, to_u32(pc + 4)))
+        return ("jump", "_t", link)
+    return None
+
+
+def _nonzero_srcs(ins):
+    """(dedup'd nonzero sources for the scoreboard, raw rf_read count)"""
+    srcs = ins.src_regs()
+    nz = []
+    count = 0
+    for s in srcs:
+        if s:
+            count += 1
+            if s not in nz:
+                nz.append(s)
+    return nz, count
+
+
+def _gen_func(name, instrs, idxs, lines):
+    lines.append("def %s(c):" % name)
+    lines.append(" R = c.regs")
+    lines.append(" mem = c.mem")
+    body = []
+    ctrl = None
+    for i in idxs:
+        ins = instrs[i]
+        ctrl = _ctrl_of(ins)
+        if ctrl is None:
+            _emit_sem(body, ins)
+        elif ctrl[0] == "jump":
+            body.extend(ctrl[2])
+    for ln in body:
+        lines.append(" " + ln)
+    last = instrs[idxs[-1]]
+    if ctrl is None:
+        lines.append(" _n = %d" % (last.pc + 4))
+    elif ctrl[0] == "cond":
+        lines.append(" if %s:" % ctrl[1])
+        lines.append("  _n = %d" % ctrl[2])
+        lines.append(" else:")
+        lines.append("  _n = %d" % ctrl[3])
+    else:
+        lines.append(" _n = %s" % ctrl[1])
+    lines.append(" c.icount += %d" % len(idxs))
+    lines.append(" c.pc = _n")
+    lines.append(" return _n")
+    lines.append("")
+
+
+def _gen_io(name, instrs, idxs, lines, config):
+    """In-order flavour: functional semantics + inlined scoreboard."""
+    lat = config.latencies
+    hit = config.cache.hit_latency
+    pen = config.mispredict_penalty
+    has_mem = any(instrs[i].op.is_mem and not instrs[i].op.is_fence
+                  for i in idxs)
+    has_pred = any(instrs[i].op.is_branch or instrs[i].op.is_xloop
+                   for i in idxs)
+    has_ctrl = has_pred or any(instrs[i].op.is_jump for i in idxs)
+    has_srcs = any(_nonzero_srcs(instrs[i])[0] for i in idxs)
+
+    lines.append("def %s(c, t, ev):" % name)
+    lines.append(" R = c.regs")
+    lines.append(" mem = c.mem")
+    lines.append(" rr = t.reg_ready")
+    lines.append(" cyc = t.cycle")
+    if has_mem:
+        lines.append(" cache = t.cache")
+        lines.append(" smem = 0")
+        lines.append(" dcm = 0")
+    if has_pred:
+        lines.append(" pred = t.predictor")
+    if has_srcs:
+        lines.append(" sraw = 0")
+    if has_ctrl:
+        lines.append(" sbr = 0")
+
+    n_rf_read = n_rf_write = n_bpred = n_mem = 0
+    fu_counts = {}
+    ctrl = None
+
+    for i in idxs:
+        ins = instrs[i]
+        op = ins.op
+        nz, raw_count = _nonzero_srcs(ins)
+        n_rf_read += raw_count
+        if ins.dst_reg() is not None:
+            n_rf_write += 1
+        fu = op.fu
+        if fu == FU.BR or fu == FU.XLOOP:
+            fu_counts["alu_op"] = fu_counts.get("alu_op", 0) + 1
+        elif fu == FU.ALU:
+            fu_counts["alu_op"] = fu_counts.get("alu_op", 0) + 1
+        elif fu == FU.MUL:
+            fu_counts["mul_op"] = fu_counts.get("mul_op", 0) + 1
+        elif fu == FU.DIV:
+            fu_counts["div_op"] = fu_counts.get("div_op", 0) + 1
+        elif fu == FU.FPU:
+            fu_counts["fpu_op"] = fu_counts.get("fpu_op", 0) + 1
+        elif fu == FU.FDIV:
+            fu_counts["fdiv_op"] = fu_counts.get("fdiv_op", 0) + 1
+
+        # issue cycle: max(cyc, reg_ready[srcs])
+        if not nz:
+            issue = "cyc"
+        else:
+            issue = "_i"
+            lines.append(" _i = rr[%d]" % nz[0])
+            for s in nz[1:]:
+                lines.append(" _x = rr[%d]" % s)
+                lines.append(" if _x > _i: _i = _x")
+            lines.append(" if _i < cyc: _i = cyc")
+            lines.append(" sraw += _i - cyc")
+
+        ctrl = _ctrl_of(ins)
+        dst = ins.dst_reg()
+
+        if op.is_mem and not op.is_fence:
+            n_mem += 1
+            body = []
+            _emit_sem(body, ins)
+            for ln in body:
+                lines.append(" " + ln)
+            lines.append(" _x = cache.access(_a, %r)" % bool(op.is_store))
+            if op.is_amo:
+                if dst is not None:
+                    lines.append(" rr[%d] = %s + %d + _x"
+                                 % (dst, issue, lat.amo - hit))
+            elif op.is_load:
+                if dst is not None:
+                    lines.append(" rr[%d] = %s + _x" % (dst, issue))
+            else:
+                pass  # store writes no register
+            lines.append(" if _x > %d:" % hit)
+            lines.append("  dcm += 1")
+            lines.append("  smem += _x - %d" % hit)
+            lines.append(" cyc = %s + 1" % issue)
+        elif ctrl is None:
+            body = []
+            _emit_sem(body, ins)
+            for ln in body:
+                lines.append(" " + ln)
+            if dst is not None:
+                if fu in (FU.MUL, FU.DIV, FU.FPU, FU.FDIV):
+                    latency = lat.for_fu(fu)
+                else:
+                    latency = 1
+                lines.append(" rr[%d] = %s + %d" % (dst, issue, latency))
+            lines.append(" cyc = %s + 1" % issue)
+        elif ctrl[0] == "cond":
+            n_bpred += 1
+            lines.append(" if %s:" % ctrl[1])
+            lines.append("  _n = %d" % ctrl[2])
+            lines.append("  if pred.predict_and_update(%d, True):"
+                         % ins.pc)
+            lines.append("   cyc = %s + %d" % (issue, 1 + pen))
+            lines.append("   sbr += %d" % pen)
+            lines.append("  else:")
+            lines.append("   cyc = %s + 1" % issue)
+            lines.append(" else:")
+            lines.append("  _n = %d" % ctrl[3])
+            lines.append("  if pred.predict_and_update(%d, False):"
+                         % ins.pc)
+            lines.append("   cyc = %s + %d" % (issue, 1 + pen))
+            lines.append("   sbr += %d" % pen)
+            lines.append("  else:")
+            lines.append("   cyc = %s + 1" % issue)
+        else:  # jump (jal / jalr / xloop.break)
+            for ln in ctrl[2]:
+                lines.append(" " + ln)
+            if dst is not None:
+                lines.append(" rr[%d] = %s + 1" % (dst, issue))
+            lines.append(" _n = %s" % ctrl[1])
+            lines.append(" cyc = %s + 2" % issue)
+            lines.append(" sbr += 1")
+
+    last = instrs[idxs[-1]]
+    if ctrl is None:
+        lines.append(" _n = %d" % (last.pc + 4))
+    lines.append(" t.cycle = cyc")
+    if has_srcs:
+        lines.append(" t.stall_raw += sraw")
+    if has_mem:
+        lines.append(" t.stall_mem += smem")
+    if has_ctrl:
+        lines.append(" t.stall_branch += sbr")
+    lines.append(" t.retired += %d" % len(idxs))
+    lines.append(" c.icount += %d" % len(idxs))
+    lines.append(" c.pc = _n")
+    lines.append(" ev.ic_access += %d" % len(idxs))
+    if n_rf_read:
+        lines.append(" ev.rf_read += %d" % n_rf_read)
+    if n_rf_write:
+        lines.append(" ev.rf_write += %d" % n_rf_write)
+    for field, count in sorted(fu_counts.items()):
+        lines.append(" ev.%s += %d" % (field, count))
+    if n_mem:
+        lines.append(" ev.dc_access += %d" % n_mem)
+        lines.append(" ev.dc_miss += dcm")
+    if n_bpred:
+        lines.append(" ev.bpred += %d" % n_bpred)
+    lines.append(" return _n")
+    lines.append("")
+
+
+def _gen_ooo(name, instrs, idxs, lines):
+    """OOO flavour: inline semantics, feed timing via consume_op."""
+    lines.append("def %s(c, t):" % name)
+    lines.append(" R = c.regs")
+    lines.append(" mem = c.mem")
+    lines.append(" co = t.consume_op")
+    ctrl = None
+    for i in idxs:
+        ins = instrs[i]
+        op = ins.op
+        ctrl = _ctrl_of(ins)
+        iname = "I%d" % i
+        if ctrl is None:
+            body = []
+            _emit_sem(body, ins)
+            for ln in body:
+                lines.append(" " + ln)
+            addr = "_a" if (op.is_mem and not op.is_fence) else "None"
+            lines.append(" co(%s, %d, %s, False)" % (iname, ins.pc, addr))
+        elif ctrl[0] == "cond":
+            lines.append(" if %s:" % ctrl[1])
+            lines.append("  _n = %d" % ctrl[2])
+            lines.append("  co(%s, %d, None, True)" % (iname, ins.pc))
+            lines.append(" else:")
+            lines.append("  _n = %d" % ctrl[3])
+            lines.append("  co(%s, %d, None, False)" % (iname, ins.pc))
+        else:
+            for ln in ctrl[2]:
+                lines.append(" " + ln)
+            lines.append(" _n = %s" % ctrl[1])
+            lines.append(" co(%s, %d, None, True)" % (iname, ins.pc))
+    last = instrs[idxs[-1]]
+    if ctrl is None:
+        lines.append(" _n = %d" % (last.pc + 4))
+    lines.append(" c.icount += %d" % len(idxs))
+    lines.append(" c.pc = _n")
+    lines.append(" return _n")
+    lines.append("")
+
+
+# ---------------------------------------------------------------------------
+# build + cache
+# ---------------------------------------------------------------------------
+
+def _build(program, flavor, break_pcs, config):
+    instrs = program.instrs
+    runs = block_runs(program, break_pcs)
+    ns = {
+        "s32": to_s32,
+        "f2b": f32_to_bits,
+        "b2f": bits_to_f32,
+        "md": _muldiv,
+        "fdivb": _fp_div,
+        "fsqrtb": _fsqrt,
+    }
+    lines = []
+    names = []
+    for idxs in runs:
+        name = "_b%d" % idxs[0]
+        names.append(name)
+        if flavor == "func":
+            _gen_func(name, instrs, idxs, lines)
+        elif flavor == "io":
+            _gen_io(name, instrs, idxs, lines, config)
+        elif flavor == "ooo":
+            for i in idxs:
+                ns["I%d" % i] = instrs[i]
+            _gen_ooo(name, instrs, idxs, lines)
+        else:
+            raise ValueError("unknown fusion flavor %r" % flavor)
+    src = "\n".join(lines)
+    code = compile(src, "<fused:%s>" % flavor, "exec")
+    exec(code, ns)
+    return {instrs[idxs[0]].pc: ns[name]
+            for idxs, name in zip(runs, names)}
+
+
+def fused_blocks(program, flavor="func", break_pcs=(), config=None):
+    """PC-indexed dict of fused block functions, cached on *program*.
+
+    *config* (a :class:`~repro.uarch.params.GPPConfig`) is required for
+    the ``io`` flavour, whose latencies/penalties are folded into the
+    generated code.
+    """
+    bk = frozenset(break_pcs)
+    if flavor == "io":
+        ck = (config.mispredict_penalty, repr(config.latencies),
+              repr(config.cache))
+    else:
+        ck = None
+    key = (flavor, bk, ck)
+    cache = getattr(program, "_fused", None)
+    if cache is None:
+        cache = program._fused = {}
+    tbl = cache.get(key)
+    if tbl is None:
+        tbl = _build(program, flavor, bk, config)
+        cache[key] = tbl
+    return tbl

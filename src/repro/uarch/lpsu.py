@@ -38,6 +38,8 @@ from ..sim.functional import decode_instr, execute
 from ..sim.memory import MASK32, to_s32
 from .descriptor import LoopDescriptor
 from .params import LPSUConfig
+from .schedmemo import (FAR_FUTURE as _FAR, _DEAD_ABORTS,
+                        _MAX_ENTRIES as _MAX_REC)
 
 _LOAD_SIZE = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}
 _STORE_SIZE = {"sw": 4, "sh": 2, "sb": 1}
@@ -123,7 +125,7 @@ class _Context:
                  "stall_kind", "iter_start", "attempt_instrs",
                  "received_cirs", "cir_written", "store_buf",
                  "load_words", "bypass", "committing", "active",
-                 "exit_flag")
+                 "exit_flag", "sleep_from")
 
     def __init__(self, lane_id, live_in_regs):
         self.lane_id = lane_id
@@ -146,6 +148,7 @@ class _Context:
         self.committing = False
         self.active = False
         self.exit_flag = False
+        self.sleep_from = 0   # cycle a commit-parked context went idle
 
     @property
     def lsq_store_count(self):
@@ -173,7 +176,7 @@ class LPSU:
 
     def __init__(self, descriptor, live_in_regs, mem, cache, config=None,
                  events=None, trace=None, decoded_body=None,
-                 monitor=None):
+                 monitor=None, fast=True, memo=None):
         self.d = descriptor
         self.cfg = config or LPSUConfig()
         self.mem = mem
@@ -184,6 +187,10 @@ class LPSU:
         # through the same style of hook points as the tracer, so a
         # monitored run is cycle/energy-identical to an unmonitored one
         self.monitor = monitor
+        # fast path: same schedule, less per-cycle bookkeeping.  Any
+        # observer that must see every individual step disables it.
+        self.fast = bool(fast) and trace is None and monitor is None
+        self._memo = memo    # optional ScheduleMemo (repro.uarch.schedmemo)
         self.lat = None  # set by run() from the GPP latency table
 
         self.live_in = list(live_in_regs)
@@ -234,6 +241,15 @@ class LPSU:
         self._active_count = 0
         self._order = list(self.contexts)
         self._order_dirty = True
+        # issue-slot superblock fusion needs a single context per lane
+        # (another thread on the lane could claim the slot mid-run)
+        self._fuse = self.fast and len(self.contexts) == self.cfg.lanes
+        self._fusable = None       # built by run() alongside _meta
+        self._commit_waiters = {}  # k -> context parked on commit order
+        self._rec = None           # active schedule recording (or None)
+        self._rec_sig = None
+        self._rec_cycle0 = 0
+        self._rec_k0 = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -307,7 +323,33 @@ class LPSU:
         self.lat = latencies
         self._max_iters = max_iters
         self._meta = self._build_meta(latencies)
+        # slots a superblock may *continue* through: single-cycle
+        # compute with no CIR/bound side effects (srcs/dst are then
+        # context-private, so batched execution is schedule-identical)
+        self._fusable = [m[3] == 0 and not m[8] and not m[9]
+                         and not m[11] for m in self._meta]
         d, cfg, ev = self.d, self.cfg, self.events
+
+        # schedule memoization: only for loops whose scheduling is
+        # insensitive to cross-lane state (see repro.uarch.schedmemo)
+        memo = self._memo
+        if memo is not None and (
+                max_iters is not None or not self._fuse
+                or self.needs_lsq or self.ordered_regs
+                or self.dynamic_bound or d.cirs
+                or cfg.inter_lane_forwarding or memo.dead):
+            memo = None
+        if memo is not None:
+            ok = memo.body_ok
+            if ok is None:
+                ok = True
+                for ins in d.body:
+                    if ins.op.is_amo or ins.op.fmt == Fmt.JALR:
+                        ok = False
+                        break
+                memo.body_ok = ok
+            if not ok:
+                memo = None
 
         # -- scan phase --------------------------------------------------
         self.stats.scan_cycles = cfg.scan_overhead + d.body_len
@@ -330,9 +372,34 @@ class LPSU:
         # with one context per lane every lane_id is unique, so the
         # issue-slot dedupe can never fire; skip its bookkeeping
         multithreaded = len(contexts) > cfg.lanes
+        fast = self.fast
+        n_ctx = len(contexts)
+        anchor_k = self._next_k   # next iteration count that starts an epoch
         while True:
             if finished():
                 break
+            if memo is not None:
+                rec = self._rec
+                if rec is not None and len(rec) > _MAX_REC:
+                    # one epoch is too long to ever replay profitably;
+                    # stop paying the recording tax for this loop
+                    self._rec = None
+                    memo.dead = True
+                    memo = None
+                elif self._next_k >= anchor_k:
+                    cycle, mid = self._memo_anchor(memo, cycle)
+                    if memo.dead:
+                        memo = None
+                    else:
+                        anchor_k = (self._next_k // n_ctx + 1) * n_ctx
+                    if mid:
+                        # a replay diverged; its abort path already
+                        # completed the returned cycle with _step
+                        cycle += 1
+                        guard += 1
+                        continue
+                    if finished():
+                        break
             self._mem_grants = 0
             # issue order depends only on (active, k), which change
             # solely at iteration begin/retire/discard — re-sort only
@@ -341,6 +408,7 @@ class LPSU:
                 self._order = sorted(contexts, key=_ctx_order)
                 self._order_dirty = False
             order = self._order
+            idle = True
             if multithreaded:
                 issued_lanes = set()
                 for ctx in order:
@@ -348,13 +416,30 @@ class LPSU:
                         continue
                     if step(ctx, cycle):
                         issued_lanes.add(ctx.lane_id)
+                        idle = False
             else:
                 for ctx in order:
-                    step(ctx, cycle)
+                    if ctx.active and ctx.ready_at > cycle:
+                        continue
+                    if step(ctx, cycle):
+                        idle = False
             cycle += 1
             guard += 1
+            if (idle and fast
+                    and (self._active_count == n_ctx
+                         or not self._more_iterations())):
+                # nothing issued and no context can change state before
+                # the earliest wake-up: jump there (the skipped cycles
+                # touch no stat -- idle time derives from totals below)
+                nxt = _FAR
+                for ctx in contexts:
+                    if ctx.active and ctx.ready_at < nxt:
+                        nxt = ctx.ready_at
+                if cycle < nxt < _FAR:
+                    cycle = nxt
             if guard > 200_000_000:  # pragma: no cover
                 raise RuntimeError("LPSU livelock")
+        self._rec = None   # drop any recording cut short by loop end
         self.stats.exec_cycles = cycle
         self.stats.finish_cycles = cfg.finish_overhead
         if ev is not None:
@@ -413,6 +498,10 @@ class LPSU:
         for other in self.contexts:
             if not other.active or other.k <= k:
                 continue
+            if self._commit_waiters:
+                w = self._commit_waiters.pop(other.k, None)
+                if w is not None:
+                    self.stats.stall_commit += cycle - w.sleep_from
             if self.monitor is not None:
                 self.monitor.on_discard(other.lane_id, other.k, cycle)
             self.stats.squashes += 1
@@ -492,11 +581,12 @@ class LPSU:
             ctx.exit_flag = True
         if dst is not None:
             ready[dst] = cycle + latency
-        ctx.pc_index = (next_pc - self._body_base) >> 2
-        ctx.ready_at = cycle + 1
+        i = (next_pc - self._body_base) >> 2
+        c = cycle + 1
+        br_stall = 0
         if branchy and taken:
-            ctx.ready_at += self.cfg.branch_penalty
-            self.stats.stall_branch += self.cfg.branch_penalty
+            br_stall = self.cfg.branch_penalty
+            c += br_stall
         self.stats.busy += 1
         if self.trace is not None:
             self.trace.mark(ctx, cycle, "E")
@@ -510,6 +600,84 @@ class LPSU:
             new_bound = to_s32(ctx.regs[dst])
             if new_bound > self.bound:
                 self.bound = new_bound
+
+        if (self._fuse and kind == 0 and 0 <= i < self._body_n
+                and self._fusable[i]
+                and (not self.needs_lsq or ctx.k == self._commit_next)):
+            # superblock fusion: keep executing single-cycle compute
+            # ops within this issue slot for as long as the per-cycle
+            # loop could not have scheduled anything between them.
+            # Fusable ops touch only context-private state (regs and
+            # scoreboard) plus order-independent totals, and this
+            # context cannot be squashed mid-batch: it is either in an
+            # unordered pattern or it is the oldest iteration.
+            meta = self._meta
+            mt = meta[i]
+            avail = c
+            for s in mt[1]:
+                t = ready[s]
+                if t > avail:
+                    avail = t
+            if avail <= c:
+                fusable = self._fusable
+                counts = self._exec_counts
+                regs = ctx.regs
+                mem = self.mem
+                body_n = self._body_n
+                base = self._body_base
+                pen = self.cfg.branch_penalty
+                rec = self._rec
+                if rec is not None:
+                    slots = [pc_index]
+                    takens = [taken if branchy else None]
+                n = 1
+                while True:
+                    next_pc, _addr, taken = mt[0](regs, mem)
+                    counts[i] += 1
+                    if mt[6]:
+                        ctx.exit_flag = True
+                    d2 = mt[2]
+                    if d2 is not None:
+                        ready[d2] = c + 1
+                    if rec is not None:
+                        slots.append(i)
+                        takens.append(taken if mt[7] else None)
+                    c += 1
+                    if mt[7] and taken:
+                        br_stall += pen
+                        c += pen
+                    i = (next_pc - base) >> 2
+                    n += 1
+                    if not (0 <= i < body_n and fusable[i] and n < 65536):
+                        break
+                    mt = meta[i]
+                    avail = c
+                    for s in mt[1]:
+                        t = ready[s]
+                        if t > avail:
+                            avail = t
+                    if avail > c:
+                        break   # RAW: the per-cycle loop takes over
+                ctx.attempt_instrs += n - 1
+                self.stats.busy += n - 1
+                self.stats.stall_branch += br_stall
+                if rec is not None:
+                    rec.append(("A", cycle, ctx.lane_id, tuple(slots),
+                                tuple(takens), i, c - cycle, br_stall))
+                ctx.pc_index = i
+                ctx.ready_at = c
+                return True
+        self.stats.stall_branch += br_stall
+        rec = self._rec
+        if rec is not None:
+            if kind == 2:
+                rec.append(("F", cycle, ctx.lane_id, pc_index))
+            elif kind == 0:
+                rec.append(("A", cycle, ctx.lane_id, (pc_index,),
+                            (taken if branchy else None,), i,
+                            c - cycle, br_stall))
+        ctx.pc_index = i
+        ctx.ready_at = c
         return True
 
     # -- memory operations -------------------------------------------------
@@ -684,6 +852,9 @@ class LPSU:
         self.stats.busy += 1
         if self.trace is not None:
             self.trace.mark(ctx, cycle, "M")
+        if self._rec is not None:
+            self._rec.append(("M", cycle, ctx.lane_id, ctx.pc_index - 1,
+                              access > self.cache.config.hit_latency))
 
         # a plain load of the bound register also grows a dynamic bound
         if (self.dynamic_bound and op.is_load
@@ -808,8 +979,17 @@ class LPSU:
             self.monitor.on_retire(ctx.lane_id, ctx.k, cycle, ctx.regs)
         self.stats.iterations += 1
         self.stats.instrs += ctx.attempt_instrs
+        if self._rec is not None:
+            self._rec.append(("R", cycle, ctx.lane_id))
         if self.needs_lsq:
             self._commit_next += 1
+            if self._commit_waiters:
+                w = self._commit_waiters.pop(self._commit_next, None)
+                if w is not None:
+                    # account the commit stalls the parked context
+                    # would have re-attempted every intervening cycle
+                    self.stats.stall_commit += cycle - w.sleep_from
+                    w.ready_at = cycle
         if ctx.exit_flag:
             # data-dependent exit: this (now architectural) iteration
             # terminates the loop; discard younger speculative work and
@@ -848,6 +1028,10 @@ class LPSU:
                 self.events.lsq_search += 1
 
     def _squash(self, ctx, cycle):
+        if self._commit_waiters:
+            w = self._commit_waiters.pop(ctx.k, None)
+            if w is not None:
+                self.stats.stall_commit += cycle - w.sleep_from
         if self.monitor is not None:
             self.monitor.on_squash(ctx.lane_id, ctx.k, cycle,
                                    len(ctx.store_buf))
@@ -903,6 +1087,8 @@ class LPSU:
             self.trace.mark(ctx, max(0, cycle - 1), "|")
         if self.events is not None:
             self.events.idq_op += 1
+        if self._rec is not None:
+            self._rec.append(("B", cycle, ctx.lane_id))
 
     def _init_iter_regs(self, ctx):
         d = self.d
@@ -923,6 +1109,8 @@ class LPSU:
         span = ctx.ready_at - cycle
         if kind == "raw":
             self.stats.stall_raw += span
+            if self._rec is not None:
+                self._rec.append(("r", cycle, ctx.lane_id))
         elif kind == "cib":
             self.stats.stall_cib += span
         if self.trace is not None:
@@ -936,12 +1124,23 @@ class LPSU:
         ctx.ready_at = cycle + 1
         if kind == "memport":
             self.stats.stall_memport += 1
+            if self._rec is not None:
+                self._rec.append(("p", cycle, ctx.lane_id))
         elif kind == "llfu":
             self.stats.stall_llfu += 1
+            if self._rec is not None:
+                self._rec.append(("l", cycle, ctx.lane_id))
         elif kind == "lsq":
             self.stats.stall_lsq += 1
         elif kind == "commit":
             self.stats.stall_commit += 1
+            if self.fast:
+                # park until the commit token reaches this iteration;
+                # the retire-time wake-up reproduces the slow path's
+                # once-per-cycle re-attempt accounting exactly
+                ctx.sleep_from = cycle + 1
+                ctx.ready_at = _FAR
+                self._commit_waiters[ctx.k] = ctx
         if self.trace is not None:
             self.trace.mark(ctx, cycle, self._TRACE_CODES[kind])
 
@@ -951,3 +1150,223 @@ class LPSU:
                 self._llfu_free[i] = cycle + occupy
                 return i
         return None
+
+    # ------------------------------------------------------------------
+    # schedule memoization (see repro.uarch.schedmemo)
+    # ------------------------------------------------------------------
+
+    def _memo_anchor(self, memo, cycle):
+        """Epoch boundary: close any active recording, replay every
+        stored segment whose signature matches, then open a new
+        recording if the loop is still worth learning.  Returns
+        ``(cycle, mid_cycle)``; *mid_cycle* means a replay diverged and
+        the abort path already completed the returned cycle."""
+        if self._rec is not None:
+            sig = memo.finalize(self, cycle)
+        else:
+            sig = memo.signature(self, cycle)
+        remaining = self.bound - self.start_idx - self._next_k
+        while True:
+            seg = memo.table.get(sig)
+            if seg is None or seg.n_begins > remaining:
+                break
+            done, cycle = self._replay_segment(seg, cycle)
+            if not done:
+                memo.aborts += 1
+                if (memo.aborts >= _DEAD_ABORTS
+                        and memo.hits < memo.aborts >> 2):
+                    # replays keep diverging: live outcomes for this
+                    # loop are too unstable for memoization to pay
+                    memo.dead = True
+                return cycle, True
+            memo.hits += 1
+            remaining -= seg.n_begins
+            sig = seg.end_sig
+            if not remaining:
+                break
+        if remaining > 0 and not memo.dead:
+            self._rec = []
+            self._rec_sig = sig
+            self._rec_cycle0 = cycle
+            self._rec_k0 = self._next_k
+        return cycle, False
+
+    def _replay_segment(self, seg, cycle0):
+        """Apply one recorded segment with live outcomes; validation
+        aborts to the slow path on any divergence (see the correctness
+        model in :mod:`repro.uarch.schedmemo`).  Every recorded action
+        is also pre-checked against the live context, so even a
+        signature collision degrades to slow execution rather than a
+        wrong schedule.  Returns ``(completed, cycle)``."""
+        contexts = self.contexts
+        meta = self._meta
+        stats = self.stats
+        counts = self._exec_counts
+        mem = self.mem
+        cache = self.cache
+        hit_lat = cache.config.hit_latency
+        ev = self.events
+        cfg = self.cfg
+        pen = cfg.branch_penalty
+        base = self._body_base
+        body_n = self._body_n
+        abort = self._replay_abort
+        for dc, ops in seg.cycles:
+            c = cycle0 + dc
+            self._mem_grants = 0
+            retired = None
+            for e in ops:
+                tag = e[0]
+                ctx = contexts[e[2]]
+                if tag == "A":
+                    slots = e[3]
+                    if (not ctx.active or ctx.ready_at > c
+                            or ctx.pc_index != slots[0]):
+                        return False, abort(c, retired)
+                    takens = e[4]
+                    regs = ctx.regs
+                    ready = ctx.ready
+                    cc = c
+                    diverged = False
+                    for j, si in enumerate(slots):
+                        mt = meta[si]
+                        next_pc, _a, taken = mt[0](regs, mem)
+                        counts[si] += 1
+                        if mt[6]:
+                            ctx.exit_flag = True
+                        d2 = mt[2]
+                        if d2 is not None:
+                            ready[d2] = cc + 1
+                        cc += 1
+                        tk = takens[j]
+                        if tk is not None and taken is not tk:
+                            diverged = True
+                            break
+                        if tk:
+                            cc += pen
+                    if not diverged:
+                        n = len(slots)
+                        ctx.attempt_instrs += n
+                        stats.busy += n
+                        ctx.pc_index = e[5]
+                        ctx.ready_at = c + e[6]
+                        stats.stall_branch += e[7]
+                        continue
+                    # the diverging op itself ran exactly as the slow
+                    # path would have -- finish its bookkeeping, then
+                    # hand the rest of this cycle to the slow stepper
+                    n = j + 1
+                    ctx.attempt_instrs += n
+                    stats.busy += n
+                    br = 0
+                    for x in range(j):
+                        if takens[x]:
+                            br += pen
+                    if taken:
+                        br += pen
+                        cc += pen
+                    ctx.pc_index = (next_pc - base) >> 2
+                    ctx.ready_at = cc
+                    stats.stall_branch += br
+                    return False, abort(c, retired)
+                elif tag == "M":
+                    si = e[3]
+                    if (not ctx.active or ctx.ready_at > c
+                            or ctx.pc_index != si
+                            or self._mem_grants >= cfg.mem_ports):
+                        return False, abort(c, retired)
+                    mt = meta[si]
+                    instr = mt[12]
+                    self._mem_grants += 1
+                    _np, addr, _t = mt[0](ctx.regs, mem)
+                    access = cache.access(addr,
+                                          is_store=instr.op.is_store)
+                    if ev is not None:
+                        ev.dc_access += 1
+                        if access > hit_lat:
+                            ev.dc_miss += 1
+                    if instr.rd and instr.op.is_load:
+                        ctx.ready[instr.rd] = c + access
+                    counts[si] += 1
+                    ctx.attempt_instrs += 1
+                    ctx.pc_index = si + 1
+                    ctx.ready_at = c + 1
+                    stats.busy += 1
+                    if (access > hit_lat) is not e[4]:
+                        return False, abort(c, retired)
+                elif tag == "B":
+                    if ctx.active or not self._more_iterations():
+                        return False, abort(c, retired)
+                    self._begin_iteration(ctx, c)
+                elif tag == "R":
+                    if (not ctx.active or ctx.ready_at > c
+                            or ctx.pc_index < body_n):
+                        return False, abort(c, retired)
+                    self._retire_iteration(ctx, c)
+                    if retired is None:
+                        retired = {e[2]}
+                    else:
+                        retired.add(e[2])
+                elif tag == "r":
+                    if not ctx.active or ctx.ready_at > c:
+                        return False, abort(c, retired)
+                    mt = meta[ctx.pc_index]
+                    ready = ctx.ready
+                    avail = c
+                    for s in mt[1]:
+                        t = ready[s]
+                        if t > avail:
+                            avail = t
+                    if avail <= c:
+                        return False, abort(c, retired)
+                    self._stall(ctx, c, avail, "raw")
+                elif tag == "F":
+                    si = e[3]
+                    if (not ctx.active or ctx.ready_at > c
+                            or ctx.pc_index != si):
+                        return False, abort(c, retired)
+                    mt = meta[si]
+                    if self._llfu_acquire(c, mt[5]) is None:
+                        return False, abort(c, retired)
+                    _np, _a, _t = mt[0](ctx.regs, mem)
+                    counts[si] += 1
+                    d2 = mt[2]
+                    if d2 is not None:
+                        ctx.ready[d2] = c + mt[4]
+                    ctx.attempt_instrs += 1
+                    ctx.pc_index = si + 1
+                    ctx.ready_at = c + 1
+                    stats.busy += 1
+                elif tag == "p":
+                    if (not ctx.active or ctx.ready_at > c
+                            or self._mem_grants < cfg.mem_ports):
+                        return False, abort(c, retired)
+                    self._stall_one(ctx, c, "memport")
+                else:  # "l"
+                    if not ctx.active or ctx.ready_at > c:
+                        return False, abort(c, retired)
+                    free = False
+                    for f in self._llfu_free:
+                        if f <= c:
+                            free = True
+                            break
+                    if free:
+                        return False, abort(c, retired)
+                    self._stall_one(ctx, c, "llfu")
+        return True, cycle0 + seg.n_cycles
+
+    def _replay_abort(self, cycle, retired):
+        """A replayed action diverged mid-cycle.  Everything applied so
+        far this cycle matches the slow path exactly, so finish the
+        cycle with the ordinary stepper: contexts that already acted
+        no-op on ``ready_at``; contexts that retired this cycle are
+        skipped (a fresh visit would begin their next iteration one
+        cycle early)."""
+        step = self._step
+        for ctx in sorted(self.contexts, key=_ctx_order):
+            if (retired is not None and ctx.lane_id in retired
+                    and not ctx.active):
+                continue
+            step(ctx, cycle)
+        self._order_dirty = True
+        return cycle

@@ -112,7 +112,12 @@ class OOOTiming:
     # -- main entry -------------------------------------------------------
 
     def consume(self, step):
-        instr = step.instr
+        return self.consume_op(step.instr, step.pc, step.addr, step.taken)
+
+    def consume_op(self, instr, pc, addr, taken):
+        """Account one dynamic instruction from explicit operands —
+        the entry point fused superblocks (:mod:`repro.sim.fusion`)
+        call directly, skipping the :class:`StepInfo` indirection."""
         op = instr.op
         ev = self.events
         srcs = instr.src_regs()
@@ -150,11 +155,11 @@ class OOOTiming:
             self.serializations += 1
 
         if op.is_mem and not op.is_fence:
-            word = step.addr & ~3 if step.addr is not None else 0
+            word = addr & ~3 if addr is not None else 0
             dep = self._store_ready.get(word)
             if op.is_load and dep is not None and dep > ready:
                 ready = dep
-            access = self.cache.access(step.addr, is_store=op.is_store)
+            access = self.cache.access(addr, is_store=op.is_store)
             if ev is not None:
                 ev.dc_access += 1
                 ev.lsq_search += 1
@@ -189,13 +194,13 @@ class OOOTiming:
             if ev is not None:
                 ev.rf_write += 1
         if op.is_store or op.is_amo:
-            if step.addr is not None:
-                self._store_ready[step.addr & ~3] = complete
+            if addr is not None:
+                self._store_ready[addr & ~3] = complete
 
         if op.is_branch or op.is_xloop:
             if ev is not None:
                 ev.bpred += 1
-            wrong = self.predictor.predict_and_update(step.pc, step.taken)
+            wrong = self.predictor.predict_and_update(pc, taken)
             if wrong:
                 self.mispredicts += 1
                 gate = complete + self.config.mispredict_penalty

@@ -24,7 +24,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..energy.events import EnergyEvents
-from ..sim.functional import FunctionalCore, SimError, decode_program
+from ..sim.functional import (HALT_PC, FunctionalCore, SimError,
+                              decode_program)
+from ..sim.fusion import fused_blocks
 from ..sim.memory import Memory, to_s32
 from .adaptive import (AdaptiveProfilingTable, DECIDED_SPECIALIZED,
                        DECIDED_TRADITIONAL, GPP_PROFILING, LPSU_PROFILING)
@@ -34,6 +36,7 @@ from .inorder import InOrderTiming
 from .lpsu import LPSU, LPSUStats
 from .ooo import OOOTiming
 from .params import SystemConfig
+from .schedmemo import ScheduleMemo
 
 MODES = ("traditional", "specialized", "adaptive")
 
@@ -64,13 +67,17 @@ class RunResult:
 class SystemSimulator:
     """Simulate *program* on *config* in a given execution mode."""
 
-    def __init__(self, program, config, mem=None, verify=False):
+    def __init__(self, program, config, mem=None, verify=False, fast=True):
         self.program = program
         self.config = config
         # when set, every specialized invocation runs under a
         # repro.verify InvariantMonitor (pure observer: cycles, energy
         # and stats stay bit-identical; raises InvariantViolation)
         self.verify = verify
+        # bit-identical fast path: fused GPP superblocks + LPSU
+        # iteration-schedule memoization.  verify needs exact per-step
+        # observation, so it forces the slow path.
+        self.fast = bool(fast) and not verify
         self.mem = mem if mem is not None else Memory()
         self.events = EnergyEvents()
         self.cache = L1Cache(config.gpp.cache)
@@ -88,6 +95,9 @@ class SystemSimulator:
         # per-xloop-pc cycle stamp of the previous taken encounter
         # (measures traditional per-iteration cost for profiling)
         self._last_seen_cycle = {}
+        # per-xloop-pc iteration-schedule memo tables, shared across
+        # specialized invocations of the same static loop
+        self._memos = {}
 
     # ------------------------------------------------------------------
 
@@ -102,7 +112,9 @@ class SystemSimulator:
         steps = 0
         core_step = core.step
         consume = self.timing.consume
-        if mode == "traditional":
+        if self.fast:
+            self._run_fused(mode, max_steps)
+        elif mode == "traditional":
             # no xloop can be intercepted: run the fetch/step/consume
             # loop without the dispatch check
             while not core.halted:
@@ -136,6 +148,51 @@ class SystemSimulator:
             return_value=core.return_value,
             cache_misses=self.cache.misses,
             cache_accesses=self.cache.accesses)
+
+    def _run_fused(self, mode, max_steps):
+        """Fast GPP driver: dispatch fused superblocks, falling back to
+        single-stepping for pcs outside any block.  Blocks break at
+        every xloop pc, so the specialize/adaptive dispatch check (and
+        the APT's ``timing.cycles`` reads) happen at exactly the same
+        points, with exactly the same timing state, as the slow loop.
+        """
+        core = self.core
+        timing = self.timing
+        program = self.program
+        consume = timing.consume
+        core_step = core.step
+        if mode == "traditional":
+            xloop_pcs = None
+            break_pcs = ()
+        else:
+            xloop_pcs = frozenset(ins.pc for ins in program.instrs
+                                  if ins.op.is_xloop)
+            break_pcs = xloop_pcs
+        io = not self.config.gpp.is_ooo
+        if io:
+            blocks = fused_blocks(program, "io", break_pcs,
+                                  self.config.gpp)
+        else:
+            blocks = fused_blocks(program, "ooo", break_pcs)
+        get = blocks.get
+        ev = self.events
+        instrs = program.instrs
+        base = program.text_base
+        steps0 = core.icount
+        while not core.halted:
+            pc = core.pc
+            if xloop_pcs is not None and pc in xloop_pcs:
+                if self._maybe_specialize(instrs[(pc - base) >> 2], mode):
+                    continue
+            blk = get(pc)
+            if blk is None:
+                consume(core_step())
+            else:
+                npc = blk(core, timing, ev) if io else blk(core, timing)
+                if npc == HALT_PC:
+                    core.halted = True
+            if core.icount - steps0 > max_steps:
+                raise SimError("GPP exceeded %d steps" % max_steps)
 
     # ------------------------------------------------------------------
     # xloop dispatch
@@ -235,10 +292,15 @@ class SystemSimulator:
             # imported lazily: repro.verify depends on uarch.params
             from ..verify import InvariantMonitor
             monitor = InvariantMonitor(desc, core.regs, self.mem)
+        memo = None
+        if self.fast:
+            memo = self._memos.get(desc.xloop_pc)
+            if memo is None:
+                memo = self._memos[desc.xloop_pc] = ScheduleMemo()
         lpsu = LPSU(desc, core.regs, self.mem, self.cache,
                     self.config.lpsu, self.events,
                     decoded_body=decoded[lo:lo + desc.body_len],
-                    monitor=monitor)
+                    monitor=monitor, fast=self.fast, memo=memo)
         result = lpsu.run(self.config.gpp.latencies, max_iters=max_iters)
         if monitor is not None:
             monitor.finalize(result)
@@ -275,13 +337,18 @@ class SystemSimulator:
 
 
 def simulate(program, config, entry="main", args=(), mode="traditional",
-             mem=None, verify=False):
+             mem=None, verify=False, fast=True):
     """One-shot convenience wrapper returning a :class:`RunResult`.
 
     With ``verify=True`` every specialized xloop invocation is checked
     against the :mod:`repro.verify` runtime invariants (raising
     :class:`~repro.verify.InvariantViolation` on the first breach)
     without perturbing cycles, energy, or statistics.
+
+    ``fast=False`` disables the fused-superblock / schedule-memoization
+    fast path (results are bit-identical either way; the escape hatch
+    exists for debugging and differential conformance).
     """
-    sim = SystemSimulator(program, config, mem=mem, verify=verify)
+    sim = SystemSimulator(program, config, mem=mem, verify=verify,
+                          fast=fast)
     return sim.run(entry=entry, args=args, mode=mode)

@@ -9,20 +9,22 @@ Three entry points, all built on the same machinery:
   energy;
 * the ``repro verify`` CLI subcommand runs the
   :mod:`~repro.verify.conformance` traditional-vs-specialized sweep
-  over registered kernels and generated loops; and
+  over registered kernels and generated loops (``--fast-slow``
+  instead checks the simulator fast path bit-identical to the slow
+  path at every design point); and
 * the ``tests/verify`` suite, which shares the random loop generators
   in :mod:`~repro.verify.genloops` with the hypothesis fuzz tests.
 """
 
-from .conformance import (ConformanceResult, check_case, check_kernel,
-                          run_conformance)
+from .conformance import (ConformanceResult, check_case, check_fast_slow,
+                          check_kernel, run_conformance, run_fast_slow)
 from .genloops import LPSU_SWEEP, GenCase, RandomChooser, random_cases
 from .invariants import InvariantMonitor, InvariantViolation
 from .oracle import OracleError, SerialOracle
 
 __all__ = [
-    "ConformanceResult", "check_case", "check_kernel",
-    "run_conformance", "LPSU_SWEEP", "GenCase", "RandomChooser",
-    "random_cases", "InvariantMonitor", "InvariantViolation",
-    "OracleError", "SerialOracle",
+    "ConformanceResult", "check_case", "check_fast_slow",
+    "check_kernel", "run_conformance", "run_fast_slow", "LPSU_SWEEP",
+    "GenCase", "RandomChooser", "random_cases", "InvariantMonitor",
+    "InvariantViolation", "OracleError", "SerialOracle",
 ]

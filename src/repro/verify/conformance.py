@@ -168,6 +168,104 @@ def check_case(case, sweep=LPSU_SWEEP, adaptive=False):
     return res
 
 
+# ----------------------------------------------------------------------
+# fast-vs-slow differential mode
+# ----------------------------------------------------------------------
+
+def _run_snapshot(program, entry, args, mem, lpsu, mode, fast):
+    cfg = (SystemConfig("conf-x", _GPP, lpsu) if lpsu is not None
+           else SystemConfig("conf-io", _GPP))
+    r = simulate(program, cfg, entry=entry, args=args, mem=mem,
+                 mode=mode, fast=fast)
+    ev = r.events
+    return {
+        "cycles": r.cycles,
+        "gpp_instrs": r.gpp_instrs,
+        "lpsu_instrs": r.lpsu_instrs,
+        "xloop_invocations": r.xloop_invocations,
+        "specialized_invocations": r.specialized_invocations,
+        "adaptive_decisions": dict(r.adaptive_decisions),
+        "return_value": r.return_value,
+        "cache": (r.cache_misses, r.cache_accesses),
+        "events": None if ev is None else dict(vars(ev)),
+        "lpsu_stats": repr(r.lpsu_stats),
+    }
+
+
+def _diff_detail(a, b):
+    for k in a:
+        if a[k] != b[k]:
+            return "%s: fast=%r slow=%r" % (k, a[k], b[k])
+    return "snapshots differ"
+
+
+def check_fast_slow(name, program, entry, make_args, sweep=LPSU_SWEEP,
+                    adaptive=True):
+    """Demand the fast path (superblock fusion + schedule memoization)
+    is *bit-identical* to the slow path for one loop: cycles, instr
+    counts, energy-event counts, LPSU stats, adaptive decisions,
+    return value, cache totals, and the final memory image must all
+    match, for traditional execution and every specialized/adaptive
+    LPSU design point.  Never raises."""
+    res = ConformanceResult(name=name)
+    try:
+        points = [("traditional", None)]
+        points += _specialized_points(sweep, adaptive)
+        for mode, lpsu in points:
+            snaps = []
+            mems = []
+            for fast in (True, False):
+                mem = Memory()
+                args = make_args(mem)
+                snaps.append(_run_snapshot(program, entry, args, mem,
+                                           lpsu, mode, fast))
+                mems.append(mem)
+            res.configs += 1
+            if snaps[0] != snaps[1]:
+                return res.fail("%s/%r fast!=slow: %s"
+                                % (mode, lpsu,
+                                   _diff_detail(snaps[0], snaps[1])))
+            if not mems[0].pages_equal(mems[1]):
+                return res.fail(
+                    "%s/%r fast memory differs from slow at 0x%x"
+                    % (mode, lpsu, mems[0].first_difference(mems[1])))
+    except Exception as exc:
+        return res.fail("%s: %s" % (type(exc).__name__, exc))
+    return res
+
+
+def run_fast_slow(kernels=None, gen=0, seed=0, scale="tiny",
+                  sweep=LPSU_SWEEP, progress=None):
+    """Fast-vs-slow differential sweep over kernels (all registered
+    when *kernels* is None) plus *gen* generated loops; returns a list
+    of :class:`ConformanceResult`."""
+    names = ([s.name for s in ALL_KERNELS] if kernels is None
+             else list(kernels))
+    results = []
+    for name in names:
+        spec = get_kernel(name)
+        xl = compile_source(spec.source)
+
+        def make_args(mem, _spec=spec):
+            return _spec.workload(scale, seed).apply(mem)
+
+        res = check_fast_slow(name, xl.program, spec.entry, make_args,
+                              sweep=sweep)
+        res.kinds = xl.loop_kinds()
+        results.append(res)
+        if progress is not None:
+            progress(res)
+    for case in random_cases(seed, gen):
+        xl = compile_source(case.source)
+        res = check_fast_slow(case.name, xl.program, case.entry,
+                              case.apply, sweep=sweep, adaptive=False)
+        res.kinds = xl.loop_kinds()
+        results.append(res)
+        if progress is not None:
+            progress(res)
+    return results
+
+
 def run_conformance(kernels=None, gen=0, seed=0, scale="tiny",
                     sweep=LPSU_SWEEP, progress=None):
     """Sweep kernels (all registered when *kernels* is None) plus *gen*

@@ -1,0 +1,76 @@
+"""The committed BENCH_speed.json baseline must keep its schema: the
+nightly CI smoke job and downstream dashboards parse it by key."""
+
+import json
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+_BASELINE = os.path.join(_ROOT, "BENCH_speed.json")
+
+_POINT_KEYS = {"cold_fast_seconds", "cold_slow_seconds", "speedup"}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if not os.path.exists(_BASELINE):
+        pytest.skip("no committed BENCH_speed.json (source tree only)")
+    with open(_BASELINE) as f:
+        return json.load(f)
+
+
+def test_toplevel_schema(baseline):
+    assert baseline["schema"] == 2
+    for section in ("patterns", "long_kernels", "table2"):
+        assert section in baseline
+
+
+def test_pattern_points(baseline):
+    patterns = baseline["patterns"]
+    assert set(patterns) == {"uc", "or", "om", "ua", "db"}
+    for entry in patterns.values():
+        assert _POINT_KEYS | {"kernel", "warm_seconds"} <= set(entry)
+        assert entry["cold_fast_seconds"] > 0
+        assert entry["cold_slow_seconds"] > 0
+
+
+def test_long_kernel_points(baseline):
+    longs = baseline["long_kernels"]
+    assert len(longs) >= 2
+    for entry in longs.values():
+        assert _POINT_KEYS <= set(entry)
+    # the fast-path acceptance bar: >=3x cold on >=2 long kernels
+    assert sum(1 for e in longs.values() if e["speedup"] >= 3.0) >= 2
+
+
+def test_table2_warm_is_cache_served(baseline):
+    t2 = baseline["table2"]
+    assert t2["warm_simulator_invocations"] == 0
+    assert t2["warm_seconds"] < t2["cold_seconds"]
+
+
+def test_check_mode_flags_regressions():
+    sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+    try:
+        import bench_speed
+    finally:
+        sys.path.pop(0)
+    base = {"patterns": {"uc": {"cold_fast_seconds": 1.0}},
+            "long_kernels": {}, "table2": {"cold_seconds": 10.0}}
+    ok = {"patterns": {"uc": {"kernel": "sgemm-uc",
+                              "cold_fast_seconds": 1.2}},
+          "long_kernels": {}, "table2": {"cold_seconds": 11.0}}
+    bad = {"patterns": {"uc": {"kernel": "sgemm-uc",
+                               "cold_fast_seconds": 1.3}},
+           "long_kernels": {}, "table2": {"cold_seconds": 14.0}}
+    assert bench_speed._check(ok, base) == []
+    problems = bench_speed._check(bad, base)
+    assert len(problems) == 2
+    # points absent from the baseline never fail the gate
+    extra = {"patterns": {"new": {"kernel": "x",
+                                  "cold_fast_seconds": 99.0}},
+             "long_kernels": {}, "table2": {"cold_seconds": 10.0}}
+    assert bench_speed._check(extra, base) == []

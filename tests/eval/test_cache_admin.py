@@ -1,0 +1,115 @@
+"""Disk-cache administration: code-fingerprint key salting, usage
+stats, size-bounded pruning, and the ``repro cache`` CLI."""
+
+import os
+import time
+
+from repro.cli import main
+from repro.eval import diskcache
+
+
+def _populate(tmp_path, n=4, size=1000):
+    diskcache.configure(cache_dir=str(tmp_path))
+    keys = []
+    for i in range(n):
+        key = diskcache.cache_key("admin", i)
+        diskcache.store(key, b"x" * size)
+        keys.append(key)
+    return keys
+
+
+class TestCodeFingerprintSalt:
+    def test_key_changes_with_code_fingerprint(self, monkeypatch):
+        key = diskcache.cache_key("point", 1)
+        assert key == diskcache.cache_key("point", 1)  # deterministic
+        monkeypatch.setattr(diskcache, "_code_fp", "different-code")
+        assert diskcache.cache_key("point", 1) != key
+
+    def test_fingerprint_covers_package_sources(self):
+        fp = diskcache.code_fingerprint()
+        assert fp == diskcache.code_fingerprint()  # memoized
+        assert len(fp) == 64
+        # the fingerprint hashes this very package: its root holds
+        # the repro sources the walk is defined over
+        root = os.path.dirname(os.path.abspath(diskcache.__file__))
+        assert os.path.exists(os.path.join(root, "diskcache.py"))
+
+
+class TestDiskStatsAndPrune:
+    def test_stats_count_records_and_bytes(self, tmp_path):
+        _populate(tmp_path, n=3)
+        st = diskcache.disk_stats()
+        assert st["dir"] == str(tmp_path)
+        assert st["records"] == 3
+        assert st["bytes"] > 3 * 1000
+
+    def test_prune_keeps_newest_within_budget(self, tmp_path):
+        keys = _populate(tmp_path, n=4)
+        # make the first record clearly the oldest
+        old = diskcache._record_path(keys[0])
+        past = time.time() - 1000
+        os.utime(old, (past, past))
+        st = diskcache.disk_stats()
+        budget = st["bytes"] - 1  # force exactly one eviction
+        removed, freed = diskcache.prune(budget)
+        assert removed == 1
+        assert freed > 0
+        assert not os.path.exists(old)
+        assert diskcache.load(keys[-1]) is not None
+
+    def test_prune_to_zero_removes_everything(self, tmp_path):
+        _populate(tmp_path, n=3)
+        removed, _freed = diskcache.prune(0)
+        assert removed == 3
+        assert diskcache.disk_stats()["records"] == 0
+
+
+class TestDefaultFast:
+    def test_env_var_disables(self, monkeypatch):
+        from repro.eval import runner
+        monkeypatch.setattr(runner, "_DEFAULT_FAST", None)
+        monkeypatch.setenv("REPRO_NO_FAST", "1")
+        assert runner.default_fast() is False
+        monkeypatch.setattr(runner, "_DEFAULT_FAST", None)
+        monkeypatch.delenv("REPRO_NO_FAST")
+        assert runner.default_fast() is True
+
+    def test_set_default_fast_mirrors_env(self, monkeypatch):
+        from repro.eval import runner
+        saved = runner._DEFAULT_FAST
+        monkeypatch.setenv("REPRO_NO_FAST", "keep")  # restored on exit
+        try:
+            runner.set_default_fast(False)
+            assert os.environ.get("REPRO_NO_FAST") == "1"
+            assert runner.default_fast() is False
+            runner.set_default_fast(True)
+            assert "REPRO_NO_FAST" not in os.environ
+            assert runner.default_fast() is True
+        finally:
+            runner._DEFAULT_FAST = saved
+
+
+class TestCacheCLI:
+    def test_stats(self, tmp_path, capsys):
+        _populate(tmp_path, n=2)
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "2" in out
+
+    def test_clear(self, tmp_path, capsys):
+        _populate(tmp_path, n=2)
+        assert main(["cache", "clear"]) == 0
+        assert diskcache.disk_stats()["records"] == 0
+
+    def test_prune_with_size_suffix(self, tmp_path, capsys):
+        _populate(tmp_path, n=4, size=1024)
+        assert main(["cache", "prune", "--max-size", "2K"]) == 0
+        assert diskcache.disk_stats()["bytes"] <= 2048
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        other = tmp_path / "elsewhere"
+        other.mkdir()
+        assert main(["cache", "stats",
+                     "--cache-dir", str(other)]) == 0
+        assert str(other) in capsys.readouterr().out

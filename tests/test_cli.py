@@ -129,3 +129,30 @@ def test_table3(capsys):
     assert main(["table", "table3"]) == 0
     out = capsys.readouterr().out
     assert "ooo/4" in out and "LPSU" in out
+
+
+def test_verify_fast_slow(capsys):
+    rc = main(["verify", "--fast-slow", "sha-or"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert "0 failed" in out
+
+
+def test_kernel_no_fast_matches_fast(capsys):
+    assert main(["kernel", "sha-or", "--scale", "tiny"]) == 0
+    fast_out = capsys.readouterr().out
+    from repro.eval import runner
+    runner.clear_cache()
+    try:
+        rc = main(["kernel", "sha-or", "--scale", "tiny", "--no-fast"])
+        assert rc == 0
+        assert capsys.readouterr().out == fast_out
+    finally:
+        runner.set_default_fast(True)
+        runner.clear_cache()
+
+
+def test_cache_prune_requires_max_size(capsys):
+    assert main(["cache", "prune"]) == 2
+    assert "--max-size" in capsys.readouterr().err
