@@ -14,8 +14,10 @@ Three sections, emitted as a stable-schema JSON report
 
 ``long_kernels``
     The long-running kernels the fast path is asked to carry: cold
-    fast-vs-slow wall time at large scale.  The acceptance bar for the
-    fast path is >=3x on at least two of these.
+    fast-vs-slow wall time at large scale, both traditional (io) and
+    specialized (io+x) points.  The acceptance bar for the fast path
+    is >=3x on at least two of the traditional points and fast/slow
+    parity or better on every specialized one.
 
 ``table2``
     A full Table II regeneration cold vs warm.  The warm pass must be
@@ -28,7 +30,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_speed.py --check    # CI regression gate
 
 ``--check`` re-measures and fails (exit 1) if any cold wall-time
-regressed more than 25% against the committed ``BENCH_speed.json``.
+regressed more than 25% against the committed ``BENCH_speed.json``,
+or if any specialized point's fast path falls below fast/slow parity.
 """
 
 import argparse
@@ -58,21 +61,25 @@ PATTERN_POINTS = {
     "db": ("qsort-uc-db", "io+x", "specialized", "large"),
 }
 
-#: long-running points the fast path must carry (>=3x on >=2 of them);
-#: traditional io runs are dominated by the fused-superblock GPP model,
-#: hsort-ua's specialized run by LPSU commit-stall parking
+#: long-running points the fast path must carry (>=3x on >=2 of the
+#: traditional ones); traditional io runs are dominated by the
+#: fused-superblock GPP model, the specialized io+x points by the
+#: fused-lane LPSU engine
 LONG_POINTS = {
     "sgemm-uc": ("io", "traditional", "large"),
     "rgb2cmyk-uc": ("io", "traditional", "large"),
     "hsort-ua": ("io", "traditional", "large"),
     "viterbi-uc": ("io", "traditional", "large"),
+    "adpcm-or": ("io+x", "specialized", "large"),
+    "btree-ua": ("io+x", "specialized", "large"),
 }
 
 #: cold regression tolerance for --check (fraction over baseline)
 TOLERANCE = 0.25
 
-#: the two kernels the nightly CI smoke job re-measures (--smoke)
-SMOKE_KERNELS = ("rgb2cmyk-uc", "viterbi-uc")
+#: the kernels the nightly CI smoke job re-measures (--smoke): two
+#: traditional GPP points plus one specialized (io+x) LPSU point
+SMOKE_KERNELS = ("rgb2cmyk-uc", "viterbi-uc", "adpcm-or")
 
 
 def _cold(kernel, config, mode, scale, fast, repeats=3):
@@ -185,10 +192,18 @@ def _check(report, baseline):
         base = baseline.get(section, {})
         for key, entry in report.get(section, {}).items():
             b = base.get(key)
-            if b is None:
-                continue
-            cmp("%s/%s" % (section, key),
-                entry["cold_fast_seconds"], b.get("cold_fast_seconds"))
+            if b is not None:
+                cmp("%s/%s" % (section, key),
+                    entry["cold_fast_seconds"],
+                    b.get("cold_fast_seconds"))
+            # the fast path must stay a win on specialized points, not
+            # just avoid getting slower than its own baseline: below
+            # fast/slow parity means it is actively hurting
+            if entry.get("mode") == "specialized" \
+                    and entry["speedup"] < 1.0:
+                problems.append(
+                    "%s/%s: specialized fast path below fast/slow "
+                    "parity (%.2fx)" % (section, key, entry["speedup"]))
     now = report.get("table2", {}).get("cold_seconds")
     if now is not None:
         cmp("table2", now, baseline.get("table2", {}).get("cold_seconds"))

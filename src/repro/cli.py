@@ -11,6 +11,8 @@ table     regenerate one of the paper's tables/figures
 sweep     run an artifact's simulation points in parallel, cached
 verify    traditional-vs-specialized differential conformance under
           the runtime invariant monitor
+profile   cProfile one kernel simulation and print the hottest
+          functions
 isa       print the XLOOPS instruction-set extensions (Table I)
 """
 
@@ -154,6 +156,21 @@ def build_parser():
                         "(fusion + schedule memoization) bit-identical "
                         "to the slow path: cycles, events, stats, and "
                         "final memory")
+
+    p = sub.add_parser("profile",
+                       help="profile one kernel simulation and print "
+                            "the top cumulative hotspots")
+    p.add_argument("name", metavar="KERNEL",
+                   help="kernel name (see 'kernels')")
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--top", type=int, default=20, metavar="N",
+                   help="number of hotspots to print (default 20)")
+    p.add_argument("--sort", default="cumulative",
+                   choices=("cumulative", "tottime", "ncalls"),
+                   help="pstats sort order (default cumulative)")
+    _add_platform_args(p)
+    _add_fast_arg(p)
 
     p = sub.add_parser("cache",
                        help="inspect, clear, or prune the persistent "
@@ -398,6 +415,29 @@ def cmd_verify(args):
     return 1 if bad else 0
 
 
+def cmd_profile(args):
+    import cProfile
+    import pstats
+    from .eval import runner
+    _apply_fast_arg(args)
+    # a memo- or disk-served result would profile the cache instead of
+    # the simulator: drop in-process memos and bypass the disk cache
+    runner.clear_cache(keep_disk=True)
+    prof = cProfile.Profile()
+    prof.enable()
+    result = runner.run(args.name, args.config, mode=args.mode,
+                        scale=args.scale, use_disk_cache=False)
+    prof.disable()
+    print("kernel:  %s on %s (%s, scale=%s, fast=%s)"
+          % (args.name, args.config, args.mode, args.scale,
+             not getattr(args, "no_fast", False)))
+    print("cycles:  %d" % result.cycles)
+    print()
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def _parse_size(text):
     """``256M``/``2G``/``4096`` -> bytes (suffixes K/M/G, powers of
     1024)."""
@@ -471,7 +511,7 @@ _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
     "sweep": cmd_sweep, "verify": cmd_verify, "isa": cmd_isa,
-    "cache": cmd_cache,
+    "cache": cmd_cache, "profile": cmd_profile,
 }
 
 

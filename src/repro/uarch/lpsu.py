@@ -176,7 +176,7 @@ class LPSU:
 
     def __init__(self, descriptor, live_in_regs, mem, cache, config=None,
                  events=None, trace=None, decoded_body=None,
-                 monitor=None, fast=True, memo=None):
+                 monitor=None, fast=True, memo=None, engine=None):
         self.d = descriptor
         self.cfg = config or LPSUConfig()
         self.mem = mem
@@ -191,6 +191,9 @@ class LPSU:
         # observer that must see every individual step disables it.
         self.fast = bool(fast) and trace is None and monitor is None
         self._memo = memo    # optional ScheduleMemo (repro.uarch.schedmemo)
+        # optional compiled fused-lane step factory
+        # (repro.sim.fusion.lpsu_engine); bound by run()
+        self._engine = engine
         self.lat = None  # set by run() from the GPP latency table
 
         self.live_in = list(live_in_regs)
@@ -368,6 +371,14 @@ class LPSU:
         guard = 0
         contexts = self.contexts
         step = self._step
+        # compiled fused-lane engine: a generated drop-in for _step
+        # with this loop's statics folded in.  Recording cycles (the
+        # memo needs to see individual actions) and every non-fast /
+        # observed configuration keep the interpreted stepper.
+        engine_step = None
+        if (self._engine is not None and self._fuse
+                and self.events is not None):
+            engine_step = self._engine(self)
         finished = self._finished
         # with one context per lane every lane_id is unique, so the
         # issue-slot dedupe can never fire; skip its bookkeeping
@@ -408,7 +419,6 @@ class LPSU:
                 self._order = sorted(contexts, key=_ctx_order)
                 self._order_dirty = False
             order = self._order
-            idle = True
             if multithreaded:
                 issued_lanes = set()
                 for ctx in order:
@@ -416,21 +426,24 @@ class LPSU:
                         continue
                     if step(ctx, cycle):
                         issued_lanes.add(ctx.lane_id)
-                        idle = False
             else:
+                s = (engine_step
+                     if engine_step is not None and self._rec is None
+                     else step)
                 for ctx in order:
                     if ctx.active and ctx.ready_at > cycle:
                         continue
-                    if step(ctx, cycle):
-                        idle = False
+                    s(ctx, cycle)
             cycle += 1
             guard += 1
-            if (idle and fast
-                    and (self._active_count == n_ctx
-                         or not self._more_iterations())):
-                # nothing issued and no context can change state before
-                # the earliest wake-up: jump there (the skipped cycles
-                # touch no stat -- idle time derives from totals below)
+            if (fast and (self._active_count == n_ctx
+                          or not self._more_iterations())):
+                # event-driven scheduling: no context can change state
+                # before the earliest wake-up, so jump straight to it
+                # (the skipped cycles touch no stat -- idle time
+                # derives from totals below).  Every context that was
+                # denied this cycle still has ready_at <= cycle, which
+                # keeps the jump a no-op whenever anything could issue.
                 nxt = _FAR
                 for ctx in contexts:
                     if ctx.active and ctx.ready_at < nxt:

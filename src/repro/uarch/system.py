@@ -20,13 +20,14 @@ execution, so sequential composition is timing-exact).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..energy.events import EnergyEvents
 from ..sim.functional import (HALT_PC, FunctionalCore, SimError,
                               decode_program)
-from ..sim.fusion import fused_blocks
+from ..sim.fusion import fused_blocks, lpsu_engine
 from ..sim.memory import Memory, to_s32
 from .adaptive import (AdaptiveProfilingTable, DECIDED_SPECIALIZED,
                        DECIDED_TRADITIONAL, GPP_PROFILING, LPSU_PROFILING)
@@ -98,6 +99,11 @@ class SystemSimulator:
         # per-xloop-pc iteration-schedule memo tables, shared across
         # specialized invocations of the same static loop
         self._memos = {}
+        # compiled fused-lane LPSU engine (repro.sim.fusion, `lpsu`
+        # flavour); REPRO_NO_LPSU_ENGINE=1 disables just this layer
+        # while keeping the rest of the fast path
+        self._use_engine = (self.fast
+                            and not os.environ.get("REPRO_NO_LPSU_ENGINE"))
 
     # ------------------------------------------------------------------
 
@@ -292,15 +298,23 @@ class SystemSimulator:
             # imported lazily: repro.verify depends on uarch.params
             from ..verify import InvariantMonitor
             monitor = InvariantMonitor(desc, core.regs, self.mem)
+        engine = None
+        if self._use_engine:
+            engine = lpsu_engine(self.program, desc, self.config.lpsu,
+                                 self.config.gpp)
         memo = None
-        if self.fast:
+        if self.fast and engine is None:
+            # schedule memoization pays only on the interpreted
+            # stepper; with a compiled engine available, plain
+            # engine-stepped execution is faster than record + replay
             memo = self._memos.get(desc.xloop_pc)
             if memo is None:
                 memo = self._memos[desc.xloop_pc] = ScheduleMemo()
         lpsu = LPSU(desc, core.regs, self.mem, self.cache,
                     self.config.lpsu, self.events,
                     decoded_body=decoded[lo:lo + desc.body_len],
-                    monitor=monitor, fast=self.fast, memo=memo)
+                    monitor=monitor, fast=self.fast, memo=memo,
+                    engine=engine)
         result = lpsu.run(self.config.gpp.latencies, max_iters=max_iters)
         if monitor is not None:
             monitor.finalize(result)

@@ -23,6 +23,7 @@ not hide the rest of the sweep.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -172,11 +173,20 @@ def check_case(case, sweep=LPSU_SWEEP, adaptive=False):
 # fast-vs-slow differential mode
 # ----------------------------------------------------------------------
 
-def _run_snapshot(program, entry, args, mem, lpsu, mode, fast):
+def _run_snapshot(program, entry, args, mem, lpsu, mode, fast,
+                  no_engine=False):
     cfg = (SystemConfig("conf-x", _GPP, lpsu) if lpsu is not None
            else SystemConfig("conf-io", _GPP))
-    r = simulate(program, cfg, entry=entry, args=args, mem=mem,
-                 mode=mode, fast=fast)
+    if no_engine:
+        # exercise the interpreted-stepper + schedule-memo fast path
+        # with the compiled fused-lane engine disabled
+        os.environ["REPRO_NO_LPSU_ENGINE"] = "1"
+    try:
+        r = simulate(program, cfg, entry=entry, args=args, mem=mem,
+                     mode=mode, fast=fast)
+    finally:
+        if no_engine:
+            os.environ.pop("REPRO_NO_LPSU_ENGINE", None)
     ev = r.events
     return {
         "cycles": r.cycles,
@@ -192,10 +202,10 @@ def _run_snapshot(program, entry, args, mem, lpsu, mode, fast):
     }
 
 
-def _diff_detail(a, b):
+def _diff_detail(a, b, blabel="slow"):
     for k in a:
         if a[k] != b[k]:
-            return "%s: fast=%r slow=%r" % (k, a[k], b[k])
+            return "%s: fast=%r %s=%r" % (k, a[k], blabel, b[k])
     return "snapshots differ"
 
 
@@ -212,23 +222,34 @@ def check_fast_slow(name, program, entry, make_args, sweep=LPSU_SWEEP,
         points = [("traditional", None)]
         points += _specialized_points(sweep, adaptive)
         for mode, lpsu in points:
+            # LPSU points get a third variant: fast with the compiled
+            # fused-lane engine disabled, pinning the interpreted
+            # stepper + schedule-memo layer to the same contract
+            variants = [("fast", True, False), ("slow", False, False)]
+            if lpsu is not None:
+                variants.append(("fast-noengine", True, True))
             snaps = []
             mems = []
-            for fast in (True, False):
+            for _label, fast, no_engine in variants:
                 mem = Memory()
                 args = make_args(mem)
                 snaps.append(_run_snapshot(program, entry, args, mem,
-                                           lpsu, mode, fast))
+                                           lpsu, mode, fast,
+                                           no_engine=no_engine))
                 mems.append(mem)
             res.configs += 1
-            if snaps[0] != snaps[1]:
-                return res.fail("%s/%r fast!=slow: %s"
-                                % (mode, lpsu,
-                                   _diff_detail(snaps[0], snaps[1])))
-            if not mems[0].pages_equal(mems[1]):
-                return res.fail(
-                    "%s/%r fast memory differs from slow at 0x%x"
-                    % (mode, lpsu, mems[0].first_difference(mems[1])))
+            for v in range(1, len(variants)):
+                label = variants[v][0]
+                if snaps[0] != snaps[v]:
+                    return res.fail("%s/%r fast!=%s: %s"
+                                    % (mode, lpsu, label,
+                                       _diff_detail(snaps[0], snaps[v],
+                                                    label)))
+                if not mems[0].pages_equal(mems[v]):
+                    return res.fail(
+                        "%s/%r fast memory differs from %s at 0x%x"
+                        % (mode, lpsu, label,
+                           mems[0].first_difference(mems[v])))
     except Exception as exc:
         return res.fail("%s: %s" % (type(exc).__name__, exc))
     return res

@@ -25,6 +25,26 @@ class TestCodeFingerprintSalt:
         monkeypatch.setattr(diskcache, "_code_fp", "different-code")
         assert diskcache.cache_key("point", 1) != key
 
+    def test_fingerprint_hashed_once_per_interpreter(self,
+                                                     monkeypatch):
+        # the package walk + hash is paid at most once per process:
+        # repeated runner.run entry points (and every cache_key call)
+        # must reuse the memoized digest
+        calls = []
+        real_walk = os.walk
+
+        def counting_walk(*args, **kw):
+            calls.append(args)
+            return real_walk(*args, **kw)
+
+        monkeypatch.setattr(diskcache, "_code_fp", None)
+        monkeypatch.setattr(diskcache.os, "walk", counting_walk)
+        fp = diskcache.code_fingerprint()
+        assert diskcache.code_fingerprint() == fp
+        diskcache.cache_key("point", 1)
+        diskcache.cache_key("point", 2)
+        assert len(calls) == 1
+
     def test_fingerprint_covers_package_sources(self):
         fp = diskcache.code_fingerprint()
         assert fp == diskcache.code_fingerprint()  # memoized

@@ -156,3 +156,14 @@ def test_kernel_no_fast_matches_fast(capsys):
 def test_cache_prune_requires_max_size(capsys):
     assert main(["cache", "prune"]) == 2
     assert "--max-size" in capsys.readouterr().err
+
+
+def test_profile_prints_hotspots(capsys):
+    rc = main(["profile", "sha-or", "--scale", "tiny", "--top", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sha-or on io+x" in out
+    assert "cycles:" in out
+    # pstats table with the requested restriction applied
+    assert "cumtime" in out
+    assert "due to restriction <5>" in out

@@ -128,6 +128,70 @@ class TestSystemFastSlow:
         # traditional + sweep points + one adaptive run were compared
         assert res.configs == len(_SWEEP) + 2
 
+    @pytest.mark.parametrize("name", _KERNELS)
+    def test_noengine_fast_path_stays_bit_identical(self, name,
+                                                    monkeypatch):
+        # the interpreted-stepper fast path (schedule memo + batch
+        # loop) must honour the same contract when the compiled
+        # fused-lane engine is disabled via its escape hatch
+        spec, program = _program(name)
+        results = []
+        for no_engine in (True, False):
+            if no_engine:
+                monkeypatch.setenv("REPRO_NO_LPSU_ENGINE", "1")
+            else:
+                monkeypatch.delenv("REPRO_NO_LPSU_ENGINE",
+                                   raising=False)
+            mem = Memory()
+            args = spec.workload("tiny", 0).apply(mem)
+            r = simulate(program, SystemConfig("t", IO, LPSUConfig()),
+                         entry=spec.entry, args=args, mem=mem,
+                         mode="specialized", fast=True)
+            results.append((r, mem))
+        (ne_r, ne_mem), (en_r, en_mem) = results
+        assert ne_r.cycles == en_r.cycles
+        assert repr(ne_r.lpsu_stats) == repr(en_r.lpsu_stats)
+        assert dict(vars(ne_r.events)) == dict(vars(en_r.events))
+        assert ne_mem.pages_equal(en_mem)
+
+    def test_verified_run_bypasses_fused_lanes(self):
+        # verify=True attaches the invariant monitor, which must see
+        # every interpreted step: the engine (and the fast path as a
+        # whole) transparently disengages, while timing stays
+        # bit-identical to an unmonitored run
+        spec, program = _program("sgemm-uc")
+
+        def run(**kw):
+            mem = Memory()
+            args = spec.workload("tiny", 0).apply(mem)
+            r = simulate(program, SystemConfig("t", IO, LPSUConfig()),
+                         entry=spec.entry, args=args, mem=mem,
+                         mode="specialized", **kw)
+            return r, mem
+        ver_r, ver_mem = run(fast=True, verify=True)
+        fast_r, fast_mem = run(fast=True)
+        assert ver_r.cycles == fast_r.cycles
+        assert repr(ver_r.lpsu_stats) == repr(fast_r.lpsu_stats)
+        assert ver_mem.pages_equal(fast_mem)
+
+    def test_engine_compiles_for_every_pattern(self):
+        # the fused-lane engine must actually engage on all five
+        # dependence patterns (a silent fallback to the interpreted
+        # stepper would still be bit-identical, but not fast)
+        for name in _KERNELS:
+            spec, program = _program(name)
+            mem = Memory()
+            args = spec.workload("tiny", 0).apply(mem)
+            sim = SystemSimulator(program,
+                                  SystemConfig("t", IO, LPSUConfig()),
+                                  mem=mem, fast=True)
+            sim.run(entry=spec.entry, args=args, mode="specialized")
+            engines = [v for k, v in
+                       getattr(program, "_fused", {}).items()
+                       if k[0] == "lpsu"]
+            assert engines and all(e is not None for e in engines), \
+                "no compiled engine for %s" % name
+
     def test_adaptive_decisions_identical(self):
         spec, program = _program("war-om")
         results = []
@@ -151,7 +215,12 @@ class TestSystemFastSlow:
 # ---------------------------------------------------------------------------
 
 class TestScheduleMemo:
-    def _run(self, name, fast):
+    def _run(self, name, fast, monkeypatch=None):
+        if monkeypatch is not None:
+            # schedule memoization only engages when the fused-lane
+            # engine is unavailable; force the interpreted stepper so
+            # the memo layer is actually exercised
+            monkeypatch.setenv("REPRO_NO_LPSU_ENGINE", "1")
         spec, program = _program(name)
         mem = Memory()
         args = spec.workload("tiny", 0).apply(mem)
@@ -161,11 +230,11 @@ class TestScheduleMemo:
         r = sim.run(entry=spec.entry, args=args, mode="specialized")
         return sim, r, mem
 
-    def test_memo_replays_and_stays_bit_identical(self):
+    def test_memo_replays_and_stays_bit_identical(self, monkeypatch):
         # Floyd-Warshall re-invokes the same static xloop with a
         # recurring schedule: the memo must actually get hits, and the
         # run must still match the slow path exactly.
-        sim, fast_r, fast_mem = self._run("war-uc", True)
+        sim, fast_r, fast_mem = self._run("war-uc", True, monkeypatch)
         _, slow_r, slow_mem = self._run("war-uc", False)
         assert fast_r.cycles == slow_r.cycles
         assert repr(fast_r.lpsu_stats) == repr(slow_r.lpsu_stats)
