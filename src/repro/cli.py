@@ -13,6 +13,8 @@ verify    traditional-vs-specialized differential conformance under
           the runtime invariant monitor
 profile   cProfile one kernel simulation and print the hottest
           functions
+inject    seeded fault-injection campaign over the LPSU's
+          architectural state, classified against the monitor
 isa       print the XLOOPS instruction-set extensions (Table I)
 """
 
@@ -131,6 +133,17 @@ def build_parser():
                    help="restrict to these kernels")
     p.add_argument("--quiet", action="store_true",
                    help="omit the per-point wall-time table")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                   help="per-point wall-clock bound; a worker over "
+                        "budget is killed and the point retried "
+                        "(default: unbounded)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="max attempts per point before it is "
+                        "quarantined (default 3; the last attempt "
+                        "disables the fast path)")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="checkpoint completed points to FILE so an "
+                        "interrupted sweep resumes where it stopped")
     _add_cache_args(p)
     _add_fast_arg(p)
 
@@ -175,16 +188,50 @@ def build_parser():
     p = sub.add_parser("cache",
                        help="inspect, clear, or prune the persistent "
                             "result cache")
-    p.add_argument("action", choices=("stats", "clear", "prune"),
+    p.add_argument("action", choices=("stats", "clear", "prune", "fsck"),
                    help="stats: show record count and size; clear: "
                         "delete everything; prune: drop the oldest "
-                        "records down to --max-size")
+                        "records down to --max-size; fsck: verify "
+                        "every record's checksum, quarantine damage, "
+                        "sweep stale temp files")
     p.add_argument("--max-size", metavar="SIZE",
                    help="prune target, e.g. 256M, 2G, or bytes "
                         "(required for 'prune')")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache location (default ~/.cache/repro or "
                         "$REPRO_CACHE_DIR)")
+
+    p = sub.add_parser("inject",
+                       help="seeded fault-injection campaign: corrupt "
+                            "architectural state mid-run and classify "
+                            "what the invariant monitor catches")
+    p.add_argument("--count", type=int, default=200, metavar="N",
+                   help="number of injections (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; the same seed replays the "
+                        "same campaign bit-for-bit (default 0)")
+    p.add_argument("--kernels", nargs="*", metavar="KERNEL",
+                   help="kernels to inject into (default: one per "
+                        "loop-dependence pattern)")
+    p.add_argument("--targets", nargs="*", metavar="TARGET",
+                   help="state classes to corrupt (default: reg cib "
+                        "lsq mivt mem)")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "large"),
+                   help="workload scale (default tiny)")
+    p.add_argument("--config", default="io+x", choices=sorted(CONFIGS),
+                   help="platform configuration (default io+x)")
+    p.add_argument("--timeout", type=float, default=30.0, metavar="SEC",
+                   help="per-injection wall-clock bound (default 30)")
+    p.add_argument("--min-detection", type=float, default=0.0,
+                   metavar="RATE",
+                   help="exit nonzero if the detection rate of "
+                        "monitor-visible faults falls below RATE "
+                        "(e.g. 0.9)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-injection progress dots")
 
     sub.add_parser("isa", help="print Table I")
     return parser
@@ -382,9 +429,12 @@ def cmd_sweep(args):
         points = [pt for make in sets.values() for pt in make()]
     else:
         points = sets[args.what]()
-    summary = parallel.sweep(points, jobs=args.jobs)
+    summary = parallel.sweep(points, jobs=args.jobs,
+                             timeout=args.timeout,
+                             retries=args.retries,
+                             checkpoint=args.checkpoint)
     print(summary.render(per_point=not args.quiet))
-    return 0
+    return 0 if summary.ok else 1
 
 
 def cmd_verify(args):
@@ -473,6 +523,17 @@ def cmd_cache(args):
         removed = diskcache.clear()
         print("removed %d record(s)" % removed)
         return 0
+    if args.action == "fsck":
+        report = diskcache.fsck()
+        print("cache dir: %s" % report["dir"])
+        print("checked:   %d record(s)" % report["checked"])
+        print("ok:        %d (%d legacy un-checksummed)"
+              % (report["ok"], report["legacy"]))
+        print("corrupt:   %d (quarantined)" % report["corrupt"])
+        for path in report["quarantined"]:
+            print("  -> %s" % path)
+        print("stale tmp: %d removed" % report["stale_tmp"])
+        return 1 if report["corrupt"] else 0
     # prune
     if not args.max_size:
         print("error: prune requires --max-size (e.g. --max-size 256M)",
@@ -489,6 +550,51 @@ def cmd_cache(args):
     print("removed %d record(s), freed %s; now %d record(s), %s"
           % (removed, _fmt_size(freed), st["records"],
              _fmt_size(st["bytes"])))
+    return 0
+
+
+def cmd_inject(args):
+    from .resilience import (CampaignConfig, CampaignError,
+                             FAULT_TARGETS, run_campaign)
+    kw = {}
+    if args.kernels:
+        kw["kernels"] = tuple(args.kernels)
+    if args.targets:
+        unknown = set(args.targets) - set(FAULT_TARGETS)
+        if unknown:
+            print("error: unknown fault target(s) %s (choose from %s)"
+                  % (", ".join(sorted(unknown)),
+                     " ".join(FAULT_TARGETS)), file=sys.stderr)
+            return 2
+        kw["targets"] = tuple(args.targets)
+    cfg = CampaignConfig(config=args.config, scale=args.scale,
+                         seed=args.seed, count=args.count,
+                         timeout=args.timeout, **kw)
+
+    def progress(done, total, outcome):
+        if args.quiet:
+            return
+        sys.stdout.write(".")
+        if done % 50 == 0 or done == total:
+            sys.stdout.write(" %d/%d\n" % (done, total))
+        sys.stdout.flush()
+
+    try:
+        report = run_campaign(cfg, progress=progress)
+    except CampaignError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json:
+        import json
+        with open(args.json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+        print("wrote %s" % args.json)
+    if args.min_detection and report.detection_rate < args.min_detection:
+        print("FAIL: detection rate %.3f below required %.3f"
+              % (report.detection_rate, args.min_detection),
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -511,7 +617,7 @@ _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
     "sweep": cmd_sweep, "verify": cmd_verify, "isa": cmd_isa,
-    "cache": cmd_cache, "profile": cmd_profile,
+    "cache": cmd_cache, "profile": cmd_profile, "inject": cmd_inject,
 }
 
 

@@ -19,6 +19,15 @@ the destination directory and published with :func:`os.replace`, so a
 concurrent reader sees either nothing or a complete record, and two
 workers racing on the same point both write the same bytes.
 
+Records are integrity-checked: the on-disk format is a ``RPR1`` magic,
+the SHA-256 of the pickled payload, then the payload itself.  A record
+that fails its checksum or does not unpickle (truncation, bit rot, a
+crashed writer that somehow bypassed the atomic rename) is *never*
+served: it counts as a miss and is moved to ``<cache-dir>/quarantine/``
+for post-mortem instead of being silently trusted or deleted.  Bare
+pickle records from older versions are still readable.  ``repro cache
+fsck`` (:func:`fsck`) audits the whole cache offline.
+
 Environment knobs (read at call time, so they work for forked pool
 workers too):
 
@@ -46,7 +55,11 @@ _dir_override = None
 _force_disabled = False
 
 #: process-local counters, reported in sweep summaries
-stats = {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+stats = {"hits": 0, "misses": 0, "writes": 0, "errors": 0,
+         "corrupt": 0, "quarantined": 0}
+
+#: record-format magic: MAGIC + sha256(payload) + payload
+MAGIC = b"RPR1"
 
 
 def configure(cache_dir=None, enabled=None):
@@ -128,36 +141,88 @@ def _record_path(key):
     return os.path.join(cache_dir(), key[:2], key + ".pkl")
 
 
+class CorruptRecord(Exception):
+    """A cache record failed its checksum or did not deserialize."""
+
+
+def _decode(blob):
+    """Deserialize one on-disk record (checksummed or legacy bare
+    pickle); raises :class:`CorruptRecord` on any damage."""
+    if blob.startswith(MAGIC):
+        digest, payload = blob[4:36], blob[36:]
+        if len(digest) != 32 \
+                or hashlib.sha256(payload).digest() != digest:
+            raise CorruptRecord("checksum mismatch")
+    else:
+        payload = blob   # legacy record: bare pickle, best effort
+    try:
+        return pickle.loads(payload)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError, TypeError,
+            MemoryError) as exc:
+        raise CorruptRecord("%s: %s" % (type(exc).__name__, exc))
+
+
+def _quarantine(path):
+    """Move a damaged record to ``<cache-dir>/quarantine/`` for
+    post-mortem; returns the destination (or None if the move
+    failed -- the record is then simply left in place)."""
+    qdir = os.path.join(cache_dir(), "quarantine")
+    try:
+        os.makedirs(qdir, exist_ok=True)
+        dest = os.path.join(qdir, os.path.basename(path))
+        n = 0
+        while os.path.exists(dest):
+            n += 1
+            dest = os.path.join(qdir,
+                                "%s.%d" % (os.path.basename(path), n))
+        os.replace(path, dest)
+    except OSError:
+        return None
+    stats["quarantined"] += 1
+    return dest
+
+
 def load(key):
-    """Return the cached object for *key*, or None.  Corrupt or
-    unreadable records count as misses (and are left for the next
-    store to overwrite)."""
+    """Return the cached object for *key*, or None.  A truncated,
+    checksum-failing, or otherwise unreadable record counts as a miss
+    and is quarantined (the caller re-simulates and overwrites)."""
     if not enabled():
         return None
     path = _record_path(key)
     try:
         with open(path, "rb") as f:
-            obj = pickle.load(f)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError):
+            blob = f.read()
+    except OSError:
         stats["misses"] += 1
+        return None
+    try:
+        obj = _decode(blob)
+    except CorruptRecord:
+        stats["corrupt"] += 1
+        stats["misses"] += 1
+        _quarantine(path)
         return None
     stats["hits"] += 1
     return obj
 
 
 def store(key, obj):
-    """Atomically publish *obj* under *key* (write-to-temp + rename)."""
+    """Atomically publish *obj* under *key* (write-to-temp + rename),
+    wrapped in the checksummed record format."""
     if not enabled():
         return False
     path = _record_path(key)
     directory = os.path.dirname(path)
     try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as f:
-                pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+                f.write(MAGIC)
+                f.write(hashlib.sha256(payload).digest())
+                f.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -200,6 +265,50 @@ def disk_stats():
         records += 1
         total += size
     return {"dir": cache_dir(), "records": records, "bytes": total}
+
+
+def fsck(remove_stale_tmp=True, tmp_age=300.0):
+    """Audit every record on disk: verify checksums, quarantine
+    damaged records, and sweep stale ``.tmp`` droppings older than
+    *tmp_age* seconds (a crashed writer's leftovers; young ones may
+    belong to a live writer and are kept).
+
+    Returns a report dict: ``checked``, ``ok``, ``legacy`` (readable
+    pre-checksum records), ``corrupt``, ``quarantined`` (destination
+    paths), ``stale_tmp`` (removed count).
+    """
+    import time
+    report = {"dir": cache_dir(), "checked": 0, "ok": 0, "legacy": 0,
+              "corrupt": 0, "quarantined": [], "stale_tmp": 0}
+    now = time.time()
+    for path, _size, mtime in list(_iter_records()):
+        if path.endswith(".tmp"):
+            if remove_stale_tmp and now - mtime > tmp_age:
+                try:
+                    os.unlink(path)
+                    report["stale_tmp"] += 1
+                except OSError:
+                    pass
+            continue
+        report["checked"] += 1
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+        except OSError:
+            continue
+        try:
+            _decode(blob)
+        except CorruptRecord:
+            report["corrupt"] += 1
+            stats["corrupt"] += 1
+            dest = _quarantine(path)
+            if dest:
+                report["quarantined"].append(dest)
+            continue
+        report["ok"] += 1
+        if not blob.startswith(MAGIC):
+            report["legacy"] += 1
+    return report
 
 
 def prune(max_bytes):

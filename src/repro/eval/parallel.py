@@ -78,11 +78,23 @@ class PointOutcome:
 
 @dataclass
 class SweepSummary:
-    """What one executor invocation did, and how long it took."""
+    """What one executor invocation did, and how long it took.
+
+    Beyond the outcome list, the summary carries the hardened
+    runtime's structured records: per-attempt :class:`RetryEvent`\\ s,
+    quarantined :class:`PointFailure`\\ s (points whose every attempt
+    failed -- the sweep completes without them instead of aborting),
+    and :class:`~repro.eval.runner.Incident`\\ s (degradations the
+    runtime absorbed, like fast-path fallbacks or a parallel-to-serial
+    downgrade, flagged by :attr:`degraded`)."""
 
     outcomes: List[PointOutcome] = field(default_factory=list)
     wall_time: float = 0.0
     jobs: int = 1
+    failures: List = field(default_factory=list)   # PointFailure
+    retries: List = field(default_factory=list)    # RetryEvent
+    incidents: List = field(default_factory=list)  # runner.Incident
+    degraded: bool = False     # parallel execution fell back to serial
 
     @property
     def points(self):
@@ -98,11 +110,34 @@ class SweepSummary:
         """Points served from the memo or the disk cache."""
         return sum(1 for o in self.outcomes if not o.simulated)
 
+    @property
+    def ok(self):
+        """No point was quarantined (retried-and-recovered is ok)."""
+        return not self.failures
+
     def render(self, per_point=False):
         lines = ["sweep: %d points in %.2fs (%d jobs): "
                  "%d simulated, %d cached"
                  % (self.points, self.wall_time, self.jobs,
                     self.misses, self.hits)]
+        if self.retries:
+            lines.append("retries: %d" % len(self.retries))
+            for ev in self.retries:
+                lines.append("  retry %s attempt %d (%s): %s"
+                             % (ev.label, ev.attempt, ev.kind,
+                                ev.error))
+        if self.failures:
+            lines.append("QUARANTINED %d point(s):" % len(self.failures))
+            for fl in self.failures:
+                lines.append("  %s after %d attempts (%s): %s"
+                             % (fl.label, fl.attempts, fl.kind,
+                                fl.error))
+        if self.degraded:
+            lines.append("DEGRADED: parallel execution fell back to "
+                         "serial")
+        for inc in self.incidents:
+            lines.append("incident [%s] %s: %s"
+                         % (inc.kind, inc.context, inc.detail))
         if per_point:
             rows = [[o.point.label(),
                      "%.3f" % o.wall_time,
@@ -114,27 +149,15 @@ class SweepSummary:
         return "\n".join(lines)
 
 
-def _execute_point(point):
-    """Run one point (worker side); returns the full outcome so the
-    parent can seed its memo."""
-    t0 = time.perf_counter()
-    before = runner.simulations
-    result = runner.run(point.kernel, point.config,
-                        **point.run_kwargs())
-    wall = time.perf_counter() - t0
-    return point, result, wall, runner.simulations > before
-
-
-def _pool_context():
-    import multiprocessing
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        return multiprocessing.get_context("spawn")
-
-
 class SweepExecutor:
     """Executes batches of sweep points, optionally in parallel.
+
+    Execution is delegated to the hardened engine in
+    :mod:`repro.eval.hardening`: each point runs in its own forked
+    worker under a wall-clock watchdog, crashes and hangs are isolated
+    and retried with exponential backoff, exhausted points are
+    quarantined instead of aborting the sweep, and worker-spawn
+    failure degrades to serial in-process execution.
 
     Parameters
     ----------
@@ -147,10 +170,29 @@ class SweepExecutor:
         ``False`` disables the disk cache for this process and its
         workers (``REPRO_NO_CACHE``); the in-process memo still
         applies.
+    timeout
+        Per-point wall-clock bound in seconds (0 = unbounded).  In
+        parallel mode a worker over budget is killed; in serial mode
+        the SIGALRM watchdog interrupts the simulation.
+    retries
+        Maximum attempts per point (the last one with the simulator
+        fast path disabled).
+    backoff
+        Base retry backoff in seconds; doubles per failed attempt.
+    checkpoint
+        Path of a checkpoint file for resumable sweeps (completed and
+        quarantined points are skipped on re-run).
     """
 
-    def __init__(self, jobs=None, cache_dir=None, use_cache=True):
+    def __init__(self, jobs=None, cache_dir=None, use_cache=True,
+                 timeout=0.0, retries=3, backoff=0.25, checkpoint=None):
         self.jobs = max(1, int(jobs)) if jobs else 1
+        from .hardening import HardeningPolicy
+        self.policy = HardeningPolicy(
+            timeout=float(timeout or 0.0),
+            retries=max(1, int(retries)),
+            backoff=max(0.0, float(backoff)),
+            checkpoint=str(checkpoint) if checkpoint else "")
         from . import diskcache
         if cache_dir is not None:
             diskcache.configure(cache_dir=cache_dir)
@@ -161,6 +203,7 @@ class SweepExecutor:
         """Execute *points* (deduplicated, order-preserving); returns
         a :class:`SweepSummary`.  Every result ends up in the parent
         process's memo."""
+        from .hardening import execute_points
         points = list(dict.fromkeys(points))
         t0 = time.perf_counter()
         summary = SweepSummary(jobs=self.jobs)
@@ -173,27 +216,17 @@ class SweepExecutor:
             else:
                 pending.append(pt)
 
-        if self.jobs <= 1 or len(pending) <= 1:
-            for pt in pending:
-                pt, result, wall, simulated = _execute_point(pt)
-                summary.outcomes.append(
-                    PointOutcome(pt, wall, simulated))
-        else:
-            ctx = _pool_context()
-            with ctx.Pool(min(self.jobs, len(pending))) as pool:
-                for pt, result, wall, simulated in pool.imap_unordered(
-                        _execute_point, pending):
-                    runner.seed_result(pt.memo_key(), result)
-                    summary.outcomes.append(
-                        PointOutcome(pt, wall, simulated))
+        execute_points(pending, self.jobs, self.policy, summary)
         summary.wall_time = time.perf_counter() - t0
         return summary
 
 
-def sweep(points, jobs=None, cache_dir=None, use_cache=True):
-    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+def sweep(points, jobs=None, cache_dir=None, use_cache=True, **policy):
+    """One-shot convenience wrapper around :class:`SweepExecutor`;
+    ``**policy`` forwards the hardening knobs (timeout, retries,
+    backoff, checkpoint)."""
     return SweepExecutor(jobs=jobs, cache_dir=cache_dir,
-                         use_cache=use_cache).run_points(points)
+                         use_cache=use_cache, **policy).run_points(points)
 
 
 # ---------------------------------------------------------------------------

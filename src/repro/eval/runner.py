@@ -11,14 +11,15 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .. import __version__
 from ..energy import MCPAT_45NM, VLSI_40NM, system_energy
 from ..energy.events import EnergyEvents
 from ..kernels import get_kernel
 from ..lang import compile_source
-from ..sim import Memory
+from ..resilience.watchdog import DeadlineExceeded
+from ..sim import LivelockError, Memory
 from ..uarch import SystemSimulator
 from ..uarch.lpsu import LPSUStats
 from ..uarch.params import SystemConfig
@@ -71,6 +72,37 @@ def _compiled(kernel_name, binary, xi_enabled, schedule_cirs=False):
 
 
 _RESULTS: Dict[tuple, KernelRun] = {}
+
+
+@dataclass
+class Incident:
+    """A degradation the runtime absorbed instead of failing.
+
+    Recorded (never silently swallowed) whenever :func:`run` falls
+    back from the fast path to the interpreted slow path, or the sweep
+    executor degrades from parallel to serial execution."""
+
+    kind: str       # "fast-path-fallback", "parallel-to-serial", ...
+    context: str    # the point/label the incident happened on
+    detail: str     # the triggering error
+
+
+#: process-wide incident log (appended by :func:`run`, drained by the
+#: sweep executor into its summary)
+_INCIDENTS: List[Incident] = []
+
+
+def incidents():
+    """The incidents recorded in this process so far."""
+    return list(_INCIDENTS)
+
+
+def drain_incidents():
+    """Return and clear the incident log (sweep summaries take
+    ownership of what happened during their run)."""
+    out = list(_INCIDENTS)
+    del _INCIDENTS[:]
+    return out
 
 #: process-wide default for :func:`run`'s *fast* parameter.  ``None``
 #: means "not decided yet": the first resolution consults
@@ -125,7 +157,7 @@ def _fingerprint(spec, sysconfig, mode, binary, xi_enabled, scale,
 def run(kernel_name, config_name, mode="traditional", binary="xloops",
         xi_enabled=True, scale="small", seed=0, check=True,
         schedule_cirs=False, use_disk_cache=True, verify=False,
-        fast=None):
+        fast=None, max_cycles=None):
     """Simulate one (kernel, platform, mode) point.
 
     Results are memoized in-process and persisted to the disk cache;
@@ -171,15 +203,41 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
             return cached
 
     compiled = _compiled(kernel_name, binary, xi_enabled, schedule_cirs)
-    workload = spec.workload(scale, seed)
-    mem = Memory()
-    args = workload.apply(mem)
-    sim = SystemSimulator(compiled.program, sysconfig, mem=mem,
-                          verify=verify, fast=fast)
-    simulations += 1
-    result = sim.run(entry=spec.entry, args=args, mode=mode)
-    if check:
-        workload.check(mem)
+
+    def attempt(fast_now):
+        # a fresh Memory/workload per attempt: a failed attempt may
+        # have left memory half-written
+        global simulations
+        workload = spec.workload(scale, seed)
+        mem = Memory()
+        args = workload.apply(mem)
+        sim = SystemSimulator(compiled.program, sysconfig, mem=mem,
+                              verify=verify, fast=fast_now,
+                              max_cycles=max_cycles)
+        simulations += 1
+        result = sim.run(entry=spec.entry, args=args, mode=mode)
+        if check:
+            workload.check(mem)
+        return result
+
+    try:
+        result = attempt(fast)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except (LivelockError, DeadlineExceeded):
+        raise    # watchdog verdicts are never retried away
+    except Exception as exc:
+        from ..verify import InvariantViolation
+        if isinstance(exc, InvariantViolation) or not fast:
+            raise    # a violation must surface; slow path has no ladder
+        # graceful degradation: retry once on the interpreted slow
+        # path, and record the incident rather than hiding it
+        _INCIDENTS.append(Incident(
+            kind="fast-path-fallback",
+            context="%s/%s/%s/%s/%s" % (kernel_name, sysconfig.name,
+                                        mode, binary, scale),
+            detail="%s: %s" % (type(exc).__name__, exc)))
+        result = attempt(False)
 
     out = KernelRun(
         kernel=kernel_name, config=sysconfig.name, mode=mode,

@@ -1,0 +1,349 @@
+"""Seeded fault-injection campaigns over the specialized execution
+pipeline.
+
+A campaign is three deterministic steps:
+
+1. **Profile** each kernel once, clean, with the invariant monitor on
+   and an event-counting injector attached: this yields the observer-
+   event count (the trigger space), the clean cycle count (the
+   livelock budget), and the clean final-memory fingerprint (the
+   masked/SDC discriminator).
+
+2. **Plan** ``count`` faults with a seeded :class:`random.Random`:
+   kernels round-robin so every loop-dependence pattern is exercised,
+   targets/triggers/selectors drawn from the seeded stream.  The plan
+   depends only on (seed, kernels, targets, count, profiles), so the
+   same seed replays the same campaign bit-for-bit.
+
+3. **Run** each fault in a fresh simulator under the invariant monitor
+   plus cycle-budget and wall-clock watchdogs, and classify:
+
+   ``detected``
+       the monitor raised an :class:`~repro.verify.InvariantViolation`
+       (with cycle/lane attribution).
+   ``hang``
+       a cycle budget (:class:`~repro.sim.LivelockError`) or wall-clock
+       deadline (:class:`~repro.resilience.watchdog.DeadlineExceeded`)
+       expired.
+   ``crash``
+       any other exception escaped the simulator.
+   ``masked``
+       the run completed and final memory matches the clean reference.
+   ``sdc``
+       silent data corruption: the run completed, nothing was raised,
+       but final memory differs from the clean reference.
+
+The headline number is the **detection rate**: of the faults that were
+architecturally visible at the end of the run (``detected + sdc``),
+what fraction did the monitor catch?
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kernels import get_kernel
+from ..sim import LivelockError, Memory
+from ..uarch import SystemSimulator
+from ..verify import InvariantViolation
+from .faults import FAULT_TARGETS, FaultInjector, FaultSpec
+from .watchdog import DeadlineExceeded, deadline
+
+#: classification buckets, in report order
+OUTCOMES = ("masked", "detected", "sdc", "hang", "crash")
+
+#: one kernel per supported inter-iteration dependence pattern
+#: (unordered-concurrent, ordered-register, ordered-memory,
+#: ordered-register+memory, unordered-atomic)
+DEFAULT_KERNELS = ("sgemm-uc", "dither-or", "ksack-sm-om",
+                   "stencil-orm", "hsort-ua")
+
+
+class CampaignError(Exception):
+    """The campaign could not be set up (e.g. a kernel never runs
+    specialized at the chosen scale, so there is nothing to inject
+    into)."""
+
+
+@dataclass
+class CampaignConfig:
+    """Everything a campaign depends on; all fields feed the plan."""
+
+    kernels: Sequence[str] = DEFAULT_KERNELS
+    config: str = "io+x"
+    scale: str = "tiny"
+    workload_seed: int = 0
+    seed: int = 0
+    count: int = 200
+    targets: Sequence[str] = FAULT_TARGETS
+    #: livelock budget multiplier over the clean run's cycle count
+    cycle_slack: int = 64
+    #: per-injection wall-clock bound, seconds (0 disables)
+    timeout: float = 30.0
+
+
+@dataclass
+class KernelProfile:
+    """Clean-run reference data for one kernel."""
+
+    kernel: str
+    events: int        # total observer events (the trigger space)
+    cycles: int        # clean end-to-end cycle count
+    fingerprint: str   # clean final-memory sha256
+
+
+@dataclass
+class InjectionOutcome:
+    """One fault, fully attributed."""
+
+    kernel: str
+    spec: FaultSpec
+    outcome: str               # one of OUTCOMES
+    detail: str                # exception text / mutation description
+    mutation: str = ""         # what the injector actually flipped
+    injected_cycle: int = -1   # LPSU cycle the fault landed on
+    fell_back: bool = False    # planned target was empty -> reg fault
+    detected_check: str = ""   # InvariantViolation.check
+    detected_cycle: int = -1
+    detected_lane: int = -1
+    detected_iteration: int = -1
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign results (deterministic for a given seed)."""
+
+    config: CampaignConfig
+    profiles: Dict[str, KernelProfile]
+    outcomes: List[InjectionOutcome] = field(default_factory=list)
+
+    # -- aggregation ------------------------------------------------------
+
+    def counts(self):
+        out = {name: 0 for name in OUTCOMES}
+        for rec in self.outcomes:
+            out[rec.outcome] += 1
+        return out
+
+    def counts_by_target(self):
+        table = {}
+        for rec in self.outcomes:
+            target = rec.spec.target
+            row = table.setdefault(target,
+                                   {name: 0 for name in OUTCOMES})
+            row[rec.outcome] += 1
+        return table
+
+    @property
+    def detection_rate(self):
+        """detected / (detected + sdc): of the faults visible in final
+        architectural state, the fraction the monitor caught."""
+        counts = self.counts()
+        visible = counts["detected"] + counts["sdc"]
+        return counts["detected"] / visible if visible else 1.0
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "config": {
+                "kernels": list(self.config.kernels),
+                "config": self.config.config,
+                "scale": self.config.scale,
+                "workload_seed": self.config.workload_seed,
+                "seed": self.config.seed,
+                "count": self.config.count,
+                "targets": list(self.config.targets),
+                "cycle_slack": self.config.cycle_slack,
+            },
+            "profiles": {
+                name: {"events": p.events, "cycles": p.cycles,
+                       "fingerprint": p.fingerprint}
+                for name, p in sorted(self.profiles.items())},
+            "counts": self.counts(),
+            "counts_by_target": self.counts_by_target(),
+            "detection_rate": self.detection_rate,
+            "injections": [
+                {"kernel": rec.kernel,
+                 "spec": rec.spec.describe(),
+                 "outcome": rec.outcome,
+                 "mutation": rec.mutation,
+                 "injected_cycle": rec.injected_cycle,
+                 "fell_back": rec.fell_back,
+                 "detail": rec.detail,
+                 "detected_check": rec.detected_check,
+                 "detected_cycle": rec.detected_cycle,
+                 "detected_lane": rec.detected_lane,
+                 "detected_iteration": rec.detected_iteration}
+                for rec in self.outcomes],
+        }
+
+    def fingerprint(self):
+        """SHA-256 over the canonical JSON of the full report; two
+        runs of the same campaign must agree bit-for-bit."""
+        import hashlib
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def render(self):
+        """Human-readable summary table."""
+        lines = []
+        counts = self.counts()
+        total = len(self.outcomes)
+        lines.append("fault-injection campaign: %d injections, seed %d"
+                     % (total, self.config.seed))
+        lines.append("kernels: %s  (config %s, scale %s)"
+                     % (", ".join(self.config.kernels),
+                        self.config.config, self.config.scale))
+        lines.append("")
+        header = "%-8s" % "target" + "".join(
+            "%10s" % name for name in OUTCOMES) + "%10s" % "total"
+        lines.append(header)
+        lines.append("-" * len(header))
+        by_target = self.counts_by_target()
+        for target in sorted(by_target):
+            row = by_target[target]
+            lines.append("%-8s" % target
+                         + "".join("%10d" % row[name]
+                                   for name in OUTCOMES)
+                         + "%10d" % sum(row.values()))
+        lines.append("-" * len(header))
+        lines.append("%-8s" % "all"
+                     + "".join("%10d" % counts[name]
+                               for name in OUTCOMES)
+                     + "%10d" % total)
+        lines.append("")
+        visible = counts["detected"] + counts["sdc"]
+        lines.append("monitor detection rate: %d/%d visible faults "
+                     "= %.1f%%"
+                     % (counts["detected"], visible,
+                        100.0 * self.detection_rate))
+        lines.append("report fingerprint: %s" % self.fingerprint())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# campaign machinery
+# ---------------------------------------------------------------------------
+
+
+def _fresh(kernel, cfg):
+    """A pristine (spec, compiled, workload, memory, args, sysconfig)
+    for one simulation attempt."""
+    # runner._compiled is the process-wide compile cache; importing
+    # lazily avoids a cycle (runner -> uarch -> ... -> resilience)
+    from ..eval import runner
+    from ..eval.configs import config as named_config
+    spec = get_kernel(kernel)
+    compiled = runner._compiled(kernel, "xloops", True)
+    workload = spec.workload(cfg.scale, cfg.workload_seed)
+    mem = Memory()
+    args = workload.apply(mem)
+    return spec, compiled, workload, mem, args, named_config(cfg.config)
+
+
+def profile_kernel(kernel, cfg):
+    """Clean verified run with an event-counting injector attached."""
+    spec, compiled, workload, mem, args, sysconfig = _fresh(kernel, cfg)
+    counter = FaultInjector(None)
+    sim = SystemSimulator(compiled.program, sysconfig, mem=mem,
+                          verify=True, injector=counter)
+    result = sim.run(entry=spec.entry, args=args, mode="specialized")
+    workload.check(mem)
+    if counter.events == 0:
+        raise CampaignError(
+            "kernel %r never ran specialized at scale %r: no observer "
+            "events to inject into" % (kernel, cfg.scale))
+    return KernelProfile(kernel=kernel, events=counter.events,
+                         cycles=result.cycles,
+                         fingerprint=mem.fingerprint())
+
+
+def plan_campaign(cfg, profiles):
+    """The seeded fault plan: a list of (kernel, FaultSpec)."""
+    rng = random.Random(cfg.seed)
+    kernels = [k for k in cfg.kernels if profiles[k].events > 0]
+    plan: List[Tuple[str, FaultSpec]] = []
+    for i in range(cfg.count):
+        kernel = kernels[i % len(kernels)]
+        profile = profiles[kernel]
+        plan.append((kernel, FaultSpec(
+            target=cfg.targets[rng.randrange(len(cfg.targets))],
+            trigger=rng.randrange(profile.events),
+            lane=rng.randrange(64),
+            index=rng.randrange(64),
+            bit=rng.randrange(32),
+            offset=rng.randrange(4096))))
+    return plan
+
+
+def run_injection(kernel, fault, cfg, profile):
+    """One fault, one fresh simulator, one classified outcome."""
+    spec, compiled, workload, mem, args, sysconfig = _fresh(kernel, cfg)
+    injector = FaultInjector(fault)
+    budget = profile.cycles * cfg.cycle_slack + 100_000
+    sim = SystemSimulator(compiled.program, sysconfig, mem=mem,
+                          verify=True, injector=injector,
+                          max_cycles=budget)
+    outcome = None
+    detail = ""
+    detected = {}
+    try:
+        with deadline(cfg.timeout):
+            sim.run(entry=spec.entry, args=args, mode="specialized")
+    except InvariantViolation as exc:
+        outcome = "detected"
+        detail = str(exc)
+        detected = {"detected_check": exc.check,
+                    "detected_cycle": exc.cycle if exc.cycle is not None
+                    else -1,
+                    "detected_lane": exc.lane if exc.lane is not None
+                    else -1,
+                    "detected_iteration": exc.iteration
+                    if exc.iteration is not None else -1}
+    except (LivelockError, DeadlineExceeded) as exc:
+        outcome = "hang"
+        detail = "%s: %s" % (type(exc).__name__, exc)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        outcome = "crash"
+        detail = "%s: %s" % (type(exc).__name__, exc)
+    else:
+        if mem.fingerprint() == profile.fingerprint:
+            outcome = "masked"
+        else:
+            outcome = "sdc"
+            detail = "final memory differs from clean reference"
+
+    record = injector.record
+    return InjectionOutcome(
+        kernel=kernel, spec=fault, outcome=outcome, detail=detail,
+        mutation=record.mutation, injected_cycle=record.cycle,
+        fell_back=record.fell_back, **detected)
+
+
+def run_campaign(cfg=None, progress=None):
+    """Profile, plan, and execute a full campaign.
+
+    *progress* is an optional ``f(done, total, outcome)`` callback for
+    CLI feedback.  Returns a :class:`CampaignReport`.
+    """
+    cfg = cfg or CampaignConfig()
+    unknown = set(cfg.targets) - set(FAULT_TARGETS)
+    if unknown:
+        raise CampaignError("unknown fault targets: %s"
+                            % ", ".join(sorted(unknown)))
+    profiles = {kernel: profile_kernel(kernel, cfg)
+                for kernel in cfg.kernels}
+    plan = plan_campaign(cfg, profiles)
+    report = CampaignReport(config=cfg, profiles=profiles)
+    for i, (kernel, fault) in enumerate(plan):
+        result = run_injection(kernel, fault, cfg, profiles[kernel])
+        report.outcomes.append(result)
+        if progress is not None:
+            progress(i + 1, len(plan), result)
+    return report

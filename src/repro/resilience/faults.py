@@ -1,0 +1,261 @@
+"""Deterministic single-fault injection into LPSU architectural state.
+
+A :class:`FaultInjector` rides the LPSU's observer-hook interface (the
+same pure-observer channel :class:`repro.verify.InvariantMonitor`
+uses): every hook event increments a global event counter, and when
+the counter reaches the planned trigger the injector flips one bit in
+one piece of live machine state.  Because the LPSU's schedule is fully
+deterministic and an attached observer forces the interpreted slow
+path, "the N-th observer event" identifies one exact (cycle, lane)
+point in the run -- the same point every time, which is what makes a
+seeded campaign reproducible.
+
+Targets (``FaultSpec.target``):
+
+``reg``
+    One bit of one register in one lane's register file.
+``cib``
+    One bit of a value sitting in a cross-iteration-buffer channel.
+``lsq``
+    One bit of a buffered (not yet committed) store's value in a
+    lane's load-store queue.
+``mivt``
+    One bit of a mutual-induction-variable table increment (corrupts
+    every subsequent iteration's MIV initialization).
+``mem``
+    One bit of one byte of architectural memory.
+
+Selectors (``lane``, ``index``, ``offset``) are taken modulo whatever
+is live at the trigger point, so any random spec lands on *something*;
+targets with no live state at the trigger (an empty CIB, no buffered
+stores, an empty MIVT) deterministically fall back to a register
+fault, recorded as such.
+
+Injection happens *after* the triggering event is forwarded to the
+wrapped monitor, so the monitor observes a pristine prefix and the
+fault manifests from the following event on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.memory import MASK32, PAGE_SIZE
+
+#: the injectable state classes, in stable order (campaign planning
+#: indexes into this)
+FAULT_TARGETS = ("reg", "cib", "lsq", "mivt", "mem")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: *where* and *when* to flip a bit."""
+
+    target: str          # one of FAULT_TARGETS
+    trigger: int = 0     # fire on the trigger-th observer event (0-based)
+    lane: int = 0        # lane selector (modulo live contexts)
+    index: int = 0       # per-target selector (register/channel/entry)
+    bit: int = 0         # bit to flip (modulo the field's width)
+    offset: int = 0      # byte offset inside the page (mem target)
+
+    def describe(self):
+        return ("%s@event%d lane%d idx%d bit%d off%d"
+                % (self.target, self.trigger, self.lane, self.index,
+                   self.bit, self.offset))
+
+
+@dataclass
+class InjectionRecord:
+    """What actually happened when (and if) the fault fired."""
+
+    spec: FaultSpec
+    fired: bool = False
+    cycle: int = -1          # LPSU cycle of the triggering event
+    event: int = -1          # observer-event ordinal that triggered
+    mutation: str = ""       # human-readable description of the flip
+    fell_back: bool = False  # planned target was empty; hit a reg
+
+
+class FaultInjector:
+    """Counts observer events and fires one :class:`FaultSpec`.
+
+    ``FaultInjector(None)`` never injects -- it is the profiler the
+    campaign uses to measure a clean run's total observer-event count
+    (the trigger space for planning).
+
+    The injector survives across specialized invocations of one
+    simulation: :meth:`bind` is called per invocation by
+    :class:`~repro.uarch.system.SystemSimulator` and returns the hook
+    object the LPSU drives; the event counter is cumulative so a
+    trigger can land in any invocation.
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.events = 0
+        self.record = InjectionRecord(spec) if spec is not None else None
+        self._lpsu = None
+
+    # -- SystemSimulator wiring -----------------------------------------
+
+    def bind(self, desc, regs, mem, monitor):
+        """New specialized invocation: wrap *monitor* (may be None)."""
+        return _InjectorHook(self, monitor)
+
+    def attach(self, lpsu):
+        """The LPSU instance whose state the fault will corrupt."""
+        self._lpsu = lpsu
+
+    # -- called by the hook on every observer event ----------------------
+
+    def _event(self, cycle):
+        ordinal = self.events
+        self.events += 1
+        if (self.spec is not None and not self.record.fired
+                and ordinal == self.spec.trigger):
+            self._fire(ordinal, cycle)
+
+    def _fire(self, ordinal, cycle):
+        rec = self.record
+        rec.fired = True
+        rec.event = ordinal
+        rec.cycle = cycle
+        lpsu = self._lpsu
+        if lpsu is None:  # pragma: no cover - attach() always precedes run
+            rec.mutation = "no LPSU attached"
+            return
+        spec = self.spec
+        mutation = self._mutate(lpsu, spec)
+        if mutation is None:
+            # planned target has no live state here; a register fault
+            # is always possible, so the injection still lands
+            rec.fell_back = True
+            mutation = self._mutate_reg(lpsu, spec)
+        rec.mutation = mutation
+
+    # -- the actual state corruption -------------------------------------
+    # Deliberately whitebox: reaches into the LPSU's internal structures
+    # exactly because the point is corrupting live machine state the
+    # architectural interfaces would never let us touch.
+
+    def _mutate(self, lpsu, spec):
+        if spec.target == "reg":
+            return self._mutate_reg(lpsu, spec)
+        if spec.target == "cib":
+            return self._mutate_cib(lpsu, spec)
+        if spec.target == "lsq":
+            return self._mutate_lsq(lpsu, spec)
+        if spec.target == "mivt":
+            return self._mutate_mivt(lpsu, spec)
+        if spec.target == "mem":
+            return self._mutate_mem(lpsu, spec)
+        raise ValueError("unknown fault target %r" % spec.target)
+
+    def _mutate_reg(self, lpsu, spec):
+        ctx = lpsu.contexts[spec.lane % len(lpsu.contexts)]
+        reg = 1 + spec.index % 31        # x0 is not interesting state
+        mask = 1 << (spec.bit % 32)
+        ctx.regs[reg] = (ctx.regs[reg] ^ mask) & MASK32
+        return "lane%d x%d ^= 1<<%d" % (ctx.lane_id, reg, spec.bit % 32)
+
+    def _mutate_cib(self, lpsu, spec):
+        channels = sorted(lpsu._cib)
+        if not channels:
+            return None
+        key = channels[spec.index % len(channels)]
+        avail, value = lpsu._cib[key]
+        mask = 1 << (spec.bit % 32)
+        lpsu._cib[key] = (avail, (value ^ mask) & MASK32)
+        return ("cib(x%d,k%d) ^= 1<<%d" % (key[0], key[1],
+                                           spec.bit % 32))
+
+    def _mutate_lsq(self, lpsu, spec):
+        n = len(lpsu.contexts)
+        for probe in range(n):
+            ctx = lpsu.contexts[(spec.lane + probe) % n]
+            if ctx.store_buf:
+                entry = ctx.store_buf[spec.index % len(ctx.store_buf)]
+                width = 8 * entry.size
+                mask = 1 << (spec.bit % width)
+                entry.value ^= mask
+                return ("lane%d lsq store 0x%x ^= 1<<%d"
+                        % (ctx.lane_id, entry.addr, spec.bit % width))
+        return None
+
+    def _mutate_mivt(self, lpsu, spec):
+        regs = sorted(lpsu.d.mivt)
+        if not regs:
+            return None
+        entry = lpsu.d.mivt[regs[spec.index % len(regs)]]
+        mask = 1 << (spec.bit % 32)
+        entry.increment = (entry.increment ^ mask) & MASK32
+        return "mivt x%d increment ^= 1<<%d" % (entry.reg, spec.bit % 32)
+
+    def _mutate_mem(self, lpsu, spec):
+        pages = sorted(lpsu.mem._pages)
+        if not pages:
+            return None
+        key = pages[spec.index % len(pages)]
+        page = lpsu.mem._pages[key]
+        off = spec.offset % PAGE_SIZE
+        page[off] ^= 1 << (spec.bit % 8)
+        addr = (key * PAGE_SIZE) + off
+        return "mem[0x%x] ^= 1<<%d" % (addr, spec.bit % 8)
+
+
+class _InjectorHook:
+    """Observer-hook adapter: forwards every event to the wrapped
+    monitor (when verification is on), then advances the injector's
+    event clock.  Pure pass-through otherwise -- the LPSU treats it
+    exactly like an InvariantMonitor."""
+
+    def __init__(self, injector, monitor):
+        self._inj = injector
+        self._mon = monitor
+
+    def on_begin(self, lane, k, cycle, regs):
+        if self._mon is not None:
+            self._mon.on_begin(lane, k, cycle, regs)
+        self._inj._event(cycle)
+
+    def on_cib_publish(self, lane, producer_k, cir, value, avail_cycle,
+                       cycle):
+        if self._mon is not None:
+            self._mon.on_cib_publish(lane, producer_k, cir, value,
+                                     avail_cycle, cycle)
+        self._inj._event(cycle)
+
+    def on_cib_consume(self, lane, k, cir, value, cycle):
+        if self._mon is not None:
+            self._mon.on_cib_consume(lane, k, cir, value, cycle)
+        self._inj._event(cycle)
+
+    def on_commit_store(self, lane, k, kind, addr, size, value, cycle):
+        if self._mon is not None:
+            self._mon.on_commit_store(lane, k, kind, addr, size, value,
+                                      cycle)
+        self._inj._event(cycle)
+
+    def on_broadcast(self, lane, k, word, cycle):
+        if self._mon is not None:
+            self._mon.on_broadcast(lane, k, word, cycle)
+        self._inj._event(cycle)
+
+    def on_squash(self, lane, k, cycle, buffered_stores):
+        if self._mon is not None:
+            self._mon.on_squash(lane, k, cycle, buffered_stores)
+        self._inj._event(cycle)
+
+    def on_discard(self, lane, k, cycle):
+        if self._mon is not None:
+            self._mon.on_discard(lane, k, cycle)
+        self._inj._event(cycle)
+
+    def on_retire(self, lane, k, cycle, regs):
+        if self._mon is not None:
+            self._mon.on_retire(lane, k, cycle, regs)
+        self._inj._event(cycle)
+
+    def finalize(self, result):
+        if self._mon is not None:
+            self._mon.finalize(result)

@@ -1,0 +1,55 @@
+"""Wall-clock deadlines for simulation work.
+
+A corrupted simulator state can spin forever without tripping any
+cycle budget (e.g. a fault that lands in GPP register state after the
+specialized phase hands back).  :func:`deadline` bounds the *wall
+clock* of a block of work, raising :class:`DeadlineExceeded` from
+inside it.
+
+The implementation uses ``signal.setitimer(ITIMER_REAL)``, which is
+only legal on the main thread of a POSIX process.  Anywhere else the
+context manager degrades to a no-op -- callers that need a hard bound
+off the main thread use process-level isolation instead
+(:mod:`repro.eval.hardening` kills the whole worker process).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+
+
+class DeadlineExceeded(Exception):
+    """A :func:`deadline` wall-clock budget expired."""
+
+
+def alarm_capable():
+    """Can :func:`deadline` actually arm a timer here?"""
+    return (hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextmanager
+def deadline(seconds):
+    """Bound the wall-clock time of the enclosed block.
+
+    ``seconds`` of ``None`` or ``<= 0`` disables the deadline.  Does
+    not nest (the inner deadline would clobber the outer timer);
+    callers hold at most one at a time.
+    """
+    if not seconds or seconds <= 0 or not alarm_capable():
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise DeadlineExceeded(
+            "wall-clock deadline of %.3gs expired" % seconds)
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -3,11 +3,12 @@ instruction-set-level golden-model executor."""
 
 from .memory import (Memory, MASK32, to_u32, to_s32, f32_to_bits,
                      bits_to_f32)
-from .functional import (FunctionalCore, StepInfo, SimError, execute,
+from .functional import (FunctionalCore, LivelockError, StepInfo,
+                         SimError, execute,
                          decode_instr, decode_program, run_program,
                          HALT_PC)
 
 __all__ = ["Memory", "MASK32", "to_u32", "to_s32", "f32_to_bits",
            "bits_to_f32", "FunctionalCore", "StepInfo", "SimError",
-           "execute", "decode_instr", "decode_program", "run_program",
-           "HALT_PC"]
+           "LivelockError", "execute", "decode_instr", "decode_program",
+           "run_program", "HALT_PC"]

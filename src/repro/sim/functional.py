@@ -27,6 +27,16 @@ class SimError(Exception):
     """Functional-simulation failure (bad fetch, unimplemented op...)."""
 
 
+class LivelockError(SimError):
+    """A cycle/step budget was exhausted: the simulated machine is
+    (almost certainly) spinning without making forward progress.
+
+    Raised by the GPP step guards and by the LPSU's ``max_cycles``
+    watchdog; the fault-injection campaign classifies it as a *hang*
+    outcome, distinct from ordinary :class:`SimError` crashes.
+    """
+
+
 class StepInfo:
     """Per-instruction record handed to timing models.
 
@@ -511,13 +521,14 @@ class FunctionalCore:
                 elif blk(self) == HALT_PC:
                     self.halted = True
                 if self.icount - steps0 > max_steps:
-                    raise SimError("exceeded %d steps (livelock?)"
-                                   % max_steps)
+                    raise LivelockError("exceeded %d steps (livelock?)"
+                                        % max_steps)
             return self.icount - steps0
         while not self.halted:
             step()
             if self.icount - steps0 > max_steps:
-                raise SimError("exceeded %d steps (livelock?)" % max_steps)
+                raise LivelockError("exceeded %d steps (livelock?)"
+                                    % max_steps)
         return self.icount - steps0
 
     @property

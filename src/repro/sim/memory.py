@@ -218,6 +218,25 @@ class Memory:
                 return False
         return True
 
+    def fingerprint(self):
+        """SHA-256 over the canonical content of the address space.
+
+        All-zero pages are skipped, so allocation history (reads
+        allocate zero-filled pages) does not affect the digest: two
+        memories compare equal under :meth:`pages_equal` iff their
+        fingerprints match.
+        """
+        import hashlib
+        h = hashlib.sha256()
+        zeros = bytes(PAGE_SIZE)
+        for key in sorted(self._pages):
+            page = bytes(self._pages[key])
+            if page == zeros:
+                continue
+            h.update(key.to_bytes(8, "little"))
+            h.update(page)
+        return h.hexdigest()
+
     def first_difference(self, other):
         """Lowest byte address where the two memories differ, or None
         (diagnostic companion to :meth:`pages_equal`)."""

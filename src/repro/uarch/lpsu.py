@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..isa.instructions import FU, Fmt
-from ..sim.functional import decode_instr, execute
+from ..sim.functional import LivelockError, decode_instr, execute
 from ..sim.memory import MASK32, to_s32
 from .descriptor import LoopDescriptor
 from .params import LPSUConfig
@@ -321,8 +321,14 @@ class LPSU:
             elif not op.is_mem:
                 ev.alu_op += n
 
-    def run(self, latencies, max_iters=None):
-        """Execute the loop; returns an :class:`LPSUResult`."""
+    def run(self, latencies, max_iters=None, max_cycles=None):
+        """Execute the loop; returns an :class:`LPSUResult`.
+
+        *max_cycles* bounds the specialized execution phase: exceeding
+        it raises :class:`~repro.sim.functional.LivelockError` (a
+        malformed or fault-injected loop can otherwise stall forever
+        on a CIB/commit wait that never resolves).
+        """
         self.lat = latencies
         self._max_iters = max_iters
         self._meta = self._build_meta(latencies)
@@ -450,8 +456,11 @@ class LPSU:
                         nxt = ctx.ready_at
                 if cycle < nxt < _FAR:
                     cycle = nxt
+            if max_cycles is not None and cycle > max_cycles:
+                raise LivelockError(
+                    "LPSU exceeded %d cycles (livelock?)" % max_cycles)
             if guard > 200_000_000:  # pragma: no cover
-                raise RuntimeError("LPSU livelock")
+                raise LivelockError("LPSU livelock (step guard)")
         self._rec = None   # drop any recording cut short by loop end
         self.stats.exec_cycles = cycle
         self.stats.finish_cycles = cfg.finish_overhead

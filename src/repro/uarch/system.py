@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..energy.events import EnergyEvents
-from ..sim.functional import (HALT_PC, FunctionalCore, SimError,
-                              decode_program)
+from ..sim.functional import (HALT_PC, FunctionalCore, LivelockError,
+                              SimError, decode_program)
 from ..sim.fusion import fused_blocks, lpsu_engine
 from ..sim.memory import Memory, to_s32
 from .adaptive import (AdaptiveProfilingTable, DECIDED_SPECIALIZED,
@@ -68,17 +68,27 @@ class RunResult:
 class SystemSimulator:
     """Simulate *program* on *config* in a given execution mode."""
 
-    def __init__(self, program, config, mem=None, verify=False, fast=True):
+    def __init__(self, program, config, mem=None, verify=False, fast=True,
+                 max_cycles=None, injector=None):
         self.program = program
         self.config = config
         # when set, every specialized invocation runs under a
         # repro.verify InvariantMonitor (pure observer: cycles, energy
         # and stats stay bit-identical; raises InvariantViolation)
         self.verify = verify
+        # cycle-budget watchdog: a specialized phase that would push the
+        # system cycle count past this raises LivelockError instead of
+        # spinning (None = unbounded, the default)
+        self.max_cycles = max_cycles
+        # optional repro.resilience fault injector: wraps the invariant
+        # monitor's observer hooks and corrupts LPSU state at a chosen
+        # point.  Injection needs per-step observation, so it forces
+        # the slow path like verify does.
+        self.injector = injector
         # bit-identical fast path: fused GPP superblocks + LPSU
         # iteration-schedule memoization.  verify needs exact per-step
         # observation, so it forces the slow path.
-        self.fast = bool(fast) and not verify
+        self.fast = bool(fast) and not verify and injector is None
         self.mem = mem if mem is not None else Memory()
         self.events = EnergyEvents()
         self.cache = L1Cache(config.gpp.cache)
@@ -298,6 +308,12 @@ class SystemSimulator:
             # imported lazily: repro.verify depends on uarch.params
             from ..verify import InvariantMonitor
             monitor = InvariantMonitor(desc, core.regs, self.mem)
+        hook = monitor
+        if self.injector is not None:
+            # the injector wraps the monitor's observer interface so
+            # corruption happens at a deterministic hook event, and the
+            # (optional) monitor still sees every event afterwards
+            hook = self.injector.bind(desc, core.regs, self.mem, monitor)
         engine = None
         if self._use_engine:
             engine = lpsu_engine(self.program, desc, self.config.lpsu,
@@ -313,11 +329,21 @@ class SystemSimulator:
         lpsu = LPSU(desc, core.regs, self.mem, self.cache,
                     self.config.lpsu, self.events,
                     decoded_body=decoded[lo:lo + desc.body_len],
-                    monitor=monitor, fast=self.fast, memo=memo,
+                    monitor=hook, fast=self.fast, memo=memo,
                     engine=engine)
-        result = lpsu.run(self.config.gpp.latencies, max_iters=max_iters)
-        if monitor is not None:
-            monitor.finalize(result)
+        if self.injector is not None:
+            self.injector.attach(lpsu)
+        budget = None
+        if self.max_cycles is not None:
+            budget = self.max_cycles - self.timing.cycles
+            if budget <= 0:
+                raise LivelockError(
+                    "system exceeded %d cycles before specialization"
+                    % self.max_cycles)
+        result = lpsu.run(self.config.gpp.latencies, max_iters=max_iters,
+                          max_cycles=budget)
+        if hook is not None:
+            hook.finalize(result)
 
         self.specialized_invocations += 1
         self.lpsu_stats.__dict__.update({
@@ -351,7 +377,8 @@ class SystemSimulator:
 
 
 def simulate(program, config, entry="main", args=(), mode="traditional",
-             mem=None, verify=False, fast=True):
+             mem=None, verify=False, fast=True, max_cycles=None,
+             injector=None):
     """One-shot convenience wrapper returning a :class:`RunResult`.
 
     With ``verify=True`` every specialized xloop invocation is checked
@@ -362,7 +389,13 @@ def simulate(program, config, entry="main", args=(), mode="traditional",
     ``fast=False`` disables the fused-superblock / schedule-memoization
     fast path (results are bit-identical either way; the escape hatch
     exists for debugging and differential conformance).
+
+    ``max_cycles`` bounds the specialized-phase cycle budget (raising
+    :class:`~repro.sim.LivelockError` when exhausted); ``injector``
+    threads a :mod:`repro.resilience` fault injector into every
+    specialized invocation.
     """
     sim = SystemSimulator(program, config, mem=mem, verify=verify,
-                          fast=fast)
+                          fast=fast, max_cycles=max_cycles,
+                          injector=injector)
     return sim.run(entry=entry, args=args, mode=mode)

@@ -1,0 +1,296 @@
+"""Hardened sweep execution: crash/hang isolation, retry with
+backoff, quarantine, serial degradation, checkpoint/resume, and the
+runner's fast-to-slow degradation ladder.
+
+Chaos (deterministic worker sabotage via ``$REPRO_CHAOS``) only acts
+inside forked worker children, so every recovery path here exercises
+the real machinery: real dead processes, real kills, real retries.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.eval import diskcache, hardening, runner
+from repro.eval.parallel import SweepPoint, sweep
+from repro.kernels import get_kernel
+
+SCALE = "tiny"
+
+POINTS = [
+    SweepPoint("sgemm-uc", "io", scale=SCALE),
+    SweepPoint("sgemm-uc", "io+x", mode="specialized", scale=SCALE),
+    SweepPoint("dither-or", "io", scale=SCALE),
+    SweepPoint("dither-or", "io+x", mode="specialized", scale=SCALE),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(tmp_path, monkeypatch):
+    saved = (diskcache._dir_override, diskcache._force_disabled,
+             os.environ.get(diskcache.ENV_CACHE_DIR),
+             os.environ.get(diskcache.ENV_NO_CACHE))
+    diskcache.configure(cache_dir=str(tmp_path / "cache"))
+    runner.clear_cache()
+    runner.drain_incidents()
+    monkeypatch.delenv(hardening.CHAOS_ENV, raising=False)
+    yield
+    diskcache._dir_override, diskcache._force_disabled = saved[:2]
+    for var, value in ((diskcache.ENV_CACHE_DIR, saved[2]),
+                       (diskcache.ENV_NO_CACHE, saved[3])):
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value
+    diskcache.reset_stats()
+    runner.clear_cache(keep_disk=True)
+    runner.drain_incidents()
+
+
+def _reference():
+    """Clean serial results for POINTS, as plain data."""
+    ref = {}
+    for pt in POINTS:
+        r = runner.run(pt.kernel, pt.config, use_disk_cache=False,
+                       **pt.run_kwargs())
+        ref[pt.memo_key()] = dataclasses.asdict(r)
+    runner.clear_cache(keep_disk=True)
+    return ref
+
+
+def _assert_matches(ref):
+    for pt in POINTS:
+        r = runner.run(pt.kernel, pt.config, **pt.run_kwargs())
+        assert dataclasses.asdict(r) == ref[pt.memo_key()], pt.label()
+
+
+class TestChaosRecovery:
+    def test_worker_crash_is_retried(self, monkeypatch):
+        ref = _reference()
+        monkeypatch.setenv(hardening.CHAOS_ENV, json.dumps(
+            {"sgemm-uc/io/traditional": {"crash": [0]}}))
+        summary = sweep(POINTS, jobs=2, retries=3, backoff=0.01)
+        assert summary.ok
+        assert any(ev.kind == "crash" for ev in summary.retries)
+        _assert_matches(ref)
+
+    def test_worker_hang_is_killed_and_retried(self, monkeypatch):
+        ref = _reference()
+        monkeypatch.setenv(hardening.CHAOS_ENV, json.dumps(
+            {"dither-or/io+x/specialized": {"hang": [0]}}))
+        summary = sweep(POINTS, jobs=2, timeout=3.0, retries=3,
+                        backoff=0.01)
+        assert summary.ok
+        assert any(ev.kind == "hang" for ev in summary.retries)
+        _assert_matches(ref)
+
+    def test_crash_and_hang_together_bit_identical(self, monkeypatch):
+        """The acceptance scenario: one crashing worker, one hanging
+        worker, and the sweep still completes with every healthy point
+        bit-identical to the clean reference."""
+        ref = _reference()
+        monkeypatch.setenv(hardening.CHAOS_ENV, json.dumps({
+            "sgemm-uc/io/traditional": {"crash": [0]},
+            "dither-or/io+x/specialized": {"hang": [0]}}))
+        summary = sweep(POINTS, jobs=4, timeout=3.0, retries=3,
+                        backoff=0.01)
+        assert summary.ok
+        assert summary.points == len(POINTS)
+        kinds = sorted(ev.kind for ev in summary.retries)
+        assert kinds == ["crash", "hang"]
+        _assert_matches(ref)
+
+    def test_unrecoverable_point_is_quarantined(self, monkeypatch):
+        """A point that fails every attempt is quarantined with a
+        structured record; the rest of the sweep still completes."""
+        monkeypatch.setenv(hardening.CHAOS_ENV, json.dumps(
+            {"sgemm-uc/io/traditional": {"crash": [0, 1, 2]}}))
+        summary = sweep(POINTS, jobs=2, retries=3, backoff=0.01)
+        assert not summary.ok
+        assert len(summary.failures) == 1
+        failure = summary.failures[0]
+        assert "sgemm-uc/io/traditional" in failure.label
+        assert failure.attempts == 3
+        assert failure.kind == "crash"
+        assert summary.points == len(POINTS) - 1
+        assert "QUARANTINED" in summary.render()
+
+
+class TestSerialFallback:
+    def test_jobs_one_runs_in_process(self):
+        ref = _reference()
+        summary = sweep(POINTS, jobs=1)
+        assert summary.ok and summary.jobs == 1
+        assert summary.misses == summary.points
+        _assert_matches(ref)
+
+    def test_broken_mp_context_degrades_to_serial(self, monkeypatch):
+        """If worker processes cannot be spawned at all, the sweep
+        degrades to serial in-process execution (recorded as an
+        incident) and still produces bit-identical results."""
+        ref = _reference()
+
+        class _BrokenCtx:
+            @staticmethod
+            def Pipe(duplex=False):
+                import multiprocessing
+                return multiprocessing.Pipe(duplex)
+
+            @staticmethod
+            def Process(*args, **kwargs):
+                raise OSError("process table full")
+
+        monkeypatch.setattr(hardening, "_mp_context",
+                            lambda: _BrokenCtx())
+        summary = sweep(POINTS, jobs=4)
+        assert summary.ok
+        assert summary.degraded
+        assert any(inc.kind == "parallel-to-serial"
+                   for inc in summary.incidents)
+        assert summary.points == len(POINTS)
+        _assert_matches(ref)
+
+    def test_serial_retry_ladder(self, monkeypatch):
+        """The in-process path shares the retry/quarantine ladder."""
+        calls = {"n": 0}
+        real_run = runner.run
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real_run(*args, **kwargs)
+
+        monkeypatch.setattr(runner, "run", flaky)
+        summary = sweep(POINTS[:1], jobs=1, retries=2, backoff=0.01)
+        assert summary.ok
+        assert len(summary.retries) == 1
+        assert summary.retries[0].kind == "error"
+
+
+class TestCheckpoint:
+    def test_resume_skips_completed_points(self, tmp_path):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        first = sweep(POINTS, jobs=2, checkpoint=ckpt)
+        assert first.ok and first.misses == len(POINTS)
+
+        # wipe all caches; only the checkpoint remembers
+        runner.clear_cache()
+        second = sweep(POINTS, jobs=2, checkpoint=ckpt)
+        assert second.ok
+        assert second.points == len(POINTS)
+        assert second.misses == 0   # everything resumed, nothing rerun
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt"
+        ckpt.write_bytes(b"definitely not a pickle")
+        summary = sweep(POINTS[:1], jobs=1, checkpoint=str(ckpt))
+        assert summary.ok and summary.points == 1
+
+
+class TestRunnerDegradation:
+    def test_fast_path_exception_falls_back_to_slow(self, monkeypatch):
+        """An unexpected fast-path crash retries on the interpreted
+        slow path and records an incident instead of failing."""
+        import repro.uarch.system as system
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("fast path exploded")
+
+        ref = dataclasses.asdict(
+            runner.run("sgemm-uc", "io+x", mode="specialized",
+                       scale=SCALE, use_disk_cache=False, fast=False))
+        runner.clear_cache(keep_disk=True)
+        runner.drain_incidents()
+
+        monkeypatch.setattr(system, "fused_blocks", boom)
+        r = runner.run("sgemm-uc", "io+x", mode="specialized",
+                       scale=SCALE, use_disk_cache=False, fast=True)
+        incidents = runner.drain_incidents()
+        assert len(incidents) == 1
+        assert incidents[0].kind == "fast-path-fallback"
+        assert "fast path exploded" in incidents[0].detail
+        assert dataclasses.asdict(r) == ref
+
+    def test_violations_are_never_masked(self, monkeypatch):
+        """The ladder must not swallow an InvariantViolation."""
+        from repro.verify import InvariantViolation
+        import repro.uarch.system as system
+
+        def raising_run(self, *args, **kwargs):
+            raise InvariantViolation("mivt", "synthetic violation")
+
+        monkeypatch.setattr(system.SystemSimulator, "run", raising_run)
+        with pytest.raises(InvariantViolation):
+            runner.run("sgemm-uc", "io+x", mode="specialized",
+                       scale=SCALE, use_disk_cache=False, fast=True)
+
+
+class TestDiskCacheIntegrity:
+    def test_truncated_record_quarantined_and_resimulated(self):
+        point = dict(kernel_name="sgemm-uc", config_name="io",
+                     mode="traditional", scale=SCALE)
+        runner.run(**point)
+        key = runner._fingerprint(
+            get_kernel("sgemm-uc"), runner._resolve_config("io"),
+            "traditional", "xloops", True, SCALE, 0, False)
+        path = diskcache._record_path(key)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(blob[:len(blob) // 2])   # torn write
+
+        runner.clear_cache(keep_disk=True)
+        diskcache.reset_stats()
+        n = runner.simulations
+        r = runner.run(**point)
+        assert runner.simulations == n + 1   # re-simulated, not served
+        assert diskcache.stats["corrupt"] == 1
+        assert diskcache.stats["quarantined"] == 1
+        assert r.cycles > 0
+        qdir = os.path.join(diskcache.cache_dir(), "quarantine")
+        assert os.listdir(qdir)
+
+    def test_bitflip_fails_checksum(self):
+        key = diskcache.cache_key("bitflip-target")
+        assert diskcache.store(key, {"cycles": 99})
+        path = diskcache._record_path(key)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0x40                     # flip one payload bit
+        with open(path, "wb") as f:
+            f.write(bytes(blob))
+        assert diskcache.load(key) is None
+        assert diskcache.stats["corrupt"] >= 1
+
+    def test_legacy_bare_pickle_still_served(self):
+        import pickle
+        key = diskcache.cache_key("legacy-record")
+        path = diskcache._record_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as f:
+            pickle.dump({"cycles": 7}, f)
+        assert diskcache.load(key) == {"cycles": 7}
+
+    def test_fsck_quarantines_and_sweeps(self, tmp_path):
+        diskcache.configure(cache_dir=str(tmp_path))
+        good = diskcache.cache_key("good")
+        bad = diskcache.cache_key("bad")
+        diskcache.store(good, [1])
+        diskcache.store(bad, [2])
+        bad_path = diskcache._record_path(bad)
+        with open(bad_path, "wb") as f:
+            f.write(b"RPR1garbage-that-fails-the-checksum")
+        stale = os.path.join(str(tmp_path), good[:2], "old.tmp")
+        with open(stale, "w") as f:
+            f.write("leftover")
+        os.utime(stale, (0, 0))              # ancient
+
+        report = diskcache.fsck()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["corrupt"] == 1
+        assert len(report["quarantined"]) == 1
+        assert report["stale_tmp"] == 1
+        assert not os.path.exists(bad_path)
+        assert diskcache.load(good) == [1]

@@ -1,0 +1,85 @@
+"""Fault-injection campaign regression tests.
+
+The two properties the campaign exists to guarantee:
+
+* **reproducibility** -- the same seed replays the same campaign
+  bit-for-bit (kernel choice, fault plan, every classified outcome);
+* **detection** -- of the faults that end up architecturally visible
+  (detected + silent-data-corruption), the invariant monitor catches
+  at least 90%, with cycle/lane attribution on each detection.
+"""
+
+import pytest
+
+from repro.resilience import (CampaignConfig, CampaignError, OUTCOMES,
+                              profile_kernel, run_campaign)
+from repro.resilience.campaign import plan_campaign
+
+#: small but cross-pattern: or (CIB), om (LSQ), uc (MIVT-heavy)
+KERNELS = ("dither-or", "ksack-sm-om", "sgemm-uc")
+
+
+def _cfg(**kw):
+    base = dict(kernels=KERNELS, count=30, seed=7, timeout=20.0)
+    base.update(kw)
+    return CampaignConfig(**base)
+
+
+class TestCampaign:
+    def test_runs_to_completion_and_classifies(self):
+        report = run_campaign(_cfg())
+        assert len(report.outcomes) == 30
+        counts = report.counts()
+        assert sum(counts.values()) == 30
+        assert set(counts) == set(OUTCOMES)
+        # every injection actually fired (triggers are drawn from the
+        # profiled clean event count, whose prefix is identical)
+        assert all(rec.injected_cycle >= 0 for rec in report.outcomes)
+
+    def test_seed_reproducible(self):
+        a = run_campaign(_cfg())
+        b = run_campaign(_cfg())
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seed_differs(self):
+        a = run_campaign(_cfg(count=10))
+        b = run_campaign(_cfg(count=10, seed=8))
+        plans = (plan_campaign(a.config, a.profiles),
+                 plan_campaign(b.config, b.profiles))
+        assert plans[0] != plans[1]
+
+    def test_detection_rate_meets_threshold(self):
+        report = run_campaign(_cfg(count=60))
+        counts = report.counts()
+        visible = counts["detected"] + counts["sdc"]
+        assert visible > 0, "campaign never perturbed visible state"
+        assert report.detection_rate >= 0.9
+        # attribution: detections carry the violation's coordinates
+        for rec in report.outcomes:
+            if rec.outcome == "detected":
+                assert rec.detected_check
+                assert rec.detected_cycle >= 0 or rec.detail
+
+    def test_round_robin_covers_all_kernels(self):
+        report = run_campaign(_cfg(count=9))
+        assert {rec.kernel for rec in report.outcomes} == set(KERNELS)
+
+    def test_render_and_json(self):
+        report = run_campaign(_cfg(count=6))
+        text = report.render()
+        assert "detection rate" in text
+        data = report.to_dict()
+        assert data["counts"] == report.counts()
+        assert len(data["injections"]) == 6
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(CampaignError):
+            run_campaign(_cfg(targets=("reg", "flux-capacitor")))
+
+
+class TestProfile:
+    def test_profile_reports_events_and_reference(self):
+        prof = profile_kernel("dither-or", _cfg())
+        assert prof.events > 0
+        assert prof.cycles > 0
+        assert len(prof.fingerprint) == 64

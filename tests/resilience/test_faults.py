@@ -1,0 +1,154 @@
+"""Fault injector and watchdog unit tests."""
+
+import signal
+import time
+
+import pytest
+
+from repro.eval import runner
+from repro.kernels import get_kernel
+from repro.resilience import (DeadlineExceeded, FaultInjector,
+                              FaultSpec, deadline)
+from repro.resilience.watchdog import alarm_capable
+from repro.sim import LivelockError, Memory
+from repro.uarch import SystemSimulator
+from repro.verify import InvariantViolation
+
+from repro.eval.configs import config
+
+SCALE = "tiny"
+
+
+def _sim(kernel, injector=None, max_cycles=None, verify=True):
+    spec = get_kernel(kernel)
+    compiled = runner._compiled(kernel, "xloops", True)
+    workload = spec.workload(SCALE, 0)
+    mem = Memory()
+    args = workload.apply(mem)
+    sim = SystemSimulator(compiled.program, config("io+x"), mem=mem,
+                          verify=verify, injector=injector,
+                          max_cycles=max_cycles)
+    return sim, spec, args, workload, mem
+
+
+class TestFaultInjector:
+    def test_counting_injector_observes_events(self):
+        counter = FaultInjector(None)
+        sim, spec, args, workload, mem = _sim("dither-or", counter)
+        sim.run(entry=spec.entry, args=args, mode="specialized")
+        workload.check(mem)
+        assert counter.events > 0
+
+    def test_injector_forces_slow_path(self):
+        sim, *_ = _sim("dither-or", FaultInjector(None), verify=False)
+        assert sim.fast is False
+
+    def test_cib_fault_detected_by_monitor(self):
+        # find a trigger whose corruption the monitor reports as a
+        # CIB-value violation: sweep the first publishes of an
+        # ordered-register loop
+        counter = FaultInjector(None)
+        sim, spec, args, workload, mem = _sim("dither-or", counter)
+        sim.run(entry=spec.entry, args=args, mode="specialized")
+        detected = None
+        for trigger in range(0, 40):
+            inj = FaultInjector(FaultSpec(target="cib",
+                                          trigger=trigger, bit=7))
+            sim, spec, args, workload, mem = _sim("dither-or", inj)
+            try:
+                sim.run(entry=spec.entry, args=args,
+                        mode="specialized")
+            except InvariantViolation as exc:
+                detected = exc
+                break
+        assert detected is not None
+        assert detected.check in ("cib-value", "cib-order", "cib-stale",
+                                  "boundary", "finalize", "memory")
+        assert detected.cycle is not None
+
+    def test_mivt_fault_detected(self):
+        inj = FaultInjector(FaultSpec(target="mivt", trigger=0, bit=1))
+        sim, spec, args, workload, mem = _sim("rgb2cmyk-uc", inj)
+        with pytest.raises(InvariantViolation):
+            sim.run(entry=spec.entry, args=args, mode="specialized")
+        assert inj.record.fired
+        assert "mivt" in inj.record.mutation
+
+    def test_same_spec_is_deterministic(self):
+        spec_ = FaultSpec(target="reg", trigger=5, lane=1, index=7,
+                          bit=13)
+        records = []
+        for _ in range(2):
+            inj = FaultInjector(spec_)
+            sim, spec, args, workload, mem = _sim("stencil-orm", inj)
+            try:
+                sim.run(entry=spec.entry, args=args,
+                        mode="specialized")
+                outcome = ("done", mem.fingerprint())
+            except Exception as exc:
+                outcome = (type(exc).__name__, str(exc))
+            records.append((inj.record.cycle, inj.record.mutation,
+                            outcome))
+        assert records[0] == records[1]
+
+    def test_empty_target_falls_back_to_reg(self):
+        # sgemm-uc is unordered-concurrent: no CIB channels exist, so
+        # a cib fault must deterministically land on a register instead
+        inj = FaultInjector(FaultSpec(target="cib", trigger=0, bit=3))
+        sim, spec, args, workload, mem = _sim("sgemm-uc", inj)
+        try:
+            sim.run(entry=spec.entry, args=args, mode="specialized")
+        except Exception:
+            pass
+        assert inj.record.fired
+        assert inj.record.fell_back
+        assert "x" in inj.record.mutation
+
+
+class TestMaxCycles:
+    def test_tight_budget_raises_livelock(self):
+        sim, spec, args, workload, mem = _sim("dither-or",
+                                              max_cycles=10)
+        with pytest.raises(LivelockError):
+            sim.run(entry=spec.entry, args=args, mode="specialized")
+
+    def test_generous_budget_is_invisible(self):
+        ref_sim, spec, args, workload, mem = _sim("dither-or")
+        ref = ref_sim.run(entry=spec.entry, args=args,
+                          mode="specialized")
+        sim, spec, args, workload, mem = _sim("dither-or",
+                                              max_cycles=10**9)
+        result = sim.run(entry=spec.entry, args=args,
+                         mode="specialized")
+        workload.check(mem)
+        assert result.cycles == ref.cycles
+
+    def test_runner_forwards_max_cycles(self):
+        runner.clear_cache(keep_disk=True)
+        with pytest.raises(LivelockError):
+            runner.run("dither-or", "io+x", mode="specialized",
+                       scale=SCALE, use_disk_cache=False,
+                       max_cycles=10)
+
+
+class TestDeadline:
+    def test_expires(self):
+        if not alarm_capable():
+            pytest.skip("no SIGALRM on this platform/thread")
+        with pytest.raises(DeadlineExceeded):
+            with deadline(0.05):
+                time.sleep(2)
+
+    def test_disarms_cleanly(self):
+        if not alarm_capable():
+            pytest.skip("no SIGALRM on this platform/thread")
+        with deadline(5.0):
+            pass
+        # timer disarmed and handler restored: nothing fires later
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+    def test_zero_and_none_disable(self):
+        with deadline(0):
+            pass
+        with deadline(None):
+            pass
