@@ -24,6 +24,16 @@ Three sections, emitted as a stable-schema JSON report
     served entirely from the persistent result cache -- it is asserted
     to complete without invoking ``SystemSimulator``.
 
+``backends``
+    The backend ladder measured rung by rung on the long steady-state
+    streaming kernels: every point timed fully cold under ``interp``,
+    ``fused`` and ``turbo``, plus a warm turbo re-run (schedule memos
+    retained).  Unlike the sections above these time the simulation
+    alone -- workload generation, memory setup, and the golden verify
+    are identical across rungs and excluded, since the axis exists to
+    compare the rungs.  Turbo must stay at or above the fused floor
+    on every one of these points.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_speed.py            # write baseline
@@ -31,7 +41,8 @@ Usage::
 
 ``--check`` re-measures and fails (exit 1) if any cold wall-time
 regressed more than 25% against the committed ``BENCH_speed.json``,
-or if any specialized point's fast path falls below fast/slow parity.
+if any specialized point's fast path falls below fast/slow parity,
+or if turbo drops below the fused floor on a steady-state point.
 """
 
 import argparse
@@ -46,7 +57,7 @@ from repro.eval import runner
 from repro.eval.runner import clear_cache, run
 
 #: schema version of BENCH_speed.json; bump on layout changes
-SCHEMA = 2
+SCHEMA = 3
 
 #: committed baseline location (repository root)
 REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(
@@ -74,6 +85,17 @@ LONG_POINTS = {
     "btree-ua": ("io+x", "specialized", "large"),
 }
 
+#: the long steady-state streaming kernels the turbo backend is asked
+#: to carry -- the per-backend ladder axis is measured on these.  All
+#: specialized io+x points: that is the only place turbo engages.
+BACKEND_POINTS = {
+    "vvadd-uc": ("io+x", "specialized", "large"),
+    "saxpy-uc": ("io+x", "specialized", "large"),
+    "vvdiv-uc": ("io+x", "specialized", "large"),
+    "divchain-uc": ("io+x", "specialized", "large"),
+    "cmult-uc": ("io+x", "specialized", "large"),
+}
+
 #: cold regression tolerance for --check (fraction over baseline)
 TOLERANCE = 0.25
 
@@ -81,20 +103,67 @@ TOLERANCE = 0.25
 #: traditional GPP points plus one specialized (io+x) LPSU point
 SMOKE_KERNELS = ("rgb2cmyk-uc", "viterbi-uc", "adpcm-or")
 
+#: the backend-ladder point the smoke job re-measures (small scale so
+#: the interp rung stays cheap)
+SMOKE_BACKEND_KERNELS = ("vvadd-uc",)
 
-def _cold(kernel, config, mode, scale, fast, repeats=3):
+
+def _cold(kernel, config, mode, scale, fast=None, backend=None,
+          repeats=3):
     """Best-of-*repeats* wall time of a fully cold point (compile +
-    simulate, no caches)."""
+    simulate, no caches, no retained turbo memos)."""
     best = None
     for _ in range(repeats):
         clear_cache(keep_disk=True)
         t0 = time.perf_counter()
         run(kernel, config, mode=mode, scale=scale,
-            use_disk_cache=False, fast=fast)
+            use_disk_cache=False, fast=fast, backend=backend)
         dt = time.perf_counter() - t0
         if best is None or dt < best:
             best = dt
     return best
+
+
+def _backend_point(kernel, config, mode, scale, repeats=2):
+    """Simulation-only wall time of one point on every backend rung.
+
+    Returns ``(interp, fused, turbo_cold, turbo_warm)`` best-of-
+    *repeats* seconds.  Compile, workload generation, memory setup,
+    and the golden verify run outside the timed region: they are
+    byte-identical across rungs, and this axis exists to compare the
+    rungs, not the harness around them."""
+    from repro.eval.configs import config as named_config
+    from repro.kernels import get_kernel
+    from repro.lang import compile_source
+    from repro.sim import Memory, turbo as turbo_mod
+    from repro.uarch import simulate
+
+    spec = get_kernel(kernel)
+    program = compile_source(spec.source).program
+    sysconfig = named_config(config)
+
+    def one(backend, keep_memos=False):
+        best = None
+        for _ in range(repeats):
+            if not keep_memos:
+                turbo_mod.clear()
+            mem = Memory()
+            wl = spec.workload(scale, 0)
+            args = wl.apply(mem)
+            t0 = time.perf_counter()
+            simulate(program, sysconfig, entry=spec.entry, args=args,
+                     mem=mem, mode=mode, backend=backend)
+            dt = time.perf_counter() - t0
+            wl.check(mem)
+            if best is None or dt < best:
+                best = dt
+        return best
+
+    interp = one("interp")
+    fused = one("fused")
+    cold = one("turbo")               # memos populated by the last rep
+    warm = one("turbo", keep_memos=True)
+    return interp, fused, cold, warm
 
 
 def _warm(kernel, config, mode, scale):
@@ -111,10 +180,12 @@ def speed_report(scale="small", smoke=False):
     """Measure every section (or, with *smoke*, just the two nightly
     smoke kernels) and return the report dict."""
     report = {"schema": SCHEMA, "scale": scale, "patterns": {},
-              "long_kernels": {}, "table2": {}}
+              "long_kernels": {}, "table2": {}, "backends": {}}
     pattern_points = {} if smoke else PATTERN_POINTS
     long_points = {k: v for k, v in LONG_POINTS.items()
                    if not smoke or k in SMOKE_KERNELS}
+    backend_points = {k: v for k, v in BACKEND_POINTS.items()
+                      if not smoke or k in SMOKE_BACKEND_KERNELS}
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         saved = diskcache._dir_override
@@ -142,6 +213,20 @@ def speed_report(scale="small", smoke=False):
                     "cold_fast_seconds": round(fast, 4),
                     "cold_slow_seconds": round(slow, 4),
                     "speedup": round(slow / fast, 2)}
+
+            for kernel, (config, mode, kscale) in backend_points.items():
+                if smoke:
+                    kscale = "small"    # keep the interp rung cheap
+                interp, fused, turbo, warm = _backend_point(
+                    kernel, config, mode, kscale)
+                report["backends"][kernel] = {
+                    "config": config, "mode": mode, "scale": kscale,
+                    "interp_seconds": round(interp, 4),
+                    "fused_seconds": round(fused, 4),
+                    "turbo_cold_seconds": round(turbo, 4),
+                    "turbo_warm_seconds": round(warm, 4),
+                    "turbo_over_interp": round(interp / turbo, 2),
+                    "turbo_over_fused": round(fused / turbo, 2)}
 
             if not smoke:
                 # Table II: cold (fresh cache dir) vs warm (disk-served)
@@ -204,6 +289,17 @@ def _check(report, baseline):
                 problems.append(
                     "%s/%s: specialized fast path below fast/slow "
                     "parity (%.2fx)" % (section, key, entry["speedup"]))
+    for kernel, entry in report.get("backends", {}).items():
+        b = baseline.get("backends", {}).get(kernel)
+        if b is not None and entry["scale"] == b.get("scale"):
+            cmp("backends/%s" % kernel, entry["turbo_cold_seconds"],
+                b.get("turbo_cold_seconds"))
+        # the turbo floor: on steady-state streaming kernels turbo
+        # must never lose to the tier below it
+        if entry["turbo_over_fused"] < 1.0:
+            problems.append(
+                "backends/%s: turbo below the fused floor (%.2fx)"
+                % (kernel, entry["turbo_over_fused"]))
     now = report.get("table2", {}).get("cold_seconds")
     if now is not None:
         cmp("table2", now, baseline.get("table2", {}).get("cold_seconds"))
@@ -230,8 +326,9 @@ def main(argv=None):
                          "exit 1 on a >25%% cold regression")
     ap.add_argument("--smoke", action="store_true",
                     help="nightly CI mode: only the %s long-kernel "
-                         "points, no patterns or table2 section"
-                         % (SMOKE_KERNELS,))
+                         "points plus a small-scale %s backend-ladder "
+                         "point, no patterns or table2 section"
+                         % (SMOKE_KERNELS, SMOKE_BACKEND_KERNELS))
     ap.add_argument("--output", default=REPORT_PATH, metavar="FILE",
                     help="report destination (default repo root)")
     args = ap.parse_args(argv)

@@ -24,6 +24,7 @@ import argparse
 import sys
 
 from .eval.configs import CONFIGS
+from .sim.backends import BACKEND_CHOICES
 from .uarch.system import MODES
 
 
@@ -37,14 +38,32 @@ def _add_platform_args(p):
 def _add_fast_arg(p):
     p.add_argument("--no-fast", action="store_true",
                    help="disable the verified simulator fast path "
-                        "(superblock fusion + schedule memoization); "
-                        "results are bit-identical either way")
+                        "(equivalent to --backend interp); results "
+                        "are bit-identical either way")
+    p.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                   help="simulation backend ladder rung: interp "
+                        "(reference), fused, turbo, or auto (highest "
+                        "available; the default).  Exact-mode results "
+                        "are bit-identical across rungs")
+
+
+def _add_approx_arg(p):
+    p.add_argument("--approx", type=float, default=0.0, metavar="EPS",
+                   help="turbo only: accept documented timing drift "
+                        "up to a fraction EPS on cache-phase "
+                        "divergence in exchange for skipping miss "
+                        "validation.  Design-space exploration only; "
+                        "approx results are cached separately and "
+                        "never serve exact requests")
 
 
 def _apply_fast_arg(args):
+    from .eval import runner
     if getattr(args, "no_fast", False):
-        from .eval import runner
         runner.set_default_fast(False)
+        runner.set_default_backend("interp")
+    elif getattr(args, "backend", None):
+        runner.set_default_backend(args.backend)
 
 
 def _add_cache_args(p):
@@ -91,6 +110,7 @@ def build_parser():
                    help="integer arguments")
     _add_platform_args(p)
     _add_fast_arg(p)
+    _add_approx_arg(p)
 
     sub.add_parser("kernels", help="list bundled application kernels")
 
@@ -104,6 +124,7 @@ def build_parser():
     p.add_argument("--trace-width", type=int, default=120)
     _add_platform_args(p)
     _add_fast_arg(p)
+    _add_approx_arg(p)
 
     p = sub.add_parser("table", help="regenerate a paper artifact")
     p.add_argument("which",
@@ -169,6 +190,11 @@ def build_parser():
                         "(fusion + schedule memoization) bit-identical "
                         "to the slow path: cycles, events, stats, and "
                         "final memory")
+    p.add_argument("--ladder", action="store_true",
+                   help="instead check the full backend ladder "
+                        "(interp/fused/turbo) pairwise bit-identical "
+                        "per point: cycles, events, stats, and final "
+                        "memory; failures name the diverging tier")
 
     p = sub.add_parser("profile",
                        help="profile one kernel simulation and print "
@@ -289,7 +315,9 @@ def cmd_run(args):
         return 2
     result = simulate(compiled.program, config, entry=args.entry,
                       args=args.args, mode=args.mode,
-                      fast=not args.no_fast)
+                      fast=False if args.no_fast else None,
+                      backend=None if args.no_fast else args.backend,
+                      approx=args.approx)
     print("cycles:        %d" % result.cycles)
     print("instructions:  %d gpp + %d lpsu"
           % (result.gpp_instrs, result.lpsu_instrs))
@@ -317,7 +345,9 @@ def cmd_kernel(args):
     from .eval.runner import baseline_run, run
     _apply_fast_arg(args)
     result = run(args.name, args.config, mode=args.mode,
-                 scale=args.scale)
+                 scale=args.scale, approx=args.approx,
+                 backend="turbo" if args.approx and not args.backend
+                 else args.backend)
     base = baseline_run(args.name, args.config, scale=args.scale)
     print("kernel:     %s on %s (%s)" % (args.name, args.config,
                                          args.mode))
@@ -438,13 +468,13 @@ def cmd_sweep(args):
 
 
 def cmd_verify(args):
-    from .verify import run_conformance, run_fast_slow
+    from .verify import run_conformance, run_fast_slow, run_ladder
     kernels = args.kernels or None
     if args.all:
         kernels = None
 
     def progress(res):
-        if res.ok and args.fast_slow:
+        if res.ok and (args.fast_slow or args.ladder):
             print("ok   %-16s %-14s %3d points bit-identical"
                   % (res.name, ",".join(res.kinds), res.configs))
         elif res.ok:
@@ -455,7 +485,9 @@ def cmd_verify(args):
         else:
             print("FAIL %-16s %s" % (res.name, res.detail))
 
-    harness = run_fast_slow if args.fast_slow else run_conformance
+    harness = (run_ladder if args.ladder
+               else run_fast_slow if args.fast_slow
+               else run_conformance)
     results = harness(kernels=kernels, gen=args.gen,
                       seed=args.seed, scale=args.scale,
                       progress=progress)
@@ -473,14 +505,19 @@ def cmd_profile(args):
     # a memo- or disk-served result would profile the cache instead of
     # the simulator: drop in-process memos and bypass the disk cache
     runner.clear_cache(keep_disk=True)
+    from .sim.backends import resolve_backend
+    backend = resolve_backend(
+        "interp" if getattr(args, "no_fast", False)
+        else args.backend or runner.default_backend())
     prof = cProfile.Profile()
     prof.enable()
     result = runner.run(args.name, args.config, mode=args.mode,
-                        scale=args.scale, use_disk_cache=False)
+                        scale=args.scale, use_disk_cache=False,
+                        backend=backend.name)
     prof.disable()
-    print("kernel:  %s on %s (%s, scale=%s, fast=%s)"
+    print("kernel:  %s on %s (%s, scale=%s, backend=%s)"
           % (args.name, args.config, args.mode, args.scale,
-             not getattr(args, "no_fast", False)))
+             backend.name))
     print("cycles:  %d" % result.cycles)
     print()
     stats = pstats.Stats(prof, stream=sys.stdout)

@@ -14,6 +14,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from .. import __version__
+from ..sim.backends import BACKEND_CHOICES, resolve_backend
 from ..energy import MCPAT_45NM, VLSI_40NM, system_energy
 from ..energy.events import EnergyEvents
 from ..kernels import get_kernel
@@ -130,6 +131,37 @@ def set_default_fast(value):
     else:
         os.environ["REPRO_NO_FAST"] = "1"
 
+#: process-wide default backend name for :func:`run`.  ``None`` means
+#: "not decided yet": the first resolution consults ``$REPRO_BACKEND``
+#: (and the legacy ``$REPRO_NO_FAST``, which forces ``interp``) so
+#: sweep worker processes inherit the CLI's ``--backend`` choice.
+_DEFAULT_BACKEND: Optional[str] = None
+
+
+def default_backend():
+    """The backend name :func:`run` uses when none is passed."""
+    global _DEFAULT_BACKEND
+    if _DEFAULT_BACKEND is None:
+        name = os.environ.get("REPRO_BACKEND")
+        if not name:
+            name = "interp" if os.environ.get("REPRO_NO_FAST") else "auto"
+        if name not in BACKEND_CHOICES:
+            raise ValueError("$REPRO_BACKEND=%r: choose from %s"
+                             % (name, "/".join(BACKEND_CHOICES)))
+        _DEFAULT_BACKEND = name
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(name):
+    """Override the process-wide backend default (CLI ``--backend``).
+    Mirrors into ``$REPRO_BACKEND`` so worker processes agree."""
+    global _DEFAULT_BACKEND
+    if name not in BACKEND_CHOICES:
+        raise ValueError("unknown backend %r (choose from %s)"
+                         % (name, "/".join(BACKEND_CHOICES)))
+    _DEFAULT_BACKEND = name
+    os.environ["REPRO_BACKEND"] = name
+
 #: count of actual :class:`SystemSimulator` invocations in this
 #: process -- cache hits (memo or disk) don't bump it, so callers can
 #: tell a served point from a simulated one
@@ -145,31 +177,39 @@ def _resolve_config(config_name):
 
 
 def _fingerprint(spec, sysconfig, mode, binary, xi_enabled, scale,
-                 seed, schedule_cirs):
-    """Content hash of everything the simulation result depends on."""
+                 seed, schedule_cirs, backend_name="auto", approx=0.0):
+    """Content hash of everything the simulation result depends on.
+
+    The resolved backend name and approx tolerance are part of the
+    key: exact-mode backends are bit-identical, but an ``--approx``
+    run is allowed to drift, so it must never be served to (or be
+    served from) an exact request."""
     sources = (spec.source,
                spec.serial_source if binary == "serial" else None)
     return diskcache.cache_key(
         __version__, sources, repr(sysconfig), mode, binary,
-        xi_enabled, scale, seed, schedule_cirs)
+        xi_enabled, scale, seed, schedule_cirs, backend_name, approx)
 
 
 def run(kernel_name, config_name, mode="traditional", binary="xloops",
         xi_enabled=True, scale="small", seed=0, check=True,
         schedule_cirs=False, use_disk_cache=True, verify=False,
-        fast=None, max_cycles=None):
+        fast=None, max_cycles=None, backend=None, approx=0.0):
     """Simulate one (kernel, platform, mode) point.
 
     Results are memoized in-process and persisted to the disk cache;
     either hit returns without touching the simulator.  *config_name*
     is a configuration name or a :class:`SystemConfig` instance.
 
-    *fast* enables the verified fast path (superblock fusion plus
-    iteration-schedule memoization); ``None`` defers to
-    :func:`default_fast`.  Fast and slow runs are bit-identical --
-    ``repro verify --fast-slow`` enforces this -- so the cache keys
-    deliberately do not include it; ``fast=False`` is an escape hatch
-    for debugging the fast path itself.
+    *backend* selects a rung of the simulation ladder
+    (:mod:`repro.sim.backends`): ``interp``/``fused``/``turbo``/
+    ``auto``; ``None`` defers to :func:`default_backend`.  The legacy
+    *fast* boolean is honoured when *backend* is None and *fast* is
+    not (``fast=False`` means interp).  Exact-mode backends are
+    bit-identical — ``repro verify --ladder`` enforces it — but the
+    cache keys still record the resolved backend and the *approx*
+    tolerance, so an ``--approx`` result can never serve an exact
+    request (nor vice versa).
 
     *check* runs the workload's architectural result check after the
     simulation.  *verify* additionally runs every specialized xloop
@@ -181,10 +221,14 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
     verified runs are never cache-served and never pollute the cache.
     """
     global simulations
-    if fast is None:
-        fast = default_fast()
+    if backend is None and fast is None:
+        backend = default_backend()
+    resolved = resolve_backend(backend, fast)
+    if approx and not resolved.turbo:
+        raise ValueError("approx=%r requires the turbo backend, not %r"
+                         % (approx, resolved.name))
     key = (kernel_name, config_name, mode, binary, xi_enabled, scale,
-           seed, schedule_cirs)
+           seed, schedule_cirs, resolved.name, approx)
     if not verify:
         hit = _RESULTS.get(key)
         if hit is not None:
@@ -196,7 +240,8 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
     ckey = None
     if use_disk:
         ckey = _fingerprint(spec, sysconfig, mode, binary, xi_enabled,
-                            scale, seed, schedule_cirs)
+                            scale, seed, schedule_cirs, resolved.name,
+                            approx)
         cached = diskcache.load(ckey)
         if cached is not None:
             _RESULTS[key] = cached
@@ -204,7 +249,7 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
 
     compiled = _compiled(kernel_name, binary, xi_enabled, schedule_cirs)
 
-    def attempt(fast_now):
+    def attempt(backend_now):
         # a fresh Memory/workload per attempt: a failed attempt may
         # have left memory half-written
         global simulations
@@ -212,7 +257,9 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
         mem = Memory()
         args = workload.apply(mem)
         sim = SystemSimulator(compiled.program, sysconfig, mem=mem,
-                              verify=verify, fast=fast_now,
+                              verify=verify, backend=backend_now,
+                              approx=approx if backend_now == resolved.name
+                              else 0.0,
                               max_cycles=max_cycles)
         simulations += 1
         result = sim.run(entry=spec.entry, args=args, mode=mode)
@@ -221,23 +268,25 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
         return result
 
     try:
-        result = attempt(fast)
+        result = attempt(resolved.name)
     except (KeyboardInterrupt, SystemExit):
         raise
     except (LivelockError, DeadlineExceeded):
         raise    # watchdog verdicts are never retried away
     except Exception as exc:
         from ..verify import InvariantViolation
-        if isinstance(exc, InvariantViolation) or not fast:
-            raise    # a violation must surface; slow path has no ladder
-        # graceful degradation: retry once on the interpreted slow
-        # path, and record the incident rather than hiding it
+        if isinstance(exc, InvariantViolation) or resolved.name == "interp":
+            raise    # a violation must surface; interp has no ladder
+        # graceful degradation: retry once on the interpreted
+        # reference backend, and record the incident rather than
+        # hiding it
         _INCIDENTS.append(Incident(
             kind="fast-path-fallback",
             context="%s/%s/%s/%s/%s" % (kernel_name, sysconfig.name,
                                         mode, binary, scale),
-            detail="%s: %s" % (type(exc).__name__, exc)))
-        result = attempt(False)
+            detail="%s/%s: %s" % (resolved.name, type(exc).__name__,
+                                  exc)))
+        result = attempt("interp")
 
     out = KernelRun(
         kernel=kernel_name, config=sysconfig.name, mode=mode,
@@ -269,10 +318,13 @@ def seed_result(key, result):
 
 def memo_key(kernel_name, config_name, mode="traditional",
              binary="xloops", xi_enabled=True, scale="small", seed=0,
-             schedule_cirs=False):
+             schedule_cirs=False, backend=None, fast=None, approx=0.0):
     """The in-process memo key :func:`run` uses for these arguments."""
+    if backend is None and fast is None:
+        backend = default_backend()
+    resolved = resolve_backend(backend, fast)
     return (kernel_name, config_name, mode, binary, xi_enabled, scale,
-            seed, schedule_cirs)
+            seed, schedule_cirs, resolved.name, approx)
 
 
 def baseline_run(kernel_name, config_name, scale="small", seed=0):
@@ -305,10 +357,16 @@ def energy_efficiency(kernel_name, config_name, mode, scale="small",
     return base.energy_nj / this.energy_nj
 
 
-def clear_cache(keep_disk=False):
-    """Forget all memoized results and compiled binaries.  Also wipes
-    the on-disk result cache unless *keep_disk* is true."""
+def clear_cache(keep_disk=False, keep_memos=False):
+    """Forget all memoized results, compiled binaries, and the turbo
+    backend's process-wide schedule memos.  Also wipes the on-disk
+    result cache unless *keep_disk* is true; *keep_memos* preserves
+    the turbo schedule memos (used by benches to time a warm turbo
+    re-run without the result cache short-circuiting it)."""
+    from ..sim import turbo
     _RESULTS.clear()
     _compiled.cache_clear()
+    if not keep_memos:
+        turbo.clear()
     if not keep_disk:
         diskcache.clear()

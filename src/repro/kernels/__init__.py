@@ -6,7 +6,8 @@ from .base import KernelSpec, Workload, region
 from .registry import (ALL_KERNELS, KERNELS, TABLE2_KERNELS,
                        TABLE4_KERNELS, get_kernel)
 from .sources_ext import EXTENSION_KERNELS
+from .sources_turbo import TURBO_KERNELS
 
 __all__ = ["KernelSpec", "Workload", "region", "ALL_KERNELS", "KERNELS",
            "TABLE2_KERNELS", "TABLE4_KERNELS", "EXTENSION_KERNELS",
-           "get_kernel"]
+           "TURBO_KERNELS", "get_kernel"]

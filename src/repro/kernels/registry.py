@@ -12,6 +12,7 @@ from .sources_or import (ADPCM, COVAR, DITHER_OR, DITHER_OR_OPT, DITHER_UC,
 from .sources_ua import (BTREE, HSORT, HUFFMAN, RSORT_UA, RSORT_UC,
                          UA_KERNELS, UA_TRANSFORMED)
 from .sources_ext import EXTENSION_KERNELS, SSEARCH_DE
+from .sources_turbo import TURBO_KERNELS
 from .sources_uc import (RGB2CMYK, SGEMM, SSEARCH, SYMM_OR, SYMM_UC,
                          UC_KERNELS, VITERBI, WAR_OM, WAR_UC)
 
@@ -63,7 +64,8 @@ TABLE4_KERNELS = (
 )
 
 #: kernels exercising this reproduction's extensions (not in the paper)
-ALL_KERNELS = TABLE2_KERNELS + TABLE4_KERNELS + EXTENSION_KERNELS
+ALL_KERNELS = TABLE2_KERNELS + TABLE4_KERNELS + EXTENSION_KERNELS \
+    + TURBO_KERNELS
 
 KERNELS = {spec.name: spec for spec in ALL_KERNELS}
 

@@ -1,0 +1,77 @@
+"""The simulation backend ladder: ``interp`` -> ``fused`` -> ``turbo``.
+
+Every tier simulates the same machine and must produce bit-identical
+results (cycles, energy events, final memory); they differ only in how
+much per-cycle interpretation they elide:
+
+``interp``
+    The reference path: per-instruction decoded handlers, per-cycle
+    LPSU stepping.  Slowest, structurally closest to the paper's
+    description; verification and fault injection always run here.
+``fused``
+    Superblock fusion (:mod:`repro.sim.fusion`): exec-compiled GPP
+    basic blocks and the compiled fused-lane LPSU engine.  Same
+    schedule, less dispatch.
+``turbo``
+    Everything in ``fused`` plus steady-state recurrence extraction
+    (:mod:`repro.sim.turbo`): recorded iteration-schedule segments are
+    exec-compiled into straight-line batch steppers and whole epochs
+    are replayed per call, validated live against branch directions
+    and cache hit/miss outcomes.
+
+``auto`` resolves to the highest tier (``turbo``, or ``fused`` when
+``REPRO_NO_TURBO`` is set).  ``repro verify --ladder`` enforces the
+bit-identity contract pairwise across all three tiers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: names accepted anywhere a backend is selected
+BACKEND_CHOICES = ("auto", "interp", "fused", "turbo")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One rung of the simulation-backend ladder."""
+
+    name: str
+    fast: bool    # fused superblocks + LPSU engine enabled
+    turbo: bool   # steady-state segment compilation enabled
+    description: str
+
+
+BACKENDS = {
+    "interp": Backend(
+        "interp", False, False,
+        "per-instruction reference interpreter"),
+    "fused": Backend(
+        "fused", True, False,
+        "superblock fusion + compiled LPSU lane engine"),
+    "turbo": Backend(
+        "turbo", True, True,
+        "fused + compiled steady-state schedule replay"),
+}
+
+
+def resolve_backend(name=None, fast=None):
+    """Resolve a backend selection to a :class:`Backend`.
+
+    *name* may be any of :data:`BACKEND_CHOICES` or None.  When None,
+    the legacy ``fast`` boolean decides (``False`` -> interp,
+    otherwise auto).  ``auto`` resolves to turbo unless the
+    ``REPRO_NO_TURBO`` environment hatch demotes it to fused (the
+    ``REPRO_NO_FAST`` hatch is honoured upstream by the callers that
+    own a default, e.g. :func:`repro.eval.runner.default_backend`).
+    """
+    if name is None:
+        name = "interp" if fast is False else "auto"
+    if name == "auto":
+        name = "fused" if os.environ.get("REPRO_NO_TURBO") else "turbo"
+    b = BACKENDS.get(name)
+    if b is None:
+        raise ValueError("unknown backend %r (choose from %s)"
+                         % (name, "/".join(BACKEND_CHOICES)))
+    return b

@@ -38,8 +38,7 @@ from ..sim.functional import LivelockError, decode_instr, execute
 from ..sim.memory import MASK32, to_s32
 from .descriptor import LoopDescriptor
 from .params import LPSUConfig
-from .schedmemo import (FAR_FUTURE as _FAR, _DEAD_ABORTS,
-                        _MAX_ENTRIES as _MAX_REC)
+from .schedmemo import FAR_FUTURE as _FAR
 
 _LOAD_SIZE = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}
 _STORE_SIZE = {"sw": 4, "sh": 2, "sb": 1}
@@ -397,7 +396,7 @@ class LPSU:
                 break
             if memo is not None:
                 rec = self._rec
-                if rec is not None and len(rec) > _MAX_REC:
+                if rec is not None and len(rec) > memo.max_entries:
                     # one epoch is too long to ever replay profitably;
                     # stop paying the recording tax for this loop
                     self._rec = None
@@ -1192,17 +1191,29 @@ class LPSU:
             seg = memo.table.get(sig)
             if seg is None or seg.n_begins > remaining:
                 break
-            done, cycle = self._replay_segment(seg, cycle)
+            took = 1
+            hit = memo.compiled(self, sig, seg)
+            if hit is not None:
+                # compiled batch replay (turbo backend): the memo may
+                # substitute a composite segment covering a whole
+                # phase cycle; one that re-keys its own start replays
+                # every remaining whole period in a single call
+                fn, seg = hit
+                if seg.end_sig == sig and seg.n_begins:
+                    took = remaining // seg.n_begins
+                done, cycle = fn(cycle, took)
+            else:
+                done, cycle = self._replay_segment(seg, cycle)
             if not done:
                 memo.aborts += 1
-                if (memo.aborts >= _DEAD_ABORTS
+                if (memo.aborts >= memo.dead_aborts
                         and memo.hits < memo.aborts >> 2):
                     # replays keep diverging: live outcomes for this
                     # loop are too unstable for memoization to pay
                     memo.dead = True
                 return cycle, True
-            memo.hits += 1
-            remaining -= seg.n_begins
+            memo.hits += took
+            remaining -= seg.n_begins * took
             sig = seg.end_sig
             if not remaining:
                 break

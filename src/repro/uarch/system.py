@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 from ..energy.events import EnergyEvents
 from ..sim.functional import (HALT_PC, FunctionalCore, LivelockError,
                               SimError, decode_program)
+from ..sim.backends import resolve_backend
 from ..sim.fusion import fused_blocks, lpsu_engine
 from ..sim.memory import Memory, to_s32
 from .adaptive import (AdaptiveProfilingTable, DECIDED_SPECIALIZED,
@@ -69,7 +70,7 @@ class SystemSimulator:
     """Simulate *program* on *config* in a given execution mode."""
 
     def __init__(self, program, config, mem=None, verify=False, fast=True,
-                 max_cycles=None, injector=None):
+                 max_cycles=None, injector=None, backend=None, approx=0.0):
         self.program = program
         self.config = config
         # when set, every specialized invocation runs under a
@@ -85,10 +86,24 @@ class SystemSimulator:
         # point.  Injection needs per-step observation, so it forces
         # the slow path like verify does.
         self.injector = injector
+        # backend ladder (repro.sim.backends): interp / fused / turbo.
+        # verify and injection need exact per-step observation, so they
+        # force the interp tier regardless of the requested backend;
+        # the legacy `fast` boolean maps False -> interp, True -> auto.
+        if verify or injector is not None:
+            resolved = resolve_backend("interp")
+        else:
+            resolved = resolve_backend(backend, fast=fast)
+        self.backend = resolved.name
+        self.approx = float(approx)
+        if self.approx and not resolved.turbo:
+            raise ValueError(
+                "approx mode requires the turbo backend (got %r)"
+                % resolved.name)
         # bit-identical fast path: fused GPP superblocks + LPSU
-        # iteration-schedule memoization.  verify needs exact per-step
-        # observation, so it forces the slow path.
-        self.fast = bool(fast) and not verify and injector is None
+        # iteration-schedule memoization
+        self.fast = resolved.fast
+        self._turbo = resolved.turbo
         self.mem = mem if mem is not None else Memory()
         self.events = EnergyEvents()
         self.cache = L1Cache(config.gpp.cache)
@@ -109,6 +124,7 @@ class SystemSimulator:
         # per-xloop-pc iteration-schedule memo tables, shared across
         # specialized invocations of the same static loop
         self._memos = {}
+        self._memo_keys = {}   # turbo: content key guarding each memo
         # compiled fused-lane LPSU engine (repro.sim.fusion, `lpsu`
         # flavour); REPRO_NO_LPSU_ENGINE=1 disables just this layer
         # while keeping the rest of the fast path
@@ -319,10 +335,26 @@ class SystemSimulator:
             engine = lpsu_engine(self.program, desc, self.config.lpsu,
                                  self.config.gpp)
         memo = None
-        if self.fast and engine is None:
-            # schedule memoization pays only on the interpreted
-            # stepper; with a compiled engine available, plain
-            # engine-stepped execution is faster than record + replay
+        if self._turbo:
+            # turbo: compiled segment replay beats even the engine on
+            # steady-state loops, so the memo rides alongside it.  The
+            # memo is content-keyed and shared process-wide: MIV
+            # increments resolve per invocation, so the key is checked
+            # each time rather than trusting the xloop pc alone.
+            from ..sim import turbo as _turbo_mod
+            key = _turbo_mod.memo_content_key(
+                desc, self.config.lpsu, self.config.gpp, self.approx)
+            memo = self._memos.get(desc.xloop_pc)
+            if memo is None or self._memo_keys.get(desc.xloop_pc) != key:
+                memo = _turbo_mod.turbo_memo(
+                    desc, self.config.lpsu, self.config.gpp, self.approx)
+                self._memos[desc.xloop_pc] = memo
+                self._memo_keys[desc.xloop_pc] = key
+        elif self.fast and engine is None:
+            # fused tier: schedule memoization pays only on the
+            # interpreted stepper; with a compiled engine available,
+            # plain engine-stepped execution is faster than
+            # record + replay
             memo = self._memos.get(desc.xloop_pc)
             if memo is None:
                 memo = self._memos[desc.xloop_pc] = ScheduleMemo()
@@ -378,7 +410,7 @@ class SystemSimulator:
 
 def simulate(program, config, entry="main", args=(), mode="traditional",
              mem=None, verify=False, fast=True, max_cycles=None,
-             injector=None):
+             injector=None, backend=None, approx=0.0):
     """One-shot convenience wrapper returning a :class:`RunResult`.
 
     With ``verify=True`` every specialized xloop invocation is checked
@@ -386,16 +418,21 @@ def simulate(program, config, entry="main", args=(), mode="traditional",
     :class:`~repro.verify.InvariantViolation` on the first breach)
     without perturbing cycles, energy, or statistics.
 
-    ``fast=False`` disables the fused-superblock / schedule-memoization
-    fast path (results are bit-identical either way; the escape hatch
-    exists for debugging and differential conformance).
+    ``backend`` selects a rung of the simulation ladder
+    (:mod:`repro.sim.backends`): ``interp``/``fused``/``turbo``/
+    ``auto`` (results are bit-identical across tiers; ``repro verify
+    --ladder`` enforces it).  The legacy ``fast`` boolean is honoured
+    when ``backend`` is None: ``fast=False`` means interp.  ``approx``
+    (> 0, turbo only) permits documented timing drift on cache-phase
+    divergence in exchange for skipping miss validation — DSE only.
 
     ``max_cycles`` bounds the specialized-phase cycle budget (raising
     :class:`~repro.sim.LivelockError` when exhausted); ``injector``
     threads a :mod:`repro.resilience` fault injector into every
-    specialized invocation.
+    specialized invocation (forcing the interp tier, like verify).
     """
     sim = SystemSimulator(program, config, mem=mem, verify=verify,
                           fast=fast, max_cycles=max_cycles,
-                          injector=injector)
+                          injector=injector, backend=backend,
+                          approx=approx)
     return sim.run(entry=entry, args=args, mode=mode)

@@ -174,7 +174,7 @@ def check_case(case, sweep=LPSU_SWEEP, adaptive=False):
 # ----------------------------------------------------------------------
 
 def _run_snapshot(program, entry, args, mem, lpsu, mode, fast,
-                  no_engine=False):
+                  no_engine=False, backend=None):
     cfg = (SystemConfig("conf-x", _GPP, lpsu) if lpsu is not None
            else SystemConfig("conf-io", _GPP))
     if no_engine:
@@ -183,7 +183,7 @@ def _run_snapshot(program, entry, args, mem, lpsu, mode, fast,
         os.environ["REPRO_NO_LPSU_ENGINE"] = "1"
     try:
         r = simulate(program, cfg, entry=entry, args=args, mem=mem,
-                     mode=mode, fast=fast)
+                     mode=mode, fast=fast, backend=backend)
     finally:
         if no_engine:
             os.environ.pop("REPRO_NO_LPSU_ENGINE", None)
@@ -253,6 +253,84 @@ def check_fast_slow(name, program, entry, make_args, sweep=LPSU_SWEEP,
     except Exception as exc:
         return res.fail("%s: %s" % (type(exc).__name__, exc))
     return res
+
+
+def check_ladder(name, program, entry, make_args, sweep=LPSU_SWEEP,
+                 adaptive=True):
+    """Demand the full backend ladder (interp -> fused -> turbo) is
+    *bit-identical* for one loop: every snapshot field — cycles, instr
+    counts, energy-event counts, LPSU stats, adaptive decisions,
+    return value, cache totals — and the final memory image must agree
+    pairwise across all three tiers, for traditional execution and
+    every specialized/adaptive LPSU design point.  The failure detail
+    names the diverging tier.  Never raises."""
+    res = ConformanceResult(name=name)
+    tiers = ("interp", "fused", "turbo")
+    try:
+        points = [("traditional", None)]
+        points += _specialized_points(sweep, adaptive)
+        for mode, lpsu in points:
+            snaps = []
+            mems = []
+            for tier in tiers:
+                mem = Memory()
+                args = make_args(mem)
+                snaps.append(_run_snapshot(program, entry, args, mem,
+                                           lpsu, mode, fast=None,
+                                           backend=tier))
+                mems.append(mem)
+            res.configs += 1
+            # pairwise against the interp reference: the named tier is
+            # the diverging one
+            for v in range(1, len(tiers)):
+                label = tiers[v]
+                if snaps[0] != snaps[v]:
+                    return res.fail("%s/%r interp!=%s: %s"
+                                    % (mode, lpsu, label,
+                                       _diff_detail(snaps[0], snaps[v],
+                                                    label)))
+                if not mems[0].pages_equal(mems[v]):
+                    return res.fail(
+                        "%s/%r %s memory differs from interp at 0x%x"
+                        % (mode, lpsu, label,
+                           mems[0].first_difference(mems[v])))
+            # fused-vs-turbo closes the pairwise triangle (their
+            # snapshots already both equal interp's; memory too)
+    except Exception as exc:
+        return res.fail("%s: %s" % (type(exc).__name__, exc))
+    return res
+
+
+def run_ladder(kernels=None, gen=0, seed=0, scale="tiny",
+               sweep=LPSU_SWEEP, progress=None):
+    """Backend-ladder differential sweep over kernels (all registered
+    when *kernels* is None) plus *gen* generated loops; returns a list
+    of :class:`ConformanceResult`."""
+    names = ([s.name for s in ALL_KERNELS] if kernels is None
+             else list(kernels))
+    results = []
+    for name in names:
+        spec = get_kernel(name)
+        xl = compile_source(spec.source)
+
+        def make_args(mem, _spec=spec):
+            return _spec.workload(scale, seed).apply(mem)
+
+        res = check_ladder(name, xl.program, spec.entry, make_args,
+                           sweep=sweep)
+        res.kinds = xl.loop_kinds()
+        results.append(res)
+        if progress is not None:
+            progress(res)
+    for case in random_cases(seed, gen):
+        xl = compile_source(case.source)
+        res = check_ladder(case.name, xl.program, case.entry,
+                           case.apply, sweep=sweep, adaptive=False)
+        res.kinds = xl.loop_kinds()
+        results.append(res)
+        if progress is not None:
+            progress(res)
+    return results
 
 
 def run_fast_slow(kernels=None, gen=0, seed=0, scale="tiny",

@@ -233,9 +233,11 @@ class TestDiskCacheIntegrity:
         point = dict(kernel_name="sgemm-uc", config_name="io",
                      mode="traditional", scale=SCALE)
         runner.run(**point)
+        from repro.sim.backends import resolve_backend
         key = runner._fingerprint(
             get_kernel("sgemm-uc"), runner._resolve_config("io"),
-            "traditional", "xloops", True, SCALE, 0, False)
+            "traditional", "xloops", True, SCALE, 0, False,
+            resolve_backend(runner.default_backend()).name)
         path = diskcache._record_path(key)
         blob = open(path, "rb").read()
         with open(path, "wb") as f:

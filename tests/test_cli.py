@@ -139,6 +139,31 @@ def test_verify_fast_slow(capsys):
     assert "0 failed" in out
 
 
+def test_verify_ladder(capsys):
+    rc = main(["verify", "--ladder", "vvadd-uc", "sha-or"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert "0 failed" in out
+
+
+def test_kernel_backend_flag(capsys):
+    from repro.eval import runner
+    try:
+        assert main(["kernel", "vvadd-uc", "--scale", "tiny",
+                     "--backend", "turbo"]) == 0
+        turbo_out = capsys.readouterr().out
+        runner.clear_cache(keep_disk=True)
+        assert main(["kernel", "vvadd-uc", "--scale", "tiny",
+                     "--backend", "interp"]) == 0
+        assert capsys.readouterr().out == turbo_out
+    finally:
+        import os
+        runner.set_default_backend("auto")
+        os.environ.pop("REPRO_BACKEND", None)
+        runner.clear_cache(keep_disk=True)
+
+
 def test_kernel_no_fast_matches_fast(capsys):
     assert main(["kernel", "sha-or", "--scale", "tiny"]) == 0
     fast_out = capsys.readouterr().out
@@ -167,3 +192,12 @@ def test_profile_prints_hotspots(capsys):
     # pstats table with the requested restriction applied
     assert "cumtime" in out
     assert "due to restriction <5>" in out
+
+
+def test_profile_backend_flag(capsys):
+    rc = main(["profile", "vvadd-uc", "--scale", "tiny",
+               "--backend", "turbo", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "backend=turbo" in out
+    assert "cycles:" in out
