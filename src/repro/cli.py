@@ -11,6 +11,8 @@ table     regenerate one of the paper's tables/figures
 sweep     run an artifact's simulation points in parallel, cached
 verify    traditional-vs-specialized differential conformance under
           the runtime invariant monitor
+prove     symbolic dependence prover: certify every kernel's xloop
+          pragmas, or refute them with concrete counterexamples
 profile   cProfile one kernel simulation and print the hottest
           functions
 inject    seeded fault-injection campaign over the LPSU's
@@ -99,6 +101,10 @@ def build_parser():
                    help="disable xi cross-iteration instructions")
     p.add_argument("--schedule", action="store_true",
                    help="enable automatic CIR-critical-path scheduling")
+    p.add_argument("--auto-annotate", action="store_true",
+                   help="run the symbolic dependence prover over "
+                        "unannotated loops and specialize them with "
+                        "proved patterns")
 
     p = sub.add_parser("disasm", help="show encodings + disassembly")
     p.add_argument("source", help="MiniC or .s assembly file")
@@ -106,6 +112,9 @@ def build_parser():
     p = sub.add_parser("run", help="compile and simulate a call")
     p.add_argument("source", help="MiniC source file")
     p.add_argument("entry", help="function to call")
+    p.add_argument("--auto-annotate", action="store_true",
+                   help="specialize unannotated loops with "
+                        "prover-certified patterns")
     p.add_argument("args", nargs="*", type=lambda v: int(v, 0),
                    help="integer arguments")
     _add_platform_args(p)
@@ -196,6 +205,29 @@ def build_parser():
                         "per point: cycles, events, stats, and final "
                         "memory; failures name the diverging tier")
 
+    p = sub.add_parser("prove",
+                       help="symbolic dependence prover: certify or "
+                            "refute xloop pragmas")
+    p.add_argument("kernels", nargs="*", metavar="KERNEL",
+                   help="kernels to prove (default: all registered; "
+                        "see 'repro kernels')")
+    p.add_argument("--all", action="store_true",
+                   help="prove every registered kernel (the default "
+                        "when no kernels are named)")
+    p.add_argument("--fuzz", type=int, default=0, metavar="N",
+                   help="also cross-check the prover against "
+                        "brute-force dependence enumeration on N "
+                        "random affine loops")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fuzz seed (default 0)")
+    p.add_argument("--replay", action="store_true",
+                   help="replay each refutation counterexample as a "
+                        "directed differential conformance case")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print per-pair certificates for every loop")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the proof records to FILE as JSON")
+
     p = sub.add_parser("profile",
                        help="profile one kernel simulation and print "
                             "the top cumulative hotspots")
@@ -267,9 +299,10 @@ def cmd_compile(args):
     from .lang import compile_source
     with open(args.source) as f:
         source = f.read()
-    compiled = compile_source(source, xloops=not args.gp,
-                              xi_enabled=not args.no_xi,
-                              schedule_cirs=args.schedule)
+    compiled = compile_source(
+        source, xloops=not args.gp, xi_enabled=not args.no_xi,
+        schedule_cirs=args.schedule,
+        annotate="auto" if args.auto_annotate else "pragma")
     for loop in compiled.loops:
         print("# line %d: %r -> %s%s" % (
             loop.line, loop.annotation, loop.mnemonic,
@@ -307,7 +340,8 @@ def cmd_run(args):
     from .uarch import simulate
     with open(args.source) as f:
         source = f.read()
-    compiled = compile_source(source)
+    compiled = compile_source(
+        source, annotate="auto" if args.auto_annotate else "pragma")
     config = CONFIGS[args.config]
     if config.lpsu is None and args.mode != "traditional":
         print("error: config %r has no LPSU; use --mode traditional"
@@ -497,6 +531,86 @@ def cmd_verify(args):
     return 1 if bad else 0
 
 
+def cmd_prove(args):
+    from .lang.passes.prover import fuzz_prover, prove_all
+    names = args.kernels or None
+    if args.all:
+        names = None
+
+    def progress(kp):
+        flag = ("ok*  " if kp.whitelisted else "ok   " if kp.ok
+                else "FAIL ")
+        print("%s%-16s %s" % (flag, kp.name, kp.detail))
+        for proof in kp.loops:
+            if args.verbose:
+                print("      %s" % proof.describe())
+                for line in proof.describe_pairs().splitlines():
+                    print("        %s" % line)
+            elif proof.counterexample is not None and not proof.ok:
+                print("      counterexample: %s" % proof.counterexample)
+
+    results = prove_all(names, progress=progress)
+    bad = [kp for kp in results if not kp.ok]
+    whitelisted = [kp for kp in results if kp.whitelisted]
+
+    replay_bad = 0
+    if args.replay:
+        from .kernels import get_kernel
+        from .lang.parser import parse
+        from .verify.conformance import check_counterexample
+        for kp in results:
+            spec = get_kernel(kp.name)
+            funcs = {f.name: f for f in parse(spec.source).functions}
+            for proof in kp.loops:
+                if proof.counterexample is None:
+                    continue
+                func = funcs.get(proof.function)
+                if func is None or func.name != spec.entry:
+                    continue
+                res = check_counterexample(spec.source, spec.entry,
+                                           func.params, proof)
+                caught = not res.ok
+                replay_bad += 0 if caught else 1
+                print("%s %-16s counterexample replay %s"
+                      % ("ok  " if caught else "FAIL", kp.name,
+                         "diverged as predicted" if caught
+                         else "produced no divergence"))
+
+    if args.json:
+        import json
+        records = [{
+            "name": kp.name, "ok": kp.ok,
+            "whitelisted": kp.whitelisted, "detail": kp.detail,
+            "loops": [{
+                "function": p.function, "line": p.line,
+                "annotation": p.annotation, "emitted": p.emitted,
+                "verdict": p.verdict, "minimal": p.minimal,
+                "mem_status": p.mem_status,
+                "reasons": list(p.reasons), "notes": list(p.notes),
+                "counterexample": (None if p.counterexample is None
+                                   else str(p.counterexample)),
+            } for p in kp.loops],
+        } for kp in results]
+        with open(args.json, "w") as f:
+            json.dump(records, f, indent=2)
+
+    fuzz_bad = 0
+    if args.fuzz:
+        def fuzz_progress(case, verdict):
+            if (case + 1) % 25 == 0 or case + 1 == args.fuzz:
+                print("fuzz %d/%d" % (case + 1, args.fuzz))
+        failures = fuzz_prover(seed=args.seed, count=args.fuzz,
+                               progress=fuzz_progress)
+        for f in failures:
+            print("FUZZ FAIL %s" % f)
+        fuzz_bad = len(failures)
+
+    print("%d kernel%s proved, %d failed, %d whitelisted"
+          % (len(results), "s" if len(results) != 1 else "",
+             len(bad), len(whitelisted)))
+    return 1 if (bad or fuzz_bad or replay_bad) else 0
+
+
 def cmd_profile(args):
     import cProfile
     import pstats
@@ -653,7 +767,8 @@ def cmd_isa(_args):
 _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
-    "sweep": cmd_sweep, "verify": cmd_verify, "isa": cmd_isa,
+    "sweep": cmd_sweep, "verify": cmd_verify, "prove": cmd_prove,
+    "isa": cmd_isa,
     "cache": cmd_cache, "profile": cmd_profile, "inject": cmd_inject,
 }
 

@@ -7,7 +7,10 @@ from .parser import parse
 from .sema import Sema, Symbol, analyze
 from .compiler import CompiledProgram, LoopInfo, compile_source
 from .codegen import CodegenOptions
+from .passes.prover import (LoopProof, prove_all, prove_kernel,
+                            prove_source)
 
 __all__ = ["CompileError", "tokenize", "parse", "Sema", "Symbol",
            "analyze", "CompiledProgram", "LoopInfo", "compile_source",
-           "CodegenOptions"]
+           "CodegenOptions", "LoopProof", "prove_all", "prove_kernel",
+           "prove_source"]

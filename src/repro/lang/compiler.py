@@ -53,11 +53,23 @@ class CompiledProgram:
 
 def compile_source(source, xloops=True, xi_enabled=True, sr_enabled=True,
                    schedule_cirs=False, text_base=TEXT_BASE,
-                   data_base=DATA_BASE):
-    """Compile MiniC *source*; returns a :class:`CompiledProgram`."""
+                   data_base=DATA_BASE, annotate="pragma"):
+    """Compile MiniC *source*; returns a :class:`CompiledProgram`.
+
+    ``annotate="pragma"`` (default) trusts ``#pragma xloops``
+    annotations; ``annotate="auto"`` additionally runs the symbolic
+    dependence prover over unannotated canonical loops and specializes
+    them with proved patterns (``unordered`` only when every memory
+    pair is certified independent, else ``ordered``)."""
     unit = parse(source)
     sema = Sema(unit)
     sema.run()
+    if annotate == "auto":
+        from .passes.prover import auto_annotate_unit
+        auto_annotate_unit(unit)
+    elif annotate != "pragma":
+        raise ValueError("annotate must be 'pragma' or 'auto', got %r"
+                         % (annotate,))
     analyze_unit_loops(unit)
 
     options = CodegenOptions(xloops=xloops, xi_enabled=xi_enabled,

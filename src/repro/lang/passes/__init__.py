@@ -1,7 +1,16 @@
-"""Compiler analysis passes (dependence analysis, pattern selection)."""
+"""Compiler analysis passes (dependence analysis, pattern selection,
+symbolic dependence proving)."""
 
 from .depend import (LinForm, MemAccess, analyze_loop, analyze_unit_loops,
                      decompose, expr_key, has_cross_iteration_dep)
+from .prover import (KernelProof, LoopProof, PairCert, Witness,
+                     auto_annotate_unit, fuzz_prover, prove_all,
+                     prove_kernel, prove_loop, prove_source, prove_unit)
+from .prover_core import HAS_Z3, Poly, solve_eqs, z3_enabled
 
 __all__ = ["LinForm", "MemAccess", "analyze_loop", "analyze_unit_loops",
-           "decompose", "expr_key", "has_cross_iteration_dep"]
+           "decompose", "expr_key", "has_cross_iteration_dep",
+           "KernelProof", "LoopProof", "PairCert", "Witness",
+           "auto_annotate_unit", "fuzz_prover", "prove_all",
+           "prove_kernel", "prove_loop", "prove_source", "prove_unit",
+           "HAS_Z3", "Poly", "solve_eqs", "z3_enabled"]

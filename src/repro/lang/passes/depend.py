@@ -33,6 +33,7 @@ from ..ast_nodes import (AddrOf, Assign, Binary, Break, Call, Cast, Decl,
                          Return, Unary, Var, While, walk_exprs)
 from ..lexer import CompileError
 from ..sema import AMO_BUILTINS, FLOAT_BUILTINS
+from .prover_core import pair_dependent_over_z
 
 
 # ---------------------------------------------------------------------------
@@ -349,6 +350,11 @@ def has_cross_iteration_dep(a, b):
         if isinstance(fa.coef, int):
             return delta % fa.coef == 0  # integer dependence distance
         return True                      # symbolic stride: conservative
+    if isinstance(fa.coef, int) and isinstance(fb.coef, int):
+        # weak SIV / MIV with integer strides: exact two-variable
+        # linear diophantine test over all of Z (a superset of the
+        # iteration range), via the prover's constraint core
+        return pair_dependent_over_z(fa.coef, fb.coef, delta)
     return True                          # weak SIV/MIV: conservative
 
 

@@ -1,0 +1,424 @@
+"""Constraint core for the symbolic dependence prover.
+
+Pure python, no AST or compiler imports (``depend`` consults this
+module, ``prover`` builds on it; keeping it leaf-level avoids import
+cycles).  Three pieces:
+
+* :class:`Poly` — multivariate integer polynomials over named atoms
+  (the induction variable, auxiliary inner-loop counters, and opaque
+  loop-invariant symbols such as ``n``).  Array subscripts decompose
+  into these exactly; anything that does not is "unknown" and handled
+  conservatively upstream.
+* symbolic reasoning helpers — shifted-coefficient nonnegativity
+  (:func:`poly_nonneg`), box bounds of a linear form with symbolic
+  coefficients (:func:`linear_bounds`), single-term polynomial
+  division for the quotient/remainder disjointness rule
+  (:func:`divmod_term`), and the exact two-variable linear
+  diophantine test (:func:`pair_dependent_over_z`) that the ZIV/SIV
+  pass calls into.
+* :func:`solve_eqs` — a small interval-propagation solver with
+  binary variable splitting (a DPLL-style branch-and-prune over
+  finite integer boxes) used by the bounded model check to find
+  concrete counterexample iteration pairs.
+
+``z3`` is an optional extra: when installed *and* enabled (the
+``REPRO_PROVER_Z3`` environment variable), :func:`z3_refute` answers
+unbounded queries the pure-python core leaves unknown.  Nothing in
+tier-1 requires it.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# optional z3 extra (feature-gated; tier-1 never requires it)
+# ---------------------------------------------------------------------------
+
+try:  # pragma: no cover - exercised only where z3 is installed
+    import z3  # type: ignore
+    HAS_Z3 = True
+except ImportError:
+    z3 = None
+    HAS_Z3 = False
+
+
+def z3_enabled():
+    """True when the z3 extra is installed and opted into."""
+    return HAS_Z3 and os.environ.get("REPRO_PROVER_Z3", "0") not in ("", "0")
+
+
+# ---------------------------------------------------------------------------
+# multivariate integer polynomials
+# ---------------------------------------------------------------------------
+
+class Poly:
+    """Polynomial with integer coefficients over named atoms.
+
+    ``terms`` maps a monomial — a sorted tuple of atom names, with
+    repetition for powers — to its coefficient; the empty tuple is the
+    constant term.  Instances are immutable by convention.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms=None):
+        self.terms = {m: c for m, c in (terms or {}).items() if c}
+
+    @classmethod
+    def const(cls, value):
+        return cls({(): int(value)})
+
+    @classmethod
+    def var(cls, name):
+        return cls({(name,): 1})
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other):
+        other = _coerce(other)
+        terms = dict(self.terms)
+        for m, c in other.terms.items():
+            terms[m] = terms.get(m, 0) + c
+        return Poly(terms)
+
+    def __sub__(self, other):
+        return self + (-_coerce(other))
+
+    def __neg__(self):
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __mul__(self, other):
+        other = _coerce(other)
+        terms: Dict[Tuple[str, ...], int] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                m = tuple(sorted(m1 + m2))
+                terms[m] = terms.get(m, 0) + c1 * c2
+        return Poly(terms)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # -- inspection --------------------------------------------------------
+
+    def key(self):
+        return tuple(sorted(self.terms.items()))
+
+    def __eq__(self, other):
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self):
+        return hash(self.key())
+
+    @property
+    def is_const(self):
+        return not self.terms or set(self.terms) == {()}
+
+    @property
+    def const_value(self):
+        return self.terms.get((), 0)
+
+    def atoms(self):
+        return {name for m in self.terms for name in m}
+
+    def single_term(self):
+        """``(coef, monomial)`` when the poly is one non-constant term."""
+        if len(self.terms) != 1:
+            return None
+        (mono, coef), = self.terms.items()
+        if not mono:
+            return None
+        return coef, mono
+
+    def linear_split(self, names):
+        """Split into ``({name: coef_poly}, rest_poly)`` treating the
+        poly as linear over *names*; None when any of *names* appears
+        nonlinearly (squared, or multiplying another listed name)."""
+        names = set(names)
+        coefs: Dict[str, Poly] = {}
+        rest = Poly()
+        for mono, c in self.terms.items():
+            hit = [a for a in mono if a in names]
+            if not hit:
+                rest = rest + Poly({mono: c})
+            elif len(hit) == 1:
+                v = hit[0]
+                other = list(mono)
+                other.remove(v)
+                coefs[v] = coefs.get(v, Poly()) + Poly({tuple(other): c})
+            else:
+                return None
+        return coefs, rest
+
+    def subst(self, mapping):
+        """Substitute atoms by polynomials (``{name: Poly}``)."""
+        out = Poly()
+        for mono, c in self.terms.items():
+            term = Poly.const(c)
+            for atom in mono:
+                term = term * mapping.get(atom, Poly.var(atom))
+            out = out + term
+        return out
+
+    def evaluate(self, env):
+        """Integer value under a complete ``{name: int}`` environment."""
+        total = 0
+        for mono, c in self.terms.items():
+            v = c
+            for atom in mono:
+                v *= env[atom]
+            total += v
+        return total
+
+    def interval(self, box):
+        """Interval ``(lo, hi)`` of the poly over ``{name: (lo, hi)}``
+        (inclusive) concrete boxes, by interval arithmetic."""
+        lo = hi = 0
+        for mono, c in self.terms.items():
+            tlo, thi = c, c
+            for atom in mono:
+                alo, ahi = box[atom]
+                cands = (tlo * alo, tlo * ahi, thi * alo, thi * ahi)
+                tlo, thi = min(cands), max(cands)
+            lo += tlo
+            hi += thi
+        return lo, hi
+
+    def __repr__(self):
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono, c in sorted(self.terms.items()):
+            body = "*".join(mono)
+            if not mono:
+                parts.append("%d" % c)
+            elif c == 1:
+                parts.append(body)
+            elif c == -1:
+                parts.append("-%s" % body)
+            else:
+                parts.append("%d*%s" % (c, body))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def _coerce(value):
+    return value if isinstance(value, Poly) else Poly.const(value)
+
+
+# ---------------------------------------------------------------------------
+# symbolic reasoning over atom lower bounds
+# ---------------------------------------------------------------------------
+
+def poly_nonneg(p, lbs):
+    """Prove ``p >= 0`` given each atom ``a >= lbs[a]``.
+
+    Shift every atom by its lower bound (``a -> lb + a'`` with
+    ``a' >= 0``); the poly is nonnegative when every coefficient of
+    the shifted form is.  Atoms without a known lower bound defeat the
+    proof (returns False — this is a prover, not a heuristic)."""
+    missing = [a for a in p.atoms() if a not in lbs]
+    if missing:
+        return False
+    shifted = p.subst({a: Poly.var(a) + Poly.const(lbs[a])
+                       for a in p.atoms()})
+    return all(c >= 0 for c in shifted.terms.values())
+
+
+def poly_pos(p, lbs):
+    """Prove ``p >= 1``."""
+    return poly_nonneg(p - Poly.const(1), lbs)
+
+
+def linear_bounds(p, ranges, lbs):
+    """Symbolic ``(min, max)`` polys of *p* over the box *ranges*
+    (``{var: (lo_poly, hi_poly)}``, half-open) — or None.
+
+    *p* must be linear in the range variables, the bound polys must
+    not reference range variables, and every variable coefficient must
+    have a provable sign under *lbs*."""
+    split = p.linear_split(set(ranges))
+    if split is None:
+        return None
+    coefs, rest = split
+    mn = mx = rest
+    rangevars = set(ranges)
+    for v, c in coefs.items():
+        lo, hi = ranges[v]
+        if lo is None or hi is None:
+            return None
+        if (lo.atoms() | hi.atoms()) & rangevars:
+            return None
+        top = hi - Poly.const(1)
+        if poly_nonneg(c, lbs):
+            mn, mx = mn + c * lo, mx + c * top
+        elif poly_nonneg(-c, lbs):
+            mn, mx = mn + c * top, mx + c * lo
+        else:
+            return None
+    return mn, mx
+
+
+def eq_unsat(p, ranges, lbs):
+    """Prove ``p = 0`` has no solution in the box: its symbolic
+    minimum is >= 1 or its maximum is <= -1."""
+    bounds = linear_bounds(p, ranges, lbs)
+    if bounds is None:
+        return False
+    mn, mx = bounds
+    return poly_pos(mn, lbs) or poly_pos(-mx, lbs)
+
+
+def divmod_term(p, coef, mono):
+    """Divide *p* by the single term ``coef * mono``: returns
+    ``(q, r)`` with ``p == q * term + r``, splitting monomial-wise
+    (a term is divisible when its coefficient is a multiple of *coef*
+    and its monomial contains *mono* as a sub-multiset)."""
+    q = Poly()
+    r = Poly()
+    need = list(mono)
+    for m, c in p.terms.items():
+        left = list(m)
+        ok = c % coef == 0
+        if ok:
+            for atom in need:
+                if atom in left:
+                    left.remove(atom)
+                else:
+                    ok = False
+                    break
+        if ok:
+            q = q + Poly({tuple(left): c // coef})
+        else:
+            r = r + Poly({m: c})
+    return q, r
+
+
+# ---------------------------------------------------------------------------
+# exact two-variable linear diophantine test (consulted by depend.py)
+# ---------------------------------------------------------------------------
+
+def pair_dependent_over_z(coef_a, coef_b, delta):
+    """May ``ca*i + Ca`` and ``cb*j + Cb`` collide for integers
+    ``i != j``?  (*delta* is ``Ca - Cb``.)
+
+    Exact over all of Z — a superset of any loop's iteration range, so
+    False is a sound "no cross-iteration dependence" verdict for the
+    conservative weak-SIV/MIV fallthrough.  Solutions of
+    ``ca*i - cb*j = -delta`` exist iff ``gcd(ca, cb)`` divides
+    *delta*; when ``ca != cb`` the solution lattice varies ``i - j``,
+    so some solution has ``i != j``."""
+    g = math.gcd(coef_a, coef_b)
+    if g == 0:
+        return delta == 0
+    return delta % g == 0
+
+
+# ---------------------------------------------------------------------------
+# interval-propagation solver (branch-and-prune over finite boxes)
+# ---------------------------------------------------------------------------
+
+#: safety valve for adversarial inputs; generous for real subscripts
+MAX_SPLITS = 20000
+
+
+def solve_eqs(eqs, domains, neq=None, order=None):
+    """Find an integer point of the box *domains* (``{name: (lo, hi)}``
+    inclusive) satisfying every ``poly == 0`` in *eqs* and, when *neq*
+    is a ``(a, b)`` pair, ``a != b``.  Returns ``{name: int}`` or
+    None.
+
+    Branch-and-prune: interval-evaluate every equation over the
+    current box, discard boxes that cannot contain a root, split the
+    first unfixed variable at its midpoint, recurse left-first — which
+    makes the returned solution lexicographically minimal in *order*
+    (default: sorted names)."""
+    names = list(order) if order else sorted(domains)
+    budget = [MAX_SPLITS]
+
+    def feasible(box):
+        for p in eqs:
+            lo, hi = p.interval(box)
+            if lo > 0 or hi < 0:
+                return False
+        if neq is not None:
+            a, b = neq
+            if box[a][0] == box[a][1] == box[b][0] == box[b][1]:
+                return False
+        return True
+
+    def descend(box):
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        if not feasible(box):
+            return None
+        for name in names:
+            lo, hi = box[name]
+            if lo != hi:
+                mid = (lo + hi) // 2
+                for half in ((lo, mid), (mid + 1, hi)):
+                    sub = dict(box)
+                    sub[name] = half
+                    hit = descend(sub)
+                    if hit is not None:
+                        return hit
+                return None
+        return {k: v[0] for k, v in box.items()}
+
+    for name, (lo, hi) in domains.items():
+        if lo > hi:
+            return None
+    return descend(dict(domains))
+
+
+# ---------------------------------------------------------------------------
+# z3 bridge (optional extra)
+# ---------------------------------------------------------------------------
+
+def _to_z3(p, ivars):  # pragma: no cover - requires the z3 extra
+    expr = 0
+    for mono, c in p.terms.items():
+        term = c
+        for atom in mono:
+            term = term * ivars[atom]
+        expr = expr + term
+    return expr
+
+
+def z3_refute(diff, ranges, lbs, neq, timeout_ms=2000):
+    """Prove ``diff = 0`` unsatisfiable over the integers under the
+    symbolic box *ranges* and atom lower bounds *lbs* with
+    ``neq[0] != neq[1]`` — via z3, when installed.  Returns True
+    (refuted: provably independent), False (a model exists), or None
+    (z3 missing, disabled, or inconclusive)."""
+    if not z3_enabled():
+        return None
+    atoms = set(diff.atoms()) | set(lbs)
+    for lo, hi in ranges.values():
+        for b in (lo, hi):
+            if b is not None:
+                atoms |= b.atoms()
+    ivars = {a: z3.Int(a) for a in atoms}  # pragma: no cover
+    solver = z3.Solver()  # pragma: no cover
+    solver.set("timeout", timeout_ms)  # pragma: no cover
+    for a, lb in lbs.items():  # pragma: no cover
+        solver.add(ivars[a] >= lb)
+    for v, (lo, hi) in ranges.items():  # pragma: no cover
+        if v not in ivars:
+            continue
+        if lo is not None:
+            solver.add(ivars[v] >= _to_z3(lo, ivars))
+        if hi is not None:
+            solver.add(ivars[v] < _to_z3(hi, ivars))
+    if neq is not None:  # pragma: no cover
+        solver.add(ivars[neq[0]] != ivars[neq[1]])
+    solver.add(_to_z3(diff, ivars) == 0)  # pragma: no cover
+    verdict = solver.check()  # pragma: no cover
+    if verdict == z3.unsat:  # pragma: no cover
+        return True
+    if verdict == z3.sat:  # pragma: no cover
+        return False
+    return None  # pragma: no cover

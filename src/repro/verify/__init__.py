@@ -16,17 +16,20 @@ Three entry points, all built on the same machinery:
   in :mod:`~repro.verify.genloops` with the hypothesis fuzz tests.
 """
 
-from .conformance import (ConformanceResult, check_case, check_fast_slow,
+from .conformance import (ConformanceResult, check_case,
+                          check_counterexample, check_fast_slow,
                           check_kernel, check_ladder, run_conformance,
                           run_fast_slow, run_ladder)
-from .genloops import LPSU_SWEEP, GenCase, RandomChooser, random_cases
+from .genloops import (LPSU_SWEEP, GenCase, RandomChooser,
+                       case_from_counterexample, random_cases)
 from .invariants import InvariantMonitor, InvariantViolation
 from .oracle import OracleError, SerialOracle
 
 __all__ = [
-    "ConformanceResult", "check_case", "check_fast_slow",
-    "check_kernel", "check_ladder", "run_conformance", "run_fast_slow",
-    "run_ladder", "LPSU_SWEEP",
-    "GenCase", "RandomChooser", "random_cases", "InvariantMonitor",
-    "InvariantViolation", "OracleError", "SerialOracle",
+    "ConformanceResult", "check_case", "check_counterexample",
+    "check_fast_slow", "check_kernel", "check_ladder",
+    "run_conformance", "run_fast_slow", "run_ladder", "LPSU_SWEEP",
+    "GenCase", "RandomChooser", "case_from_counterexample",
+    "random_cases", "InvariantMonitor", "InvariantViolation",
+    "OracleError", "SerialOracle",
 ]

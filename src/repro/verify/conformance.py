@@ -169,6 +169,27 @@ def check_case(case, sweep=LPSU_SWEEP, adaptive=False):
     return res
 
 
+def check_counterexample(source, entry, params, proof, sweep=LPSU_SWEEP):
+    """Replay a prover refutation as a differential conformance case.
+
+    *proof* is a refuted ``repro.lang.passes.prover.LoopProof`` for a
+    loop of *source*; its concrete counterexample becomes a directed
+    :class:`~repro.verify.genloops.GenCase` (trip count and symbol
+    values taken from the witness) and is swept through
+    :func:`check_case`.  The returned result should FAIL — a passing
+    result means the unsound pragma produced no observable divergence
+    on this sweep, which is itself reportable.
+    """
+    if proof.counterexample is None:
+        raise ValueError("proof for %s line %d has no counterexample"
+                         % (proof.function, proof.line))
+    from .genloops import case_from_counterexample
+    case = case_from_counterexample(
+        "cex-%s-L%d" % (proof.function, proof.line), source, entry,
+        params, proof.counterexample)
+    return check_case(case, sweep=sweep)
+
+
 # ----------------------------------------------------------------------
 # fast-vs-slow differential mode
 # ----------------------------------------------------------------------

@@ -262,6 +262,50 @@ def random_cases(seed, count):
             for i in range(count)]
 
 
+# -- prover-directed cases --------------------------------------------------
+
+def case_from_counterexample(name, source, entry, params, witness,
+                             words=64, min_trip=16):
+    """Build a directed :class:`GenCase` from a prover counterexample.
+
+    *witness* is a ``repro.lang.passes.prover.Witness``: a concrete
+    iteration pair of *source*'s loop that touches the same array
+    element.  The case binds every pointer parameter of *params* (the
+    entry function's parameter list) to its own region, sizes the trip
+    count so the colliding iterations actually execute, and compares
+    every region across execution modes — so an unsound pragma
+    becomes an observable traditional-vs-specialized divergence.
+
+    The witness trip count is a *minimum*: it is raised to *min_trip*
+    (the colliding pair still executes; a longer run lengthens the
+    dependence chain, making lane-interleaving divergence far more
+    likely to materialize on at least one sweep point).
+    """
+    args: List[int] = []
+    init_words: List[Tuple[int, List[int]]] = []
+    out_regions: List[Tuple[int, int]] = []
+    ridx = 0
+    for p in params:
+        if p.type.is_pointer:
+            base = A + ridx * 0x80000
+            # distinct, deterministic non-zero fill per region so
+            # reorderings of colliding accesses change the image
+            vals = [(1000003 * (k + 7 * ridx + 1)) % 65521
+                    for k in range(words)]
+            args.append(base)
+            init_words.append((base, vals))
+            out_regions.append((base, words))
+            ridx += 1
+        elif p.name == witness.bound_name:
+            args.append(max(witness.trip, min_trip))
+        elif p.name in witness.symbols:
+            args.append(witness.symbols[p.name] & 0xFFFFFFFF)
+        else:
+            args.append(max(witness.trip, 2))
+    return GenCase(name=name, source=source, entry=entry, args=args,
+                   init_words=init_words, out_regions=out_regions)
+
+
 # -- hypothesis strategies (optional dependency) ----------------------------
 
 try:  # pragma: no cover - exercised via the fuzz suite

@@ -1,0 +1,48 @@
+"""Pragma-regression gate: every registered kernel's xloop pragmas
+must be confirmed by the symbolic dependence prover (or explicitly
+whitelisted with a tracked reason — and the whitelist must stay empty
+for the paper's original Table II kernels).
+
+This is the test-suite twin of the blocking ``repro prove --all`` CI
+step: a kernel edit that silently invalidates its pragma fails here
+with the prover's counterexample in the assertion message.
+"""
+
+import pytest
+
+from repro.kernels import ALL_KERNELS, TABLE2_KERNELS
+from repro.lang.passes.prover import PRAGMA_WHITELIST, prove_kernel
+
+ALL_NAMES = [spec.name for spec in ALL_KERNELS]
+TABLE2_NAMES = {spec.name for spec in TABLE2_KERNELS}
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernel_pragma_confirmed(name):
+    kp = prove_kernel(name)
+    assert kp.ok, "unsound pragma in %s: %s" % (name, kp.detail)
+    # proved or carried by a recognized assumption regime — never by
+    # an untracked escape hatch
+    for proof in kp.loops:
+        assert proof.verdict in ("proved", "assumed"), proof.describe()
+        if proof.verdict == "assumed":
+            assert proof.reasons, (
+                "%s: assumption without a named regime" % name)
+
+
+def test_no_table2_kernel_is_whitelisted():
+    # acceptance criterion: zero whitelist entries among the original
+    # 25 paper kernels
+    assert not (set(PRAGMA_WHITELIST) & TABLE2_NAMES)
+
+
+def test_whitelist_entries_reference_registered_kernels():
+    assert set(PRAGMA_WHITELIST) <= set(ALL_NAMES)
+
+
+def test_every_registered_kernel_has_an_xloop():
+    # the gate is vacuous for a kernel with no annotated loop; make
+    # sure none slips in unproved
+    for spec in ALL_KERNELS:
+        kp = prove_kernel(spec)
+        assert kp.loops, "%s has no annotated loops" % spec.name

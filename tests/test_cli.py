@@ -201,3 +201,63 @@ def test_profile_backend_flag(capsys):
     out = capsys.readouterr().out
     assert "backend=turbo" in out
     assert "cycles:" in out
+
+
+def test_prove_named_kernels(capsys):
+    assert main(["prove", "vvadd-uc", "war-uc", "hsort-ua"]) == 0
+    out = capsys.readouterr().out
+    assert "ok   vvadd-uc" in out
+    assert "3 kernels proved, 0 failed, 0 whitelisted" in out
+
+
+def test_prove_verbose_prints_certificates(capsys):
+    assert main(["prove", "dynprog-om", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "xloop.om proved" in out
+    assert "minimal" in out          # per-loop describe() line
+
+
+def test_prove_fuzz_and_json(tmp_path, capsys):
+    import json
+    report = tmp_path / "proofs.json"
+    assert main(["prove", "saxpy-uc", "--fuzz", "5", "--seed", "2",
+                 "--json", str(report)]) == 0
+    records = json.loads(report.read_text())
+    assert records[0]["name"] == "saxpy-uc"
+    assert records[0]["ok"] is True
+    assert records[0]["loops"][0]["verdict"] == "proved"
+
+
+def test_prove_replay_on_sound_kernels_is_noop(capsys):
+    # no registered kernel is refuted, so --replay replays nothing
+    assert main(["prove", "mm-orm", "--replay"]) == 0
+    out = capsys.readouterr().out
+    assert "counterexample replay" not in out
+
+
+def test_compile_auto_annotate(tmp_path, capsys):
+    path = tmp_path / "plain.c"
+    path.write_text("""
+void scale(int* a, int* b, int n) {
+    for (int i = 0; i < n; i++) { b[i] = 3 * a[i] + 1; }
+}
+""")
+    assert main(["compile", str(path), "--auto-annotate"]) == 0
+    err = capsys.readouterr()
+    assert "xloop.uc" in err.out + err.err
+
+
+def test_run_auto_annotate(tmp_path, capsys):
+    path = tmp_path / "plain.c"
+    path.write_text("""
+int total(int* a, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) { acc = acc + a[i]; }
+    return acc;
+}
+""")
+    rc = main(["run", str(path), "total", "0x100000", "0",
+               "--auto-annotate"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "return value:  0" in out

@@ -1,0 +1,86 @@
+"""Counterexample replay: a prover refutation becomes a directed
+GenCase, and the differential conformance harness must catch the
+unsound pragma as an observable traditional-vs-specialized divergence
+(or an invariant-monitor violation) on at least one sweep point."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.lang.passes.prover import prove_source
+from repro.verify import (case_from_counterexample, check_case,
+                          check_counterexample)
+
+WRONG_UC = """
+void k(int* a, int n) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        a[i + 1] = a[i] + 1;
+    }
+}
+"""
+
+
+def entry_params(source, entry):
+    return {f.name: f for f in parse(source).functions}[entry].params
+
+
+class TestCaseFromCounterexample:
+    def test_case_shape(self):
+        proof = prove_source(WRONG_UC)[0]
+        assert proof.verdict == "refuted"
+        case = case_from_counterexample(
+            "cex", WRONG_UC, "k", entry_params(WRONG_UC, "k"),
+            proof.counterexample)
+        assert case.entry == "k"
+        base = case.init_words[0][0]
+        assert case.args[0] == base            # pointer -> region base
+        assert case.args[1] >= proof.counterexample.trip  # bound raised
+        assert case.out_regions == [(base, 64)]
+
+    def test_symbol_values_flow_into_args(self):
+        src = """
+void k(int* a, int n, int s) {
+    #pragma xloops unordered
+    for (int i = 0; i < n; i++) {
+        a[i * s] = a[i] + 1;
+    }
+}
+"""
+        proof = prove_source(src)[0]
+        assert proof.verdict == "refuted"
+        wit = proof.counterexample
+        assert "s" in wit.symbols
+        case = case_from_counterexample(
+            "cex-sym", src, "k", entry_params(src, "k"), wit)
+        assert case.args[2] == wit.symbols["s"] & 0xFFFFFFFF
+
+
+class TestReplayCatchesUnsoundPragma:
+    def test_wrong_unordered_diverges(self):
+        proof = prove_source(WRONG_UC)[0]
+        res = check_counterexample(WRONG_UC, "k",
+                                   entry_params(WRONG_UC, "k"), proof)
+        assert not res.ok, (
+            "prover-refuted pragma produced no divergence")
+
+    def test_correct_pragma_replay_stays_clean(self):
+        # same loop shape, honestly annotated: the directed case must
+        # pass — the harness flags the pragma, not the dependence
+        src = WRONG_UC.replace("unordered", "ordered")
+        wrong = prove_source(WRONG_UC)[0]
+        case = case_from_counterexample(
+            "om-ok", src, "k", entry_params(src, "k"),
+            wrong.counterexample)
+        res = check_case(case)
+        assert res.ok, res.detail
+
+    def test_missing_counterexample_rejected(self):
+        src = WRONG_UC.replace("unordered", "ordered")
+        proof = prove_source(src)[0]
+        assert proof.verdict == "proved"
+        # om loops may carry a dependence witness, but a proof without
+        # one cannot be replayed
+        if proof.counterexample is None:
+            with pytest.raises(ValueError):
+                check_counterexample(src, "k",
+                                     entry_params(src, "k"), proof)
