@@ -34,6 +34,16 @@ Three sections, emitted as a stable-schema JSON report
     compare the rungs.  Turbo must stay at or above the fused floor
     on every one of these points.
 
+``branchy``
+    The opposite shape: branchy/aperiodic kernels whose iteration
+    schedules never repeat, so the turbo memo goes dead and only the
+    vector tier's whole-block batching has anything left to offer.
+    Every point is timed fully cold on all four rungs.  Where the
+    vector engine engages (``vector_engaged``) it must stay at or
+    above the fused floor; the remaining points (worklist/ua bodies,
+    data-dependent exits) document honest fallback -- vector runs
+    them exactly as turbo does.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_speed.py            # write baseline
@@ -42,7 +52,9 @@ Usage::
 ``--check`` re-measures and fails (exit 1) if any cold wall-time
 regressed more than 25% against the committed ``BENCH_speed.json``,
 if any specialized point's fast path falls below fast/slow parity,
-or if turbo drops below the fused floor on a steady-state point.
+if turbo drops below the fused floor on a steady-state point, or if
+the vector rung engages but falls below the fused floor on a branchy
+point.
 """
 
 import argparse
@@ -57,7 +69,7 @@ from repro.eval import runner
 from repro.eval.runner import clear_cache, run
 
 #: schema version of BENCH_speed.json; bump on layout changes
-SCHEMA = 3
+SCHEMA = 4
 
 #: committed baseline location (repository root)
 REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(
@@ -96,6 +108,18 @@ BACKEND_POINTS = {
     "cmult-uc": ("io+x", "specialized", "large"),
 }
 
+#: branchy/aperiodic kernels (dead turbo memos): the vector tier's
+#: whole-block batching engages on the long uc bodies; the ua /
+#: worklist / data-dependent-exit points document honest fallback.
+#: All specialized io+x points, like the backend-ladder axis.
+BRANCHY_POINTS = {
+    "bmix-uc": ("io+x", "specialized", "large"),
+    "qclip-uc": ("io+x", "specialized", "large"),
+    "hsort-ua": ("io+x", "specialized", "large"),
+    "bfs-uc": ("io+x", "specialized", "large"),
+    "ssearch-de": ("io+x", "specialized", "large"),
+}
+
 #: cold regression tolerance for --check (fraction over baseline)
 TOLERANCE = 0.25
 
@@ -106,6 +130,11 @@ SMOKE_KERNELS = ("rgb2cmyk-uc", "viterbi-uc", "adpcm-or")
 #: the backend-ladder point the smoke job re-measures (small scale so
 #: the interp rung stays cheap)
 SMOKE_BACKEND_KERNELS = ("vvadd-uc",)
+
+#: the branchy point the nightly vector smoke job re-measures (small
+#: scale keeps interp cheap; the 4096-iteration trip still clears the
+#: vector tier's engagement floor)
+SMOKE_BRANCHY_KERNELS = ("qclip-uc",)
 
 
 def _cold(kernel, config, mode, scale, fast=None, backend=None,
@@ -166,6 +195,52 @@ def _backend_point(kernel, config, mode, scale, repeats=2):
     return interp, fused, cold, warm
 
 
+def _branchy_point(kernel, config, mode, scale, repeats=2):
+    """Simulation-only wall time of one branchy point on all four
+    rungs, fully cold (turbo memos and vector engines dropped before
+    every rep).  Returns ``(interp, fused, turbo, vector, engaged)``
+    where *engaged* reports whether the vector engine actually batched
+    iterations (the remaining points measure honest fallback)."""
+    from repro.eval.configs import config as named_config
+    from repro.kernels import get_kernel
+    from repro.lang import compile_source
+    from repro.sim import Memory, turbo as turbo_mod, vector as vector_mod
+    from repro.uarch import simulate
+
+    spec = get_kernel(kernel)
+    program = compile_source(spec.source).program
+    sysconfig = named_config(config)
+    engaged = False
+
+    def one(backend):
+        nonlocal engaged
+        best = None
+        for _ in range(repeats):
+            turbo_mod.clear()
+            vector_mod.clear()
+            mem = Memory()
+            wl = spec.workload(scale, 0)
+            args = wl.apply(mem)
+            t0 = time.perf_counter()
+            result = simulate(program, sysconfig, entry=spec.entry,
+                              args=args, mem=mem, mode=mode,
+                              backend=backend)
+            dt = time.perf_counter() - t0
+            wl.check(mem)
+            if backend == "vector" \
+                    and result.backend_stats.get("vector_iterations"):
+                engaged = True
+            if best is None or dt < best:
+                best = dt
+        return best
+
+    interp = one("interp")
+    fused = one("fused")
+    turbo = one("turbo")
+    vector = one("vector")
+    return interp, fused, turbo, vector, engaged
+
+
 def _warm(kernel, config, mode, scale):
     """Wall time of the same point served from the disk cache."""
     clear_cache(keep_disk=True)                     # force a real run...
@@ -180,12 +255,22 @@ def speed_report(scale="small", smoke=False):
     """Measure every section (or, with *smoke*, just the two nightly
     smoke kernels) and return the report dict."""
     report = {"schema": SCHEMA, "scale": scale, "patterns": {},
-              "long_kernels": {}, "table2": {}, "backends": {}}
+              "long_kernels": {}, "table2": {}, "backends": {},
+              "branchy": {}}
     pattern_points = {} if smoke else PATTERN_POINTS
     long_points = {k: v for k, v in LONG_POINTS.items()
                    if not smoke or k in SMOKE_KERNELS}
     backend_points = {k: v for k, v in BACKEND_POINTS.items()
                       if not smoke or k in SMOKE_BACKEND_KERNELS}
+    branchy_points = {k: v for k, v in BRANCHY_POINTS.items()
+                      if not smoke or k in SMOKE_BRANCHY_KERNELS}
+    from repro.sim.vector import HAS_NUMPY
+    if not HAS_NUMPY:
+        # numpy-free host: the vector rung does not exist, so the
+        # branchy section is skipped (and --check skips its gates)
+        print("note: numpy not importable -- skipping the branchy "
+              "(vector-backend) section", file=sys.stderr)
+        branchy_points = {}
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         saved = diskcache._dir_override
@@ -227,6 +312,21 @@ def speed_report(scale="small", smoke=False):
                     "turbo_warm_seconds": round(warm, 4),
                     "turbo_over_interp": round(interp / turbo, 2),
                     "turbo_over_fused": round(fused / turbo, 2)}
+
+            for kernel, (config, mode, kscale) in branchy_points.items():
+                if smoke:
+                    kscale = "small"    # keep the interp rung cheap
+                interp, fused, turbo, vector, engaged = _branchy_point(
+                    kernel, config, mode, kscale)
+                report["branchy"][kernel] = {
+                    "config": config, "mode": mode, "scale": kscale,
+                    "interp_seconds": round(interp, 4),
+                    "fused_seconds": round(fused, 4),
+                    "turbo_seconds": round(turbo, 4),
+                    "vector_seconds": round(vector, 4),
+                    "vector_engaged": engaged,
+                    "vector_over_fused": round(fused / vector, 2),
+                    "vector_over_turbo": round(turbo / vector, 2)}
 
             if not smoke:
                 # Table II: cold (fresh cache dir) vs warm (disk-served)
@@ -300,6 +400,19 @@ def _check(report, baseline):
             problems.append(
                 "backends/%s: turbo below the fused floor (%.2fx)"
                 % (kernel, entry["turbo_over_fused"]))
+    for kernel, entry in report.get("branchy", {}).items():
+        b = baseline.get("branchy", {}).get(kernel)
+        if b is not None and entry["scale"] == b.get("scale"):
+            cmp("branchy/%s" % kernel, entry["vector_seconds"],
+                b.get("vector_seconds"))
+        # the vector floor: wherever whole-block batching engages it
+        # must never lose to the fused tier (the non-engaging points
+        # fall back to the turbo path, whose memo thrash on aperiodic
+        # schedules is exactly what this section documents)
+        if entry["vector_engaged"] and entry["vector_over_fused"] < 1.0:
+            problems.append(
+                "branchy/%s: vector below the fused floor (%.2fx)"
+                % (kernel, entry["vector_over_fused"]))
     now = report.get("table2", {}).get("cold_seconds")
     if now is not None:
         cmp("table2", now, baseline.get("table2", {}).get("cold_seconds"))
@@ -326,9 +439,11 @@ def main(argv=None):
                          "exit 1 on a >25%% cold regression")
     ap.add_argument("--smoke", action="store_true",
                     help="nightly CI mode: only the %s long-kernel "
-                         "points plus a small-scale %s backend-ladder "
-                         "point, no patterns or table2 section"
-                         % (SMOKE_KERNELS, SMOKE_BACKEND_KERNELS))
+                         "points plus small-scale %s backend-ladder "
+                         "and %s branchy points, no patterns or "
+                         "table2 section"
+                         % (SMOKE_KERNELS, SMOKE_BACKEND_KERNELS,
+                            SMOKE_BRANCHY_KERNELS))
     ap.add_argument("--output", default=REPORT_PATH, metavar="FILE",
                     help="report destination (default repo root)")
     args = ap.parse_args(argv)

@@ -44,9 +44,10 @@ def _add_fast_arg(p):
                         "are bit-identical either way")
     p.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
                    help="simulation backend ladder rung: interp "
-                        "(reference), fused, turbo, or auto (highest "
-                        "available; the default).  Exact-mode results "
-                        "are bit-identical across rungs")
+                        "(reference), fused, turbo, vector (needs "
+                        "numpy), or auto (highest available; the "
+                        "default).  Exact-mode results are "
+                        "bit-identical across rungs")
 
 
 def _add_approx_arg(p):
@@ -201,8 +202,9 @@ def build_parser():
                         "final memory")
     p.add_argument("--ladder", action="store_true",
                    help="instead check the full backend ladder "
-                        "(interp/fused/turbo) pairwise bit-identical "
-                        "per point: cycles, events, stats, and final "
+                        "(interp/fused/turbo, plus vector when numpy "
+                        "is available) pairwise bit-identical per "
+                        "point: cycles, events, stats, and final "
                         "memory; failures name the diverging tier")
 
     p = sub.add_parser("prove",
@@ -633,6 +635,9 @@ def cmd_profile(args):
           % (args.name, args.config, args.mode, args.scale,
              backend.name))
     print("cycles:  %d" % result.cycles)
+    if result.backend_stats:
+        print("backend: %s" % "  ".join(
+            "%s=%d" % kv for kv in sorted(result.backend_stats.items())))
     print()
     stats = pstats.Stats(prof, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)

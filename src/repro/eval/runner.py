@@ -51,6 +51,9 @@ class KernelRun:
     adaptive_decisions: Dict[int, str]
     cache_miss_rate: float
     static_xloops: Tuple[str, ...]
+    #: backend-machinery counters (turbo memo hits/deaths, vector
+    #: engine engagement); see SystemSimulator._backend_stats
+    backend_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_instrs(self):
@@ -301,7 +304,8 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
         adaptive_decisions=result.adaptive_decisions,
         cache_miss_rate=(result.cache_misses / result.cache_accesses
                          if result.cache_accesses else 0.0),
-        static_xloops=compiled.loop_kinds())
+        static_xloops=compiled.loop_kinds(),
+        backend_stats=result.backend_stats)
     if not verify:
         _RESULTS[key] = out
     if use_disk:
@@ -358,15 +362,17 @@ def energy_efficiency(kernel_name, config_name, mode, scale="small",
 
 
 def clear_cache(keep_disk=False, keep_memos=False):
-    """Forget all memoized results, compiled binaries, and the turbo
-    backend's process-wide schedule memos.  Also wipes the on-disk
-    result cache unless *keep_disk* is true; *keep_memos* preserves
-    the turbo schedule memos (used by benches to time a warm turbo
-    re-run without the result cache short-circuiting it)."""
-    from ..sim import turbo
+    """Forget all memoized results, compiled binaries, and the turbo/
+    vector backends' process-wide engine state.  Also wipes the
+    on-disk result cache unless *keep_disk* is true; *keep_memos*
+    preserves the turbo schedule memos and vector engines (used by
+    benches to time a warm re-run without the result cache
+    short-circuiting it)."""
+    from ..sim import turbo, vector
     _RESULTS.clear()
     _compiled.cache_clear()
     if not keep_memos:
         turbo.clear()
+        vector.clear()
     if not keep_disk:
         diskcache.clear()

@@ -13,6 +13,7 @@ from .sources_ua import (BTREE, HSORT, HUFFMAN, RSORT_UA, RSORT_UC,
                          UA_KERNELS, UA_TRANSFORMED)
 from .sources_ext import EXTENSION_KERNELS, SSEARCH_DE
 from .sources_turbo import TURBO_KERNELS
+from .sources_vector import VECTOR_KERNELS
 from .sources_uc import (RGB2CMYK, SGEMM, SSEARCH, SYMM_OR, SYMM_UC,
                          UC_KERNELS, VITERBI, WAR_OM, WAR_UC)
 
@@ -65,7 +66,7 @@ TABLE4_KERNELS = (
 
 #: kernels exercising this reproduction's extensions (not in the paper)
 ALL_KERNELS = TABLE2_KERNELS + TABLE4_KERNELS + EXTENSION_KERNELS \
-    + TURBO_KERNELS
+    + TURBO_KERNELS + VECTOR_KERNELS
 
 KERNELS = {spec.name: spec for spec in ALL_KERNELS}
 

@@ -1,4 +1,5 @@
-"""The simulation backend ladder: ``interp`` -> ``fused`` -> ``turbo``.
+"""The simulation backend ladder: ``interp`` -> ``fused`` -> ``turbo``
+-> ``vector``.
 
 Every tier simulates the same machine and must produce bit-identical
 results (cycles, energy events, final memory); they differ only in how
@@ -18,10 +19,23 @@ much per-cycle interpretation they elide:
     exec-compiled into straight-line batch steppers and whole epochs
     are replayed per call, validated live against branch directions
     and cache hit/miss outcomes.
+``vector``
+    Everything in ``turbo`` plus whole-block iteration batching
+    (:mod:`repro.sim.vector`): branchy/aperiodic ``xloop.uc`` bodies
+    -- exactly the loops whose schedule memo goes dead -- are executed
+    functionally as numpy array programs over blocks of iterations
+    (active-mask wavefront, gather/scatter subscripts), then the exact
+    cycle/energy schedule is reconstructed by an event-compressed
+    replay of the per-instruction meta table.  Needs the optional
+    ``repro[vector]`` extra (numpy).
 
-``auto`` resolves to the highest tier (``turbo``, or ``fused`` when
-``REPRO_NO_TURBO`` is set).  ``repro verify --ladder`` enforces the
-bit-identity contract pairwise across all three tiers.
+``auto`` resolves to the highest applicable tier: ``vector`` when
+numpy is importable, demoted to ``turbo`` by ``REPRO_NO_VECTOR`` (or a
+missing numpy), then to ``fused`` by ``REPRO_NO_TURBO``.  An explicit
+request is never demoted by the hatches -- they only govern what
+``auto`` means -- but explicitly requesting ``vector`` without numpy
+installed is an error.  ``repro verify --ladder`` enforces the
+bit-identity contract pairwise across all tiers.
 """
 
 from __future__ import annotations
@@ -30,7 +44,7 @@ import os
 from dataclasses import dataclass
 
 #: names accepted anywhere a backend is selected
-BACKEND_CHOICES = ("auto", "interp", "fused", "turbo")
+BACKEND_CHOICES = ("auto", "interp", "fused", "turbo", "vector")
 
 
 @dataclass(frozen=True)
@@ -40,20 +54,29 @@ class Backend:
     name: str
     fast: bool    # fused superblocks + LPSU engine enabled
     turbo: bool   # steady-state segment compilation enabled
+    vector: bool  # numpy whole-block iteration batching enabled
     description: str
 
 
 BACKENDS = {
     "interp": Backend(
-        "interp", False, False,
+        "interp", False, False, False,
         "per-instruction reference interpreter"),
     "fused": Backend(
-        "fused", True, False,
+        "fused", True, False, False,
         "superblock fusion + compiled LPSU lane engine"),
     "turbo": Backend(
-        "turbo", True, True,
+        "turbo", True, True, False,
         "fused + compiled steady-state schedule replay"),
+    "vector": Backend(
+        "vector", True, True, True,
+        "turbo + numpy whole-block iteration batching"),
 }
+
+
+def _have_numpy():
+    from .vector import HAS_NUMPY
+    return HAS_NUMPY
 
 
 def resolve_backend(name=None, fast=None):
@@ -61,15 +84,26 @@ def resolve_backend(name=None, fast=None):
 
     *name* may be any of :data:`BACKEND_CHOICES` or None.  When None,
     the legacy ``fast`` boolean decides (``False`` -> interp,
-    otherwise auto).  ``auto`` resolves to turbo unless the
-    ``REPRO_NO_TURBO`` environment hatch demotes it to fused (the
-    ``REPRO_NO_FAST`` hatch is honoured upstream by the callers that
-    own a default, e.g. :func:`repro.eval.runner.default_backend`).
+    otherwise auto).  ``auto`` resolves to the highest tier whose
+    prerequisites hold: ``vector`` (unless ``REPRO_NO_VECTOR`` is set
+    or numpy is not importable), else ``turbo`` (unless
+    ``REPRO_NO_TURBO`` demotes to ``fused``).  The ``REPRO_NO_FAST``
+    hatch is honoured upstream by the callers that own a default,
+    e.g. :func:`repro.eval.runner.default_backend`.
     """
     if name is None:
         name = "interp" if fast is False else "auto"
     if name == "auto":
-        name = "fused" if os.environ.get("REPRO_NO_TURBO") else "turbo"
+        if os.environ.get("REPRO_NO_TURBO"):
+            name = "fused"
+        elif os.environ.get("REPRO_NO_VECTOR") or not _have_numpy():
+            name = "turbo"
+        else:
+            name = "vector"
+    elif name == "vector" and not _have_numpy():
+        raise ValueError(
+            "backend 'vector' requires numpy (install the repro[vector] "
+            "extra); 'auto' falls back to turbo without it")
     b = BACKENDS.get(name)
     if b is None:
         raise ValueError("unknown backend %r (choose from %s)"

@@ -175,7 +175,8 @@ class LPSU:
 
     def __init__(self, descriptor, live_in_regs, mem, cache, config=None,
                  events=None, trace=None, decoded_body=None,
-                 monitor=None, fast=True, memo=None, engine=None):
+                 monitor=None, fast=True, memo=None, engine=None,
+                 vector=None):
         self.d = descriptor
         self.cfg = config or LPSUConfig()
         self.mem = mem
@@ -193,6 +194,9 @@ class LPSU:
         # optional compiled fused-lane step factory
         # (repro.sim.fusion.lpsu_engine); bound by run()
         self._engine = engine
+        # optional whole-block batching engine
+        # (repro.sim.vector.vector_engine); consulted by run()
+        self._vector = vector
         self.lat = None  # set by run() from the GPP latency table
 
         self.live_in = list(live_in_regs)
@@ -373,6 +377,20 @@ class LPSU:
 
         # -- specialized execution phase -----------------------------------
         cycle = 0
+        # whole-block batching (vector tier): engage only where turbo
+        # has nothing to offer -- divergent bodies (whose schedule memo
+        # dies) or loops running without a usable memo.  On success the
+        # engine consumed every iteration (bit-identical stats/events/
+        # memory), so the per-cycle loop below exits immediately with
+        # the reconstructed cycle count.
+        vec = self._vector
+        if (vec is not None and self.fast and self._fuse
+                and ev is not None and max_cycles is None
+                and (vec.divergent or memo is None or memo.dead)):
+            batched = vec.execute(self)
+            if batched is not None:
+                cycle = batched
+                memo = None
         guard = 0
         contexts = self.contexts
         step = self._step

@@ -60,6 +60,9 @@ class RunResult:
     return_value: int = 0
     cache_misses: int = 0
     cache_accesses: int = 0
+    #: backend-machinery counters (turbo memo hits/deaths, vector
+    #: engine engagement); diagnostic only -- never affects results
+    backend_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_instrs(self):
@@ -104,6 +107,7 @@ class SystemSimulator:
         # iteration-schedule memoization
         self.fast = resolved.fast
         self._turbo = resolved.turbo
+        self._vector = resolved.vector
         self.mem = mem if mem is not None else Memory()
         self.events = EnergyEvents()
         self.cache = L1Cache(config.gpp.cache)
@@ -125,6 +129,7 @@ class SystemSimulator:
         # specialized invocations of the same static loop
         self._memos = {}
         self._memo_keys = {}   # turbo: content key guarding each memo
+        self._vec_engines = {}  # vector: engines this run dispatched to
         # compiled fused-lane LPSU engine (repro.sim.fusion, `lpsu`
         # flavour); REPRO_NO_LPSU_ENGINE=1 disables just this layer
         # while keeping the rest of the fast path
@@ -179,7 +184,32 @@ class SystemSimulator:
             adaptive_decisions=dict(self.apt.decisions),
             return_value=core.return_value,
             cache_misses=self.cache.misses,
-            cache_accesses=self.cache.accesses)
+            cache_accesses=self.cache.accesses,
+            backend_stats=self._backend_stats())
+
+    def _backend_stats(self):
+        """Counters from the backend machinery this run dispatched to.
+
+        Memos and vector engines are content-keyed and shared
+        process-wide, so on a warm process the counts include earlier
+        runs that touched the same static loops -- they describe the
+        machinery, not just this invocation.
+        """
+        bs = {}
+        if self._memos:
+            memos = list(self._memos.values())
+            bs["memo_hits"] = sum(m.hits for m in memos)
+            bs["memo_misses"] = sum(m.misses for m in memos)
+            bs["divergences"] = sum(m.aborts for m in memos)
+            bs["memo_dead"] = sum(1 for m in memos if m.dead)
+        if self._vec_engines:
+            engines = list(self._vec_engines.values())
+            bs["vector_invocations"] = sum(v.invocations for v in engines)
+            bs["vector_iterations"] = sum(
+                v.batched_iterations for v in engines)
+            bs["vector_refusals"] = sum(v.refusals for v in engines)
+            bs["vector_dead"] = sum(1 for v in engines if v.dead)
+        return bs
 
     def _run_fused(self, mode, max_steps):
         """Fast GPP driver: dispatch fused superblocks, falling back to
@@ -358,11 +388,21 @@ class SystemSimulator:
             memo = self._memos.get(desc.xloop_pc)
             if memo is None:
                 memo = self._memos[desc.xloop_pc] = ScheduleMemo()
+        vec = None
+        if self._vector:
+            # vector: whole-block numpy batching for branchy uc loops
+            # (content-cached; None when the body is ineligible, in
+            # which case this invocation runs exactly as on turbo)
+            from ..sim import vector as _vector_mod
+            vec = _vector_mod.vector_engine(desc, self.config.lpsu,
+                                            self.config.gpp)
+            if vec is not None:
+                self._vec_engines[desc.xloop_pc] = vec
         lpsu = LPSU(desc, core.regs, self.mem, self.cache,
                     self.config.lpsu, self.events,
                     decoded_body=decoded[lo:lo + desc.body_len],
                     monitor=hook, fast=self.fast, memo=memo,
-                    engine=engine)
+                    engine=engine, vector=vec)
         if self.injector is not None:
             self.injector.attach(lpsu)
         budget = None

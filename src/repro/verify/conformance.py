@@ -278,15 +278,21 @@ def check_fast_slow(name, program, entry, make_args, sweep=LPSU_SWEEP,
 
 def check_ladder(name, program, entry, make_args, sweep=LPSU_SWEEP,
                  adaptive=True):
-    """Demand the full backend ladder (interp -> fused -> turbo) is
-    *bit-identical* for one loop: every snapshot field — cycles, instr
-    counts, energy-event counts, LPSU stats, adaptive decisions,
-    return value, cache totals — and the final memory image must agree
-    pairwise across all three tiers, for traditional execution and
+    """Demand the full backend ladder (interp -> fused -> turbo ->
+    vector) is *bit-identical* for one loop: every snapshot field —
+    cycles, instr counts, energy-event counts, LPSU stats, adaptive
+    decisions, return value, cache totals — and the final memory image
+    must agree pairwise across all tiers, for traditional execution and
     every specialized/adaptive LPSU design point.  The failure detail
-    names the diverging tier.  Never raises."""
+    names the diverging tier.  The vector rung joins the ladder only
+    when its optional numpy dependency is importable (without it,
+    ``auto`` cannot resolve to vector, so three rungs cover every
+    reachable configuration).  Never raises."""
     res = ConformanceResult(name=name)
     tiers = ("interp", "fused", "turbo")
+    from ..sim.vector import HAS_NUMPY
+    if HAS_NUMPY:
+        tiers += ("vector",)
     try:
         points = [("traditional", None)]
         points += _specialized_points(sweep, adaptive)

@@ -23,8 +23,9 @@ def baseline():
 
 
 def test_toplevel_schema(baseline):
-    assert baseline["schema"] == 3
-    for section in ("patterns", "long_kernels", "table2", "backends"):
+    assert baseline["schema"] == 4
+    for section in ("patterns", "long_kernels", "table2", "backends",
+                    "branchy"):
         assert section in baseline
 
 
@@ -60,6 +61,26 @@ def test_backend_ladder_points(baseline):
     # long steady-state streaming kernels
     assert sum(1 for e in backends.values()
                if e["turbo_over_interp"] >= 10.0) >= 3
+
+
+def test_branchy_vector_points(baseline):
+    branchy = baseline["branchy"]
+    assert len(branchy) >= 3
+    keys = {"interp_seconds", "fused_seconds", "turbo_seconds",
+            "vector_seconds", "vector_engaged", "vector_over_fused",
+            "vector_over_turbo"}
+    engaged = []
+    for entry in branchy.values():
+        assert keys <= set(entry)
+        if entry["vector_engaged"]:
+            # the fused floor: an engaged batcher never loses to the
+            # tier it was built to beat
+            assert entry["vector_over_fused"] >= 1.0
+            engaged.append(entry)
+    # the vector acceptance bar: >=2x cold over fused on >=2 branchy
+    # kernels where turbo's schedule memo is dead
+    assert sum(1 for e in engaged
+               if e["vector_over_fused"] >= 2.0) >= 2
 
 
 def test_table2_warm_is_cache_served(baseline):

@@ -25,8 +25,14 @@ def _points():
 
 def _snapshot(result):
     """Every KernelRun field as plain data (recurses into the events
-    and LPSU-stats dataclasses), for exact comparison."""
-    return dataclasses.asdict(result)
+    and LPSU-stats dataclasses), for exact comparison.  The
+    ``backend_stats`` diagnostics are dropped: the counters are
+    process-wide, so a serial sequence and a fresh worker legitimately
+    disagree about them while every architectural field stays
+    bit-identical."""
+    data = dataclasses.asdict(result)
+    data.pop("backend_stats", None)
+    return data
 
 
 @pytest.fixture(autouse=True)

@@ -140,11 +140,16 @@ class TestBackendSelection:
         assert not sim.fast
 
     def test_no_turbo_hatch_demotes_auto_to_fused(self, monkeypatch):
+        from repro.sim.vector import HAS_NUMPY
         monkeypatch.delenv("REPRO_NO_TURBO", raising=False)
+        monkeypatch.delenv("REPRO_NO_VECTOR", raising=False)
+        top = "vector" if HAS_NUMPY else "turbo"
+        assert resolve_backend("auto").name == top
+        monkeypatch.setenv("REPRO_NO_VECTOR", "1")
         assert resolve_backend("auto").name == "turbo"
         monkeypatch.setenv("REPRO_NO_TURBO", "1")
         assert resolve_backend("auto").name == "fused"
-        # an explicit request is not demoted: the hatch only governs
+        # an explicit request is not demoted: the hatches only govern
         # what "auto" means
         assert resolve_backend("turbo").name == "turbo"
 
