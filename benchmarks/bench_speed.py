@@ -44,6 +44,16 @@ Three sections, emitted as a stable-schema JSON report
     data-dependent exits) document honest fallback -- vector runs
     them exactly as turbo does.
 
+``service``
+    Serving throughput of the sweep server: a live server on a unix
+    socket, a tiny two-kernel Table II sweep submitted cold and then
+    resubmitted warm over the same connection.  The warm pass is the
+    product axis -- every point must come back cache-served
+    (``warm_served_fraction``) without a single simulator invocation
+    (``warm_simulator_invocations``), and ``warm_points_per_sec``
+    tracks the round-trip serving rate the protocol + cache stack
+    sustains.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_speed.py            # write baseline
@@ -52,9 +62,15 @@ Usage::
 ``--check`` re-measures and fails (exit 1) if any cold wall-time
 regressed more than 25% against the committed ``BENCH_speed.json``,
 if any specialized point's fast path falls below fast/slow parity,
-if turbo drops below the fused floor on a steady-state point, or if
+if turbo drops below the fused floor on a steady-state point, if
 the vector rung engages but falls below the fused floor on a branchy
-point.
+point, or if the sweep server's warm pass falls below 95%
+cache-served, invokes the simulator at all, or loses more than 25%
+of its baseline serving rate.
+
+``--sections patterns backends ...`` re-measures only the named
+sections and merges them into the existing report, so a
+single-section change does not force the expensive full sweep.
 """
 
 import argparse
@@ -69,7 +85,11 @@ from repro.eval import runner
 from repro.eval.runner import clear_cache, run
 
 #: schema version of BENCH_speed.json; bump on layout changes
-SCHEMA = 4
+SCHEMA = 5
+
+#: every measurable report section, in emission order
+SECTIONS = ("patterns", "long_kernels", "table2", "backends",
+            "branchy", "service")
 
 #: committed baseline location (repository root)
 REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(
@@ -135,6 +155,20 @@ SMOKE_BACKEND_KERNELS = ("vvadd-uc",)
 #: scale keeps interp cheap; the 4096-iteration trip still clears the
 #: vector tier's engagement floor)
 SMOKE_BRANCHY_KERNELS = ("qclip-uc",)
+
+#: the two-kernel Table II slice the service section round-trips
+#: through a live server (tiny scale: the axis is serving overhead,
+#: not simulation time)
+SERVICE_KERNELS = ("vvadd-uc", "saxpy-uc")
+
+#: warm-pass floor the service section must clear under --check
+SERVICE_SERVED_FLOOR = 0.95
+
+#: serving-rate floor as a fraction of the baseline rate.  The warm
+#: pass takes single-digit milliseconds, so scheduler noise dwarfs
+#: the usual 25% cold-time tolerance; halving the rate is the signal
+#: that the serving stack itself regressed.
+SERVICE_RATE_FLOOR = 0.5
 
 
 def _cold(kernel, config, mode, scale, fast=None, backend=None,
@@ -241,6 +275,49 @@ def _branchy_point(kernel, config, mode, scale, repeats=2):
     return interp, fused, turbo, vector, engaged
 
 
+def _service_section(jobs=2):
+    """Round-trip a tiny two-kernel Table II sweep through a live
+    sweep server: cold submission (simulations fill the shared
+    cache), then a warm resubmission of the identical points after
+    the in-process memo is dropped.  The warm pass must be entirely
+    cache-served with zero simulator invocations -- that is the
+    contract ``--check`` gates."""
+    from repro.eval import parallel
+    from repro.serve import ServeClient, ServerThread
+
+    points = parallel.table2_points(list(SERVICE_KERNELS), "tiny", 0)
+    with ServerThread(jobs=jobs) as server:
+        with ServeClient(server.address) as client:
+            t0 = time.perf_counter()
+            cold_summary = client.submit(points)
+            cold = time.perf_counter() - t0
+            assert cold_summary.ok, cold_summary.render()
+            # drop the in-process memo: the warm pass must be served
+            # by the hot tier / disk store, not this process's dict.
+            # Best-of-3: a few milliseconds of serving is pure
+            # scheduler-noise territory otherwise.
+            warm = warm_summary = None
+            for _ in range(3):
+                clear_cache(keep_disk=True)
+                t0 = time.perf_counter()
+                summary = client.submit(points)
+                dt = time.perf_counter() - t0
+                assert summary.ok, summary.render()
+                if warm is None or dt < warm:
+                    warm, warm_summary = dt, summary
+    n = warm_summary.points
+    return {
+        "kernels": list(SERVICE_KERNELS), "points": n, "jobs": jobs,
+        "cold_seconds": round(cold, 4),
+        "cold_simulated": cold_summary.misses,
+        "warm_seconds": round(warm, 4),
+        "warm_points_per_sec": round(n / warm, 1) if warm else None,
+        "warm_served_fraction": round(warm_summary.hits / n, 4)
+        if n else 0.0,
+        "warm_simulator_invocations": warm_summary.misses,
+    }
+
+
 def _warm(kernel, config, mode, scale):
     """Wall time of the same point served from the disk cache."""
     clear_cache(keep_disk=True)                     # force a real run...
@@ -251,19 +328,26 @@ def _warm(kernel, config, mode, scale):
     return time.perf_counter() - t0
 
 
-def speed_report(scale="small", smoke=False):
+def speed_report(scale="small", smoke=False, sections=None):
     """Measure every section (or, with *smoke*, just the two nightly
-    smoke kernels) and return the report dict."""
+    smoke kernels; or, with *sections*, only the named sections) and
+    return the report dict."""
+    want = (lambda name: True) if sections is None \
+        else (lambda name: name in sections)
     report = {"schema": SCHEMA, "scale": scale, "patterns": {},
               "long_kernels": {}, "table2": {}, "backends": {},
-              "branchy": {}}
-    pattern_points = {} if smoke else PATTERN_POINTS
+              "branchy": {}, "service": {}}
+    pattern_points = {} if smoke or not want("patterns") \
+        else PATTERN_POINTS
     long_points = {k: v for k, v in LONG_POINTS.items()
-                   if not smoke or k in SMOKE_KERNELS}
+                   if want("long_kernels")
+                   and (not smoke or k in SMOKE_KERNELS)}
     backend_points = {k: v for k, v in BACKEND_POINTS.items()
-                      if not smoke or k in SMOKE_BACKEND_KERNELS}
+                      if want("backends")
+                      and (not smoke or k in SMOKE_BACKEND_KERNELS)}
     branchy_points = {k: v for k, v in BRANCHY_POINTS.items()
-                      if not smoke or k in SMOKE_BRANCHY_KERNELS}
+                      if want("branchy")
+                      and (not smoke or k in SMOKE_BRANCHY_KERNELS)}
     from repro.sim.vector import HAS_NUMPY
     if not HAS_NUMPY:
         # numpy-free host: the vector rung does not exist, so the
@@ -328,7 +412,8 @@ def speed_report(scale="small", smoke=False):
                     "vector_over_fused": round(fused / vector, 2),
                     "vector_over_turbo": round(turbo / vector, 2)}
 
-            if not smoke:
+            measured_table2 = False
+            if not smoke and want("table2"):
                 # Table II: cold (fresh cache dir) vs warm (disk-served)
                 clear_cache(keep_disk=True)
                 t0 = time.perf_counter()
@@ -343,6 +428,11 @@ def speed_report(scale="small", smoke=False):
                 warm_simulations = runner.simulations - sims_before
                 # the warm pass must never touch the simulator
                 assert warm_simulations == 0, warm_simulations
+                measured_table2 = True
+
+            if want("service"):
+                clear_cache(keep_disk=False)
+                report["service"] = _service_section()
         finally:
             diskcache._dir_override = saved
             if saved_env is None:
@@ -351,7 +441,7 @@ def speed_report(scale="small", smoke=False):
                 os.environ[diskcache.ENV_CACHE_DIR] = saved_env
             clear_cache(keep_disk=True)
 
-    if not smoke:
+    if measured_table2:
         report["table2"] = {
             "cold_seconds": round(cold, 3),
             "warm_seconds": round(warm, 3),
@@ -416,6 +506,28 @@ def _check(report, baseline):
     now = report.get("table2", {}).get("cold_seconds")
     if now is not None:
         cmp("table2", now, baseline.get("table2", {}).get("cold_seconds"))
+    svc = report.get("service") or {}
+    if svc:
+        # absolute contract first: a warm resubmission through the
+        # server is the product, and it must be served, not simulated
+        if svc["warm_served_fraction"] < SERVICE_SERVED_FLOOR:
+            problems.append(
+                "service: warm pass only %.1f%% cache-served "
+                "(floor %.0f%%)" % (100 * svc["warm_served_fraction"],
+                                    100 * SERVICE_SERVED_FLOOR))
+        if svc["warm_simulator_invocations"]:
+            problems.append(
+                "service: warm pass invoked the simulator %d time(s)"
+                % svc["warm_simulator_invocations"])
+        b = baseline.get("service") or {}
+        then = b.get("warm_points_per_sec")
+        if then and b.get("points") == svc.get("points") \
+                and svc["warm_points_per_sec"] < then * SERVICE_RATE_FLOOR:
+            problems.append(
+                "service: warm serving rate %.0f points/s vs baseline "
+                "%.0f (-%d%%)"
+                % (svc["warm_points_per_sec"], then,
+                   round(100 * (1 - svc["warm_points_per_sec"] / then))))
     return problems
 
 
@@ -444,11 +556,18 @@ def main(argv=None):
                          "table2 section"
                          % (SMOKE_KERNELS, SMOKE_BACKEND_KERNELS,
                             SMOKE_BRANCHY_KERNELS))
+    ap.add_argument("--sections", nargs="+", choices=SECTIONS,
+                    metavar="SECTION",
+                    help="re-measure only these sections (%s) and "
+                         "merge them into the existing report instead "
+                         "of re-running the full sweep"
+                         % ", ".join(SECTIONS))
     ap.add_argument("--output", default=REPORT_PATH, metavar="FILE",
                     help="report destination (default repo root)")
     args = ap.parse_args(argv)
 
-    report = speed_report(scale=args.scale, smoke=args.smoke)
+    report = speed_report(scale=args.scale, smoke=args.smoke,
+                          sections=args.sections)
     print(json.dumps(report, indent=2, sort_keys=True))
 
     if args.check:
@@ -473,6 +592,19 @@ def main(argv=None):
         # the full committed baseline
         print("smoke report not written (use --check to gate on it)")
         return 0
+    if args.sections:
+        # merge mode: update only the measured sections, keeping the
+        # rest of the committed baseline intact
+        try:
+            with open(args.output) as f:
+                merged = json.load(f)
+        except (OSError, ValueError):
+            merged = {}
+        merged["schema"] = report["schema"]
+        merged.setdefault("scale", report["scale"])
+        for name in args.sections:
+            merged[name] = report[name]
+        report = merged
     with open(args.output, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")

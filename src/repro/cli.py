@@ -9,6 +9,9 @@ kernels   list the bundled Table II / Table IV application kernels
 kernel    run one bundled kernel on a platform and report stats
 table     regenerate one of the paper's tables/figures
 sweep     run an artifact's simulation points in parallel, cached
+          (or route them through a sweep server with --server)
+serve     run the sweep-as-a-service result server: many clients,
+          shared cache, global in-flight dedup, hardened workers
 verify    traditional-vs-specialized differential conformance under
           the runtime invariant monitor
 prove     symbolic dependence prover: certify every kernel's xloop
@@ -175,8 +178,52 @@ def build_parser():
     p.add_argument("--checkpoint", metavar="FILE",
                    help="checkpoint completed points to FILE so an "
                         "interrupted sweep resumes where it stopped")
+    p.add_argument("--server", metavar="ADDR",
+                   help="route the sweep through a running sweep "
+                        "server instead of executing locally (unix "
+                        "socket path, unix:PATH, or host:port); "
+                        "results are bit-identical to a local run")
+    p.add_argument("--expect-served", type=float, default=None,
+                   metavar="FRAC",
+                   help="exit nonzero unless at least FRAC of the "
+                        "points were cache-served (e.g. 0.95; CI "
+                        "uses this to gate warm-sweep behaviour)")
+    p.add_argument("--expect-sims", type=int, default=None, metavar="N",
+                   help="exit nonzero if more than N points invoked "
+                        "the simulator (0 asserts a fully warm sweep)")
     _add_cache_args(p)
     _add_fast_arg(p)
+
+    p = sub.add_parser("serve",
+                       help="run the sweep result server (async, "
+                            "shared cache, deduped in-flight sims)")
+    p.add_argument("--socket", metavar="PATH",
+                   help="listen on a unix socket at PATH")
+    p.add_argument("--listen", metavar="[HOST:]PORT",
+                   help="listen on TCP (default 127.0.0.1:%d when "
+                        "--socket is not given)" % 7340)
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="max concurrent simulations (default: CPU "
+                        "count); cache-served points are unbounded")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                   help="per-point wall-clock bound for simulations "
+                        "(default: unbounded)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="max attempts per point before it is "
+                        "quarantined (default 3)")
+    p.add_argument("--idle-exit", type=float, default=0.0,
+                   metavar="SEC",
+                   help="exit after SEC seconds with no clients and "
+                        "nothing in flight (default: run forever)")
+    p.add_argument("--stop", metavar="ADDR",
+                   help="ask the server at ADDR to shut down, then "
+                        "exit")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent result cache location "
+                        "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the persistent cache (memo "
+                        "and in-flight dedup only)")
 
     p = sub.add_parser("verify",
                        help="differential conformance: traditional vs "
@@ -253,10 +300,14 @@ def build_parser():
                         "delete everything; prune: drop the oldest "
                         "records down to --max-size; fsck: verify "
                         "every record's checksum, quarantine damage, "
-                        "sweep stale temp files")
+                        "sweep stale temp files, rebuild the shard "
+                        "indexes")
     p.add_argument("--max-size", metavar="SIZE",
                    help="prune target, e.g. 256M, 2G, or bytes "
                         "(required for 'prune')")
+    p.add_argument("--json", action="store_true",
+                   help="stats only: emit the full report as JSON "
+                        "(per-shard distribution + hot-tier counters)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache location (default ~/.cache/repro or "
                         "$REPRO_CACHE_DIR)")
@@ -495,12 +546,84 @@ def cmd_sweep(args):
         points = [pt for make in sets.values() for pt in make()]
     else:
         points = sets[args.what]()
-    summary = parallel.sweep(points, jobs=args.jobs,
-                             timeout=args.timeout,
-                             retries=args.retries,
-                             checkpoint=args.checkpoint)
+    if args.server:
+        from .serve import ServeClient
+        with ServeClient(args.server) as client:
+            summary = client.submit(points)
+    else:
+        summary = parallel.sweep(points, jobs=args.jobs,
+                                 timeout=args.timeout,
+                                 retries=args.retries,
+                                 checkpoint=args.checkpoint)
     print(summary.render(per_point=not args.quiet))
-    return 0 if summary.ok else 1
+    ok = summary.ok
+    if args.expect_served is not None:
+        frac = summary.hits / max(1, summary.points)
+        print("cache-served: %d/%d (%.1f%%, floor %.1f%%)"
+              % (summary.hits, summary.points, 100 * frac,
+                 100 * args.expect_served))
+        if frac < args.expect_served or not summary.points:
+            print("FAIL: served fraction %.3f below required %.3f"
+                  % (frac, args.expect_served), file=sys.stderr)
+            ok = False
+    if args.expect_sims is not None and summary.misses > args.expect_sims:
+        print("FAIL: %d simulator invocation(s), expected at most %d"
+              % (summary.misses, args.expect_sims), file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+def cmd_serve(args):
+    import asyncio
+    from .eval import diskcache
+    from .serve import ServeClient, SweepServer
+    from .serve.protocol import DEFAULT_PORT, ProtocolError, \
+        parse_address
+    if args.stop:
+        try:
+            with ServeClient(args.stop, timeout=10.0) as client:
+                client.shutdown()
+        except (OSError, ProtocolError) as exc:
+            print("error: cannot reach server at %s: %s"
+                  % (args.stop, exc), file=sys.stderr)
+            return 1
+        print("stop sent to %s" % args.stop)
+        return 0
+    if args.cache_dir:
+        diskcache.configure(cache_dir=args.cache_dir)
+    if args.no_cache:
+        diskcache.configure(enabled=False)
+    path = host = port = None
+    if args.socket and args.listen:
+        print("error: --socket and --listen are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.socket:
+        path = args.socket
+    elif args.listen:
+        text = args.listen if ":" in args.listen \
+            else "127.0.0.1:" + args.listen
+        try:
+            _, host, port = parse_address(text)
+        except ProtocolError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    else:
+        host, port = "127.0.0.1", DEFAULT_PORT
+    server = SweepServer(jobs=args.jobs, timeout=args.timeout,
+                         retries=args.retries,
+                         idle_exit=args.idle_exit)
+    try:
+        asyncio.run(server.serve(path=path, host=host, port=port,
+                                 announce=print))
+    except KeyboardInterrupt:
+        pass
+    c = server.counters
+    print("served %d point(s) over %d connection(s): %d cache, "
+          "%d in-flight joins, %d simulated, %d failed"
+          % (c["points"], c["connections"], c["served_cache"],
+             c["served_inflight"], c["simulated"], c["failed"]))
+    return 0
 
 
 def cmd_verify(args):
@@ -671,9 +794,22 @@ def cmd_cache(args):
         diskcache.configure(cache_dir=args.cache_dir)
     if args.action == "stats":
         st = diskcache.disk_stats()
+        if args.json:
+            import json
+            st["shard_distribution"] = diskcache.shard_stats()
+            print(json.dumps(st, indent=2, sort_keys=True))
+            return 0
         print("cache dir: %s" % st["dir"])
         print("records:   %d" % st["records"])
         print("size:      %s" % _fmt_size(st["bytes"]))
+        print("shards:    %d populated (index rebuilds this "
+              "process: %d)" % (st["shards"], st["index_rebuilds"]))
+        hot = st["hot"]
+        print("hot tier:  %d record(s), %s of %s  "
+              "(%d hit(s), %d eviction(s))"
+              % (hot["entries"], _fmt_size(hot["bytes"]),
+                 _fmt_size(hot["limit_bytes"]), hot["hits"],
+                 hot["evictions"]))
         return 0
     if args.action == "clear":
         removed = diskcache.clear()
@@ -772,8 +908,8 @@ def cmd_isa(_args):
 _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
-    "sweep": cmd_sweep, "verify": cmd_verify, "prove": cmd_prove,
-    "isa": cmd_isa,
+    "sweep": cmd_sweep, "serve": cmd_serve, "verify": cmd_verify,
+    "prove": cmd_prove, "isa": cmd_isa,
     "cache": cmd_cache, "profile": cmd_profile, "inject": cmd_inject,
 }
 

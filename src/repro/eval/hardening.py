@@ -222,6 +222,52 @@ class _Task:
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class OneOutcome:
+    """What hardened execution of a single point produced."""
+
+    result: object           # KernelRun, or None when quarantined
+    failure: object          # PointFailure, or None on success
+    wall: float              # last attempt's wall time (seconds)
+    simulated: bool          # False -> a cache served it after all
+    retries: int = 0         # failed attempts that were retried
+
+
+def execute_one(point, policy):
+    """Run one point under the full hardened ladder -- its own forked
+    worker, wall-clock watchdog, retry with backoff, quarantine on
+    exhaustion -- and return a :class:`OneOutcome`.
+
+    This is the sweep server's executor: each cache miss goes through
+    exactly the isolation a parallel sweep gives it, one point at a
+    time (the server bounds concurrency itself).  The finished result
+    is seeded into the runner memo, so subsequent submissions of the
+    same point are cache-served.  Never raises: an engine-level
+    surprise becomes a quarantine record like any other failure."""
+    from .parallel import SweepSummary
+    summary = SweepSummary(jobs=1)
+    try:
+        _run_parallel([point], 1, policy, summary, None)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:  # noqa: BLE001 - report, don't kill the server
+        return OneOutcome(None, PointFailure(
+            point.label(), 0, "error",
+            "engine: %s: %s" % (type(exc).__name__, exc)),
+            0.0, False, len(summary.retries))
+    if summary.failures:
+        return OneOutcome(None, summary.failures[0], 0.0, False,
+                          len(summary.retries))
+    if not summary.outcomes:   # pragma: no cover - engine invariant
+        return OneOutcome(None, PointFailure(
+            point.label(), 0, "error", "engine produced no outcome"),
+            0.0, False, len(summary.retries))
+    out = summary.outcomes[0]
+    result = runner._RESULTS.get(point.memo_key())
+    return OneOutcome(result, None, out.wall_time, out.simulated,
+                      len(summary.retries))
+
+
 def execute_points(points, jobs, policy, summary):
     """Run *points* under *policy*, appending outcomes, retries,
     failures and incidents to *summary* and seeding the runner memo

@@ -313,6 +313,37 @@ def run(kernel_name, config_name, mode="traditional", binary="xloops",
     return out
 
 
+def cached_result(kernel_name, config_name, mode="traditional",
+                  binary="xloops", xi_enabled=True, scale="small",
+                  seed=0, schedule_cirs=False, backend=None, fast=None,
+                  approx=0.0):
+    """The memo- or disk-cached result for this point, or None --
+    never simulates.  A disk hit is installed in the in-process memo
+    (and, inside :mod:`repro.eval.diskcache`, the decoded-record hot
+    tier), so repeated probes are dictionary lookups.  This is the
+    sweep server's cache probe: it answers "can this point be served
+    right now?" without ever paying for a simulation."""
+    if backend is None and fast is None:
+        backend = default_backend()
+    resolved = resolve_backend(backend, fast)
+    key = (kernel_name, config_name, mode, binary, xi_enabled, scale,
+           seed, schedule_cirs, resolved.name, approx)
+    hit = _RESULTS.get(key)
+    if hit is not None:
+        return hit
+    if not diskcache.enabled():
+        return None
+    spec = get_kernel(kernel_name)
+    sysconfig = _resolve_config(config_name)
+    ckey = _fingerprint(spec, sysconfig, mode, binary, xi_enabled,
+                        scale, seed, schedule_cirs, resolved.name,
+                        approx)
+    cached = diskcache.load(ckey)
+    if cached is not None:
+        _RESULTS[key] = cached
+    return cached
+
+
 def seed_result(key, result):
     """Prefill the in-process memo (the sweep executor installs the
     results its workers computed, so subsequent table/figure assembly

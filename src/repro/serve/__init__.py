@@ -1,0 +1,18 @@
+"""Sweep-as-a-service: the async result server and its client.
+
+See :mod:`repro.serve.protocol` for the wire format,
+:mod:`repro.serve.server` for the asyncio server (global in-flight
+dedup over a bounded hardened worker pool), and
+:mod:`repro.serve.client` for the synchronous client the CLI and the
+speed bench use.  ``docs/SERVICE.md`` is the operator guide.
+"""
+
+from .client import ServeClient, connect
+from .protocol import DEFAULT_PORT, PROTOCOL_VERSION, ProtocolError, \
+    parse_address
+from .server import ServerThread, SweepServer
+
+__all__ = [
+    "DEFAULT_PORT", "PROTOCOL_VERSION", "ProtocolError", "ServeClient",
+    "ServerThread", "SweepServer", "connect", "parse_address",
+]

@@ -1,0 +1,146 @@
+"""Synchronous client of the sweep service.
+
+``repro sweep --server ADDR`` swaps the in-process
+:class:`~repro.eval.parallel.SweepExecutor` for a
+:class:`ServeClient`: the point list goes over the wire, the server
+resolves every point (cache, in-flight join, or hardened simulation),
+and the streamed results land in the same :class:`SweepSummary` shape
+the executor produces -- downstream table/figure assembly cannot tell
+the difference, because each returned record is also seeded into the
+in-process memo exactly as the parallel executor seeds its workers'
+results.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..eval import runner
+from ..eval.hardening import PointFailure
+from ..eval.parallel import PointOutcome, SweepSummary
+from . import protocol
+
+
+def connect(address, timeout=None):
+    """A connected socket for ``unix:PATH``, a path, or ``host:port``."""
+    kind, host, port = protocol.parse_address(address)
+    if kind == "unix":
+        if not hasattr(socket, "AF_UNIX"):
+            raise protocol.ProtocolError(
+                "unix sockets unavailable on this platform; use "
+                "host:port")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(host)
+        return sock
+    return socket.create_connection((host, port), timeout=timeout)
+
+
+class ServeClient:
+    """One connection to a sweep server.
+
+    The connection is lazy (opened on first use) and persistent -- a
+    client submits any number of batches over it.  Context-manager
+    friendly.
+    """
+
+    def __init__(self, address, timeout=None):
+        self.address = address
+        self.timeout = timeout
+        self._sock = None
+
+    def _socket(self):
+        if self._sock is None:
+            self._sock = connect(self.address, self.timeout)
+        return self._sock
+
+    def _roundtrip(self, msg):
+        sock = self._socket()
+        protocol.send_frame(sock, msg)
+        reply = protocol.recv_frame(sock)
+        if reply is None:
+            raise protocol.ProtocolError(
+                "server closed the connection mid-request")
+        return reply
+
+    def ping(self):
+        return self._roundtrip({"op": "ping"})
+
+    def stats(self):
+        return self._roundtrip({"op": "stats"})
+
+    def shutdown(self):
+        """Ask the server to exit; tolerates it dying before replying."""
+        try:
+            return self._roundtrip({"op": "shutdown"})
+        except (protocol.ProtocolError, OSError):
+            return {"ok": True}
+
+    def submit(self, points):
+        """Run *points* through the server; a :class:`SweepSummary`.
+
+        Results stream back as the server finishes them, so a
+        slow-simulating point does not delay delivery of the rest.
+        Ordering in :attr:`SweepSummary.outcomes` follows completion
+        order, matching the parallel executor's behaviour.
+        """
+        points = list(points)
+        start = time.perf_counter()
+        summary = SweepSummary(jobs=1)
+        if not points:
+            return summary
+        sock = self._socket()
+        protocol.send_frame(sock, {
+            "op": "submit", "protocol": protocol.PROTOCOL_VERSION,
+            "points": [protocol.point_to_wire(p) for p in points]})
+        pending = len(points)
+        while True:
+            frame = protocol.recv_frame(sock)
+            if frame is None:
+                raise protocol.ProtocolError(
+                    "server closed the connection with %d point(s) "
+                    "unresolved" % pending)
+            if "error" in frame and "type" not in frame:
+                raise protocol.ProtocolError(frame["error"])
+            ftype = frame.get("type")
+            if ftype == "done":
+                summary.jobs = int(frame.get("jobs", 1))
+                break
+            pending -= 1
+            idx = frame.get("i")
+            pt = points[idx] if isinstance(idx, int) \
+                and 0 <= idx < len(points) else None
+            if ftype == "failure":
+                summary.failures.append(PointFailure(
+                    label=frame.get("label", "?"),
+                    attempts=int(frame.get("attempts", 0)),
+                    kind=frame.get("kind", "error"),
+                    error=frame.get("error", "")))
+                continue
+            if ftype != "result" or pt is None:
+                raise protocol.ProtocolError(
+                    "unexpected frame %r" % (frame,))
+            record = protocol.unpack_record(frame["record"])
+            # same memo seeding the parallel executor does for its
+            # workers' results: downstream table assembly hits the memo
+            runner.seed_result(pt.memo_key(), record)
+            summary.outcomes.append(PointOutcome(
+                point=pt, wall_time=float(frame.get("wall", 0.0)),
+                simulated=bool(frame.get("simulated", False))))
+        summary.wall_time = time.perf_counter() - start
+        return summary
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False

@@ -1,0 +1,200 @@
+"""Wire protocol of the sweep service: length-prefixed JSON frames.
+
+Every message is a 4-byte big-endian length followed by a UTF-8 JSON
+object.  JSON keeps the protocol debuggable (``socat`` + eyeballs) and
+language-neutral; the one binary payload -- a finished
+:class:`~repro.eval.runner.KernelRun` record, which must cross the
+wire bit-identical -- rides inside it as base64-encoded pickle, the
+same serialization the parallel sweep executor ships results over
+worker pipes with.
+
+Trust model: only the *client* ever unpickles, and only records from
+the server it chose to connect to (the same trust as importing the
+package).  The server parses nothing but JSON from clients -- a
+malicious client cannot make the server unpickle anything.
+
+Client -> server operations::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+    {"op": "submit", "points": [<wire point>, ...]}
+
+Server -> client, per submission, streamed as points complete::
+
+    {"type": "result", "i": N, "label": ..., "source":
+     "cache"|"inflight"|"sim", "simulated": bool, "wall": secs,
+     "record": <base64 pickle>}
+    {"type": "failure", "i": N, "label": ..., "kind": ...,
+     "error": ..., "attempts": N}
+    {"type": "done", "points": N, "simulated": N, "failed": N,
+     "jobs": N}
+
+A *wire point* is the JSON image of a
+:class:`~repro.eval.parallel.SweepPoint` -- named configurations only
+(an ad-hoc :class:`SystemConfig` has no name to send).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+import pickle
+import struct
+
+#: frame size bound; a sweep submission of 10^5 points is ~10 MB, a
+#: single KernelRun record a few hundred KB
+MAX_FRAME = 256 << 20
+
+_HEADER = struct.Struct("!I")
+
+#: bumped on incompatible message-shape changes; ping reports it
+PROTOCOL_VERSION = 1
+
+#: default TCP port of ``repro serve --listen``
+DEFAULT_PORT = 7340
+
+
+class ProtocolError(Exception):
+    """A malformed, truncated, or oversized frame."""
+
+
+def encode_frame(msg):
+    """One message as bytes: length header + compact JSON."""
+    body = json.dumps(msg, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError("frame of %d bytes exceeds the %d bound"
+                            % (len(body), MAX_FRAME))
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body):
+    try:
+        msg = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("undecodable frame: %s" % exc)
+    if not isinstance(msg, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return msg
+
+
+async def read_frame(reader):
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None         # clean EOF between frames
+        raise ProtocolError("truncated frame header")
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError("oversized frame (%d bytes)" % length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("truncated frame body")
+    return _decode_body(body)
+
+
+async def write_frame(writer, msg):
+    writer.write(encode_frame(msg))
+    await writer.drain()
+
+
+def _recv_exact(sock, n):
+    """Blocking receive of exactly *n* bytes; None on immediate EOF."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock, msg):
+    """Blocking client-side frame send."""
+    sock.sendall(encode_frame(msg))
+
+
+def recv_frame(sock):
+    """Blocking client-side frame receive; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError("oversized frame (%d bytes)" % length)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_body(body)
+
+
+# ---------------------------------------------------------------------------
+# payload packing
+# ---------------------------------------------------------------------------
+
+
+def pack_record(obj):
+    """A result record as a JSON-safe string (base64 pickle)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack_record(text):
+    """Inverse of :func:`pack_record` (client side only)."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def point_to_wire(pt):
+    """A :class:`SweepPoint` as a JSON object.  Only named platform
+    configurations cross the wire: an ad-hoc SystemConfig lives in one
+    process's memory and has no content-stable name to send."""
+    if not isinstance(pt.config, str):
+        raise ProtocolError(
+            "only named configurations can be submitted to a sweep "
+            "server (got %r)" % (pt.config,))
+    return {"kernel": pt.kernel, "config": pt.config, "mode": pt.mode,
+            "binary": pt.binary, "xi": bool(pt.xi_enabled),
+            "scale": pt.scale, "seed": int(pt.seed),
+            "schedule_cirs": bool(pt.schedule_cirs)}
+
+
+def point_from_wire(data):
+    """Inverse of :func:`point_to_wire`; raises ProtocolError on a
+    malformed point."""
+    from ..eval.parallel import SweepPoint
+    try:
+        return SweepPoint(
+            kernel=str(data["kernel"]), config=str(data["config"]),
+            mode=str(data.get("mode", "traditional")),
+            binary=str(data.get("binary", "xloops")),
+            xi_enabled=bool(data.get("xi", True)),
+            scale=str(data.get("scale", "small")),
+            seed=int(data.get("seed", 0)),
+            schedule_cirs=bool(data.get("schedule_cirs", False)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("malformed wire point %r: %s" % (data, exc))
+
+
+def parse_address(text):
+    """``host:port``, a filesystem path, or ``unix:PATH`` ->
+    ``("tcp", host, port)`` or ``("unix", path, None)``.  Anything
+    with a path separator (or no colon at all) is a unix socket."""
+    if text.startswith("unix:"):
+        return ("unix", text[len("unix:"):], None)
+    if "/" in text or os.sep in text or ":" not in text:
+        return ("unix", text, None)
+    host, _, port = text.rpartition(":")
+    try:
+        return ("tcp", host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ProtocolError("unparseable address %r" % text)

@@ -1,0 +1,371 @@
+"""The sweep server: an asyncio result service over the shared cache.
+
+``repro serve`` runs one :class:`SweepServer` per host.  Many clients
+connect (unix socket or TCP) and submit sweep point batches; the
+server answers each point from the cheapest tier that has it and
+streams results back as they complete:
+
+1. **cache** -- the in-process memo, the decoded-record hot tier, or
+   the sharded disk store (:func:`repro.eval.runner.cached_result`);
+   nothing is simulated.  This is the production path: the cache *is*
+   the product, and a warm sweep is served entirely from here.
+2. **inflight** -- some other client (or an earlier point of the same
+   submission) is already simulating this exact point; the request
+   joins that computation's future instead of forking a duplicate.
+   One simulation fans out to every waiter.
+3. **sim** -- a true miss.  The point is scheduled on a bounded
+   worker pool; each slot runs :func:`repro.eval.hardening.execute_one`
+   -- the same process-per-point isolation, wall-clock watchdog,
+   retry-with-backoff, and quarantine ladder a parallel sweep gets.
+   A quarantined point becomes a structured failure frame for every
+   waiter; it never stalls other points or other clients.
+
+Results cross the wire as pickled records (see
+:mod:`repro.serve.protocol`), so a server-routed sweep is bit-identical
+to a direct ``runner.run`` -- the conformance tests assert it.
+
+Concurrency model: the asyncio loop owns all bookkeeping (in-flight
+table, counters, frame writes); simulations run on a thread pool whose
+threads merely block on the hardened engine's worker pipes, so the GIL
+is never contended by simulation work -- the simulating processes are
+forked children.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from .. import __version__
+from ..eval import diskcache, runner
+from ..eval.hardening import HardeningPolicy, execute_one
+from . import protocol
+
+
+class SweepServer:
+    """One result-serving process; see the module docstring.
+
+    Parameters mirror the sweep executor's hardening knobs: *jobs*
+    bounds concurrent simulations, *timeout*/*retries*/*backoff* are
+    per-point, *idle_exit* stops the server after that many seconds
+    with no client activity and nothing in flight (0 = run forever).
+    """
+
+    def __init__(self, jobs=None, timeout=0.0, retries=3, backoff=0.25,
+                 idle_exit=0.0):
+        self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 2))
+        self.policy = HardeningPolicy(
+            timeout=float(timeout or 0.0), retries=max(1, int(retries)),
+            backoff=max(0.0, float(backoff)))
+        self.idle_exit = float(idle_exit or 0.0)
+        self.counters = {
+            "connections": 0, "submissions": 0, "points": 0,
+            "served_cache": 0, "served_inflight": 0, "simulated": 0,
+            "failed": 0, "retried": 0}
+        #: memo-key -> asyncio.Task computing that point right now
+        self._inflight = {}
+        self._sem = None
+        self._pool = None
+        self._stop_event = None
+        self._active_connections = 0
+        self._last_activity = 0.0
+        #: "host:port" or the unix socket path, set once listening
+        self.bound = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def request_stop(self):
+        """Ask the serve loop to wind down (threadsafe only via
+        ``loop.call_soon_threadsafe``)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve(self, path=None, host=None, port=None, ready=None,
+                    announce=None):
+        """Listen and serve until a ``shutdown`` op or idle-exit.
+
+        *path* selects a unix socket; otherwise *host*/*port* TCP
+        (port 0 picks a free port -- :attr:`bound` reports it).
+        *ready*, when given, is a :class:`threading.Event` set once
+        listening; *announce* a callable handed one human line.
+        """
+        loop = asyncio.get_running_loop()
+        self._sem = asyncio.Semaphore(self.jobs)
+        self._stop_event = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-serve")
+        self._last_activity = loop.time()
+        if path:
+            if os.path.exists(path):
+                os.unlink(path)   # stale socket from a dead server
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=path)
+            self.bound = path
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, host or "127.0.0.1",
+                protocol.DEFAULT_PORT if port is None else port)
+            sock = server.sockets[0].getsockname()
+            self.bound = "%s:%d" % (sock[0], sock[1])
+        if announce:
+            announce("serving on %s (jobs=%d, cache=%s)"
+                     % (self.bound, self.jobs,
+                        diskcache.cache_dir()
+                        if diskcache.enabled() else "disabled"))
+        if ready is not None:
+            ready.set()
+        watchdog = (asyncio.ensure_future(self._idle_watchdog())
+                    if self.idle_exit else None)
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+            self._pool.shutdown(wait=False)
+            if path and os.path.exists(path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    async def _idle_watchdog(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(min(self.idle_exit, 5.0))
+            idle = loop.time() - self._last_activity
+            if (idle >= self.idle_exit and not self._inflight
+                    and self._active_connections == 0):
+                self._stop_event.set()
+                return
+
+    def _touch(self):
+        self._last_activity = asyncio.get_running_loop().time()
+
+    # -- per-connection ----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        self.counters["connections"] += 1
+        self._active_connections += 1
+        self._touch()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    msg = await protocol.read_frame(reader)
+                except protocol.ProtocolError:
+                    break       # a garbled client gets hung up on
+                if msg is None:
+                    break
+                self._touch()
+                op = msg.get("op")
+                if op == "ping":
+                    await protocol.write_frame(writer, {
+                        "ok": True, "version": __version__,
+                        "protocol": protocol.PROTOCOL_VERSION})
+                elif op == "stats":
+                    await protocol.write_frame(writer,
+                                               self.stats_payload())
+                elif op == "shutdown":
+                    await protocol.write_frame(writer, {"ok": True})
+                    self._stop_event.set()
+                    break
+                elif op == "submit":
+                    await self._handle_submit(msg, writer, write_lock)
+                else:
+                    await protocol.write_frame(writer, {
+                        "error": "unknown op %r" % (op,)})
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass                # client went away; in-flight sims live on
+        finally:
+            self._active_connections -= 1
+            self._touch()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                pass        # server tearing down under us is fine
+
+    async def _handle_submit(self, msg, writer, write_lock):
+        self.counters["submissions"] += 1
+        raw = msg.get("points")
+        if not isinstance(raw, list):
+            await protocol.write_frame(writer, {
+                "error": "submit without a points list"})
+            return
+        totals = {"points": 0, "simulated": 0, "failed": 0}
+
+        async def one(i, data):
+            frame = await self._point_frame(i, data)
+            totals["points"] += 1
+            totals["simulated"] += bool(frame.get("simulated"))
+            totals["failed"] += frame["type"] == "failure"
+            async with write_lock:
+                await protocol.write_frame(writer, frame)
+
+        self.counters["points"] += len(raw)
+        await asyncio.gather(*(one(i, d) for i, d in enumerate(raw)))
+        self._touch()
+        async with write_lock:
+            await protocol.write_frame(writer, {
+                "type": "done", "jobs": self.jobs, **totals})
+
+    async def _point_frame(self, i, data):
+        """Resolve one wire point into its response frame."""
+        try:
+            pt = protocol.point_from_wire(data)
+            source, record, failure, wall, simulated = \
+                await self._resolve(pt)
+            label = pt.label()
+        except protocol.ProtocolError as exc:
+            return {"type": "failure", "i": i, "label": repr(data),
+                    "kind": "protocol", "error": str(exc),
+                    "attempts": 0}
+        except Exception as exc:  # noqa: BLE001 - a bad point must not kill the server
+            self.counters["failed"] += 1
+            return {"type": "failure", "i": i, "label": repr(data),
+                    "kind": "error",
+                    "error": "%s: %s" % (type(exc).__name__, exc),
+                    "attempts": 0}
+        if failure is not None:
+            return {"type": "failure", "i": i, "label": label,
+                    "kind": failure.kind, "error": failure.error,
+                    "attempts": failure.attempts}
+        return {"type": "result", "i": i, "label": label,
+                "source": source, "simulated": bool(simulated),
+                "wall": round(wall, 6),
+                "record": protocol.pack_record(record)}
+
+    # -- point resolution --------------------------------------------------
+
+    async def _resolve(self, pt):
+        """``(source, record, failure, wall, simulated)`` for one
+        point: cache probe, then join an in-flight computation, then
+        schedule a hardened simulation."""
+        cached = runner.cached_result(pt.kernel, pt.config,
+                                      **pt.run_kwargs())
+        if cached is not None:
+            self.counters["served_cache"] += 1
+            return ("cache", cached, None, 0.0, False)
+        key = pt.memo_key()
+        task = self._inflight.get(key)
+        if task is not None:
+            # global dedup: join the computation another waiter
+            # started; shield() keeps it alive if *we* are cancelled
+            # (our client hung up) -- the other waiters still want it
+            record, failure, wall, _simulated = \
+                await asyncio.shield(task)
+            self.counters["served_inflight"] += 1
+            return ("inflight", record, failure, wall, False)
+        task = asyncio.ensure_future(self._compute(key, pt))
+        self._inflight[key] = task
+        record, failure, wall, simulated = await asyncio.shield(task)
+        return ("sim" if simulated else "cache", record, failure,
+                wall, simulated)
+
+    async def _compute(self, key, pt):
+        """Run one miss on the bounded hardened pool; exactly one of
+        these exists per in-flight memo key."""
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._sem:
+                outcome = await loop.run_in_executor(
+                    self._pool, execute_one, pt, self.policy)
+        finally:
+            self._inflight.pop(key, None)
+        self.counters["retried"] += outcome.retries
+        if outcome.failure is not None:
+            self.counters["failed"] += 1
+        elif outcome.simulated:
+            self.counters["simulated"] += 1
+        else:
+            # a sibling process (another server, a CLI sweep) filled
+            # the shared disk cache while we queued
+            self.counters["served_cache"] += 1
+        return (outcome.result, outcome.failure, outcome.wall,
+                outcome.simulated)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_payload(self):
+        return {"ok": True, "version": __version__,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "jobs": self.jobs, "inflight": len(self._inflight),
+                "counters": dict(self.counters),
+                "cache": {"process": dict(diskcache.stats),
+                          "hot": diskcache.hot_stats(),
+                          "disk": diskcache.disk_stats()}}
+
+
+class ServerThread:
+    """A :class:`SweepServer` on a background thread -- the harness
+    tests, the speed bench, and interactive experiments drive a real
+    client against a real socket without a second process.
+
+    Prefers a unix socket under *socket_dir* (a fresh temp dir by
+    default); hosts without ``AF_UNIX`` fall back to TCP on a free
+    port.  Use as a context manager, or ``start()``/``stop()``.
+    """
+
+    def __init__(self, jobs=2, timeout=0.0, retries=3, backoff=0.25,
+                 idle_exit=0.0, socket_dir=None):
+        self.server = SweepServer(jobs=jobs, timeout=timeout,
+                                  retries=retries, backoff=backoff,
+                                  idle_exit=idle_exit)
+        self._socket_dir = socket_dir
+        self._owns_dir = None
+        self._thread = None
+        self._ready = threading.Event()
+        self._loop = None
+
+    @property
+    def address(self):
+        return self.server.bound
+
+    def start(self):
+        import socket as socket_mod
+        path = None
+        if hasattr(socket_mod, "AF_UNIX"):
+            if self._socket_dir is None:
+                import tempfile
+                self._owns_dir = tempfile.mkdtemp(prefix="repro-serve-")
+                self._socket_dir = self._owns_dir
+            path = os.path.join(self._socket_dir, "serve.sock")
+
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            await self.server.serve(path=path, port=0,
+                                    ready=self._ready)
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(main()),
+            name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("sweep server failed to start")
+        # serve() sets bound before ready; give it one more instant if
+        # the scheduler interleaved oddly
+        deadline = time.time() + 5
+        while self.server.bound is None and time.time() < deadline:
+            time.sleep(0.01)
+        return self
+
+    def stop(self):
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        if self._owns_dir:
+            import shutil
+            shutil.rmtree(self._owns_dir, ignore_errors=True)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *_exc):
+        self.stop()
+        return False

@@ -23,9 +23,9 @@ def baseline():
 
 
 def test_toplevel_schema(baseline):
-    assert baseline["schema"] == 4
+    assert baseline["schema"] == 5
     for section in ("patterns", "long_kernels", "table2", "backends",
-                    "branchy"):
+                    "branchy", "service"):
         assert section in baseline
 
 
@@ -89,6 +89,20 @@ def test_table2_warm_is_cache_served(baseline):
     assert t2["warm_seconds"] < t2["cold_seconds"]
 
 
+def test_service_section(baseline):
+    svc = baseline["service"]
+    keys = {"kernels", "points", "jobs", "cold_seconds",
+            "cold_simulated", "warm_seconds", "warm_points_per_sec",
+            "warm_served_fraction", "warm_simulator_invocations"}
+    assert keys <= set(svc)
+    # the serving contract: a warm resubmission through the server is
+    # entirely cache-served and never touches the simulator
+    assert svc["warm_served_fraction"] >= 0.95
+    assert svc["warm_simulator_invocations"] == 0
+    assert svc["cold_simulated"] > 0          # the cold pass did work
+    assert svc["warm_points_per_sec"] > 0
+
+
 def test_check_mode_flags_regressions():
     sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
     try:
@@ -119,3 +133,21 @@ def test_check_mode_flags_regressions():
              "table2": {"cold_seconds": 10.0}}
     problems = bench_speed._check(floor, base)
     assert len(problems) == 1 and "fused floor" in problems[0]
+    # the service gates: served-fraction floor and zero-simulation
+    # contract hold with no baseline entry; the rate gate needs one
+    svc_ok = {"patterns": {}, "long_kernels": {},
+              "service": {"points": 28, "warm_served_fraction": 1.0,
+                          "warm_simulator_invocations": 0,
+                          "warm_points_per_sec": 900.0}}
+    svc_base = {"service": {"points": 28,
+                            "warm_points_per_sec": 1000.0}}
+    assert bench_speed._check(svc_ok, svc_base) == []
+    svc_bad = {"patterns": {}, "long_kernels": {},
+               "service": {"points": 28, "warm_served_fraction": 0.5,
+                           "warm_simulator_invocations": 3,
+                           "warm_points_per_sec": 100.0}}
+    problems = bench_speed._check(svc_bad, svc_base)
+    assert len(problems) == 3
+    assert any("cache-served" in p for p in problems)
+    assert any("invoked the simulator" in p for p in problems)
+    assert any("serving rate" in p for p in problems)

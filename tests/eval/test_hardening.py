@@ -32,6 +32,10 @@ def _fresh_state(tmp_path, monkeypatch):
     saved = (diskcache._dir_override, diskcache._force_disabled,
              os.environ.get(diskcache.ENV_CACHE_DIR),
              os.environ.get(diskcache.ENV_NO_CACHE))
+    # these tests exercise the disk cache and chaos machinery: force
+    # the cache on even under the hermetic-CI REPRO_NO_CACHE=1 env
+    monkeypatch.delenv(diskcache.ENV_NO_CACHE, raising=False)
+    diskcache._force_disabled = False
     diskcache.configure(cache_dir=str(tmp_path / "cache"))
     runner.clear_cache()
     runner.drain_incidents()

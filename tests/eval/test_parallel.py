@@ -41,6 +41,10 @@ def _scoped_cache_config():
     saved = (diskcache._dir_override, diskcache._force_disabled,
              os.environ.get(diskcache.ENV_CACHE_DIR),
              os.environ.get(diskcache.ENV_NO_CACHE))
+    # these tests exercise the disk cache: force it on even under the
+    # hermetic-CI REPRO_NO_CACHE=1 environment (restored below)
+    os.environ.pop(diskcache.ENV_NO_CACHE, None)
+    diskcache._force_disabled = False
     yield
     diskcache._dir_override, diskcache._force_disabled = saved[:2]
     for var, value in ((diskcache.ENV_CACHE_DIR, saved[2]),

@@ -1,0 +1,209 @@
+"""The sweep server end to end: global in-flight dedup across
+concurrent clients, crash -> retry -> quarantine without stalling
+anyone, warm resubmissions served entirely from the cache, and
+bit-identity with a direct in-process run.
+
+The server runs on a background thread (:class:`ServerThread`) over a
+real unix socket, its simulations in real forked workers -- the same
+machinery ``repro serve`` deploys, minus only the second OS process.
+"""
+
+import dataclasses
+import json
+import os
+import threading
+
+import pytest
+
+from repro.eval import diskcache, hardening, runner
+from repro.eval.parallel import SweepPoint
+from repro.serve import ServeClient, ServerThread
+
+SCALE = "tiny"
+
+POINTS = [
+    SweepPoint("sgemm-uc", "io", scale=SCALE),
+    SweepPoint("sgemm-uc", "io+x", mode="specialized", scale=SCALE),
+    SweepPoint("dither-or", "io+x", mode="specialized", scale=SCALE),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(tmp_path, monkeypatch):
+    """Fresh cache dir + enabled cache per test, restored after (CI
+    runs the suite with REPRO_NO_CACHE=1; serving warm resubmissions
+    is exactly the disk-cache behaviour these tests are about)."""
+    saved = (diskcache._dir_override, diskcache._force_disabled,
+             os.environ.get(diskcache.ENV_CACHE_DIR),
+             os.environ.get(diskcache.ENV_NO_CACHE))
+    diskcache.configure(cache_dir=str(tmp_path / "cache"), enabled=True)
+    runner.clear_cache()
+    monkeypatch.delenv(hardening.CHAOS_ENV, raising=False)
+    yield
+    diskcache._dir_override, diskcache._force_disabled = saved[:2]
+    for var, value in ((diskcache.ENV_CACHE_DIR, saved[2]),
+                       (diskcache.ENV_NO_CACHE, saved[3])):
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value
+    diskcache.reset_stats()
+    runner.clear_cache(keep_disk=True)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with ServerThread(jobs=2, retries=2, backoff=0.01,
+                      socket_dir=str(tmp_path)) as st:
+        yield st
+
+
+def _snapshot(result):
+    """KernelRun as plain data, minus the process-wide backend_stats
+    diagnostics (identical policy to the parallel-executor tests)."""
+    data = dataclasses.asdict(result)
+    data.pop("backend_stats", None)
+    return data
+
+
+class TestServing:
+    def test_cold_then_warm(self, server):
+        with ServeClient(server.address) as client:
+            first = client.submit(POINTS)
+            assert first.ok, first.render()
+            assert first.points == len(POINTS)
+            assert first.misses == len(POINTS)   # all simulated
+
+            # drop the in-process memo: the warm pass must come from
+            # the hot tier / disk store, not this process's dict
+            runner.clear_cache(keep_disk=True)
+            second = client.submit(POINTS)
+            assert second.ok, second.render()
+            assert second.misses == 0            # zero simulator runs
+            assert second.hits == len(POINTS)    # 100% cache-served
+
+    def test_results_bit_identical_to_direct_run(self, server):
+        reference = {}
+        for pt in POINTS:
+            r = runner.run(pt.kernel, pt.config, use_disk_cache=False,
+                           **pt.run_kwargs())
+            reference[pt.memo_key()] = _snapshot(r)
+        runner.clear_cache()    # fresh memo + disk: the server recomputes
+
+        with ServeClient(server.address) as client:
+            summary = client.submit(POINTS)
+        assert summary.ok, summary.render()
+        # submit() seeded the memo with the server's records
+        for pt in POINTS:
+            r = runner.run(pt.kernel, pt.config, **pt.run_kwargs())
+            assert _snapshot(r) == reference[pt.memo_key()], pt.label()
+
+    def test_ping_and_stats(self, server):
+        with ServeClient(server.address) as client:
+            pong = client.ping()
+            assert pong["ok"] and "version" in pong
+            client.submit(POINTS[:1])
+            stats = client.stats()
+            assert stats["counters"]["points"] == 1
+            assert "hot" in stats["cache"]
+
+    def test_unknown_kernel_is_structured_failure(self, server):
+        with ServeClient(server.address) as client:
+            bad = [SweepPoint("no-such-kernel", "io", scale=SCALE)]
+            summary = client.submit(bad + POINTS[:1])
+            assert len(summary.failures) == 1
+            assert "no-such-kernel" in summary.failures[0].error
+            # the good point still came back
+            assert len(summary.outcomes) == 1
+
+
+class TestConcurrentDedup:
+    def test_exactly_one_simulation_per_unique_point(self, server):
+        """N clients race the same cold point: the server runs ONE
+        simulation and fans the record out to every waiter."""
+        point = [SweepPoint("dynprog-om", "io+x", mode="specialized",
+                            scale=SCALE)]
+        summaries = []
+        errors = []
+
+        def one_client():
+            try:
+                with ServeClient(server.address) as client:
+                    summaries.append(client.submit(point))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one_client)
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(summaries) == 8
+        assert all(s.ok for s in summaries)
+        # the accounting: the simulated flag is granted to exactly one
+        # waiter; everyone else was served the same in-flight record
+        total_sims = sum(s.misses for s in summaries)
+        assert total_sims == 1
+        with ServeClient(server.address) as client:
+            counters = client.stats()["counters"]
+        assert counters["simulated"] == 1
+        assert counters["served_inflight"] + \
+            counters["served_cache"] == 7
+
+    def test_duplicate_points_in_one_submission(self, server):
+        dup = [SweepPoint("sgemm-uc", "io", scale=SCALE)] * 5
+        with ServeClient(server.address) as client:
+            summary = client.submit(dup)
+            assert summary.ok
+            assert summary.points == 5
+            assert summary.misses == 1   # one simulation, five answers
+
+
+class TestChaosThroughServer:
+    def test_crash_is_retried_transparently(self, server, monkeypatch):
+        monkeypatch.setenv(hardening.CHAOS_ENV, json.dumps(
+            {"sgemm-uc/io/traditional": {"crash": [0]}}))
+        with ServeClient(server.address) as client:
+            summary = client.submit(POINTS)
+        assert summary.ok, summary.render()
+        assert summary.points == len(POINTS)
+        with ServeClient(server.address) as client:
+            assert client.stats()["counters"]["retried"] >= 1
+
+    def test_quarantine_does_not_stall_other_clients(self, server,
+                                                     monkeypatch):
+        """One client's point crashes on every attempt and is
+        quarantined; a concurrent client's healthy points all come
+        back fine."""
+        monkeypatch.setenv(hardening.CHAOS_ENV, json.dumps(
+            {"dynprog-om": {"crash": [0, 1, 2]}}))
+        doomed = [SweepPoint("dynprog-om", "io+x", mode="specialized",
+                             scale=SCALE)]
+        results = {}
+
+        def doomed_client():
+            with ServeClient(server.address) as client:
+                results["doomed"] = client.submit(doomed)
+
+        def healthy_client():
+            with ServeClient(server.address) as client:
+                results["healthy"] = client.submit(POINTS)
+
+        threads = [threading.Thread(target=doomed_client),
+                   threading.Thread(target=healthy_client)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        assert results["healthy"].ok, results["healthy"].render()
+        assert results["healthy"].points == len(POINTS)
+        assert not results["doomed"].ok
+        failure = results["doomed"].failures[0]
+        assert failure.kind == "crash"
+        assert failure.attempts == 2     # retries=2 on this server
+        # the server survives for the next customer
+        with ServeClient(server.address) as client:
+            assert client.ping()["ok"]
