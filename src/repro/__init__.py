@@ -22,7 +22,7 @@ eval     experiment harness regenerating every table and figure
 from .asm import assemble
 from .sim import run_program
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = ["assemble", "run_program", "compile_source", "__version__"]
 

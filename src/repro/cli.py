@@ -12,6 +12,9 @@ sweep     run an artifact's simulation points in parallel, cached
           (or route them through a sweep server with --server)
 serve     run the sweep-as-a-service result server: many clients,
           shared cache, global in-flight dedup, hardened workers
+          (--distributed adds the durable work queue + lease table)
+worker    pull leased point batches from a --distributed server,
+          simulate them through the hardened engine, stream results
 verify    traditional-vs-specialized differential conformance under
           the runtime invariant monitor
 prove     symbolic dependence prover: certify every kernel's xloop
@@ -191,6 +194,15 @@ def build_parser():
     p.add_argument("--expect-sims", type=int, default=None, metavar="N",
                    help="exit nonzero if more than N points invoked "
                         "the simulator (0 asserts a fully warm sweep)")
+    p.add_argument("--expect-sims-exact", type=int, default=None,
+                   metavar="N",
+                   help="exit nonzero unless exactly N points invoked "
+                        "the simulator (the distributed chaos gate: "
+                        "every miss simulated exactly once)")
+    p.add_argument("--expect-points", type=int, default=None,
+                   metavar="N",
+                   help="exit nonzero unless exactly N points "
+                        "completed successfully (zero lost points)")
     _add_cache_args(p)
     _add_fast_arg(p)
 
@@ -213,17 +225,84 @@ def build_parser():
                         "quarantined (default 3)")
     p.add_argument("--idle-exit", type=float, default=0.0,
                    metavar="SEC",
-                   help="exit after SEC seconds with no clients and "
-                        "nothing in flight (default: run forever)")
+                   help="exit after SEC seconds with no clients, "
+                        "nothing in flight, no connected workers, no "
+                        "unexpired leases and an empty queue "
+                        "(default: run forever)")
     p.add_argument("--stop", metavar="ADDR",
-                   help="ask the server at ADDR to shut down, then "
-                        "exit")
+                   help="ask the server at ADDR to shut down "
+                        "gracefully (a distributed server drains its "
+                        "queue and sends workers a drain frame "
+                        "first), then exit")
+    p.add_argument("--status", metavar="ADDR",
+                   help="one-shot ping of the server at ADDR: print "
+                        "live counters (served/simulated/inflight/"
+                        "queued/workers/leases) and exit")
+    p.add_argument("--json", action="store_true",
+                   help="with --status: print the raw stats payload "
+                        "as JSON")
+    p.add_argument("--distributed", action="store_true",
+                   help="serve cache misses from a durable work "
+                        "queue pulled by 'repro worker' processes "
+                        "instead of simulating locally")
+    p.add_argument("--journal", metavar="FILE",
+                   help="append-only fsync'd queue journal; a "
+                        "restarted server replays it and resumes the "
+                        "campaign without re-simulating completed "
+                        "points (implies --distributed)")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   metavar="SEC",
+                   help="seconds a worker lease survives without a "
+                        "heartbeat before its points are requeued "
+                        "(default 30)")
+    p.add_argument("--requeue-budget", type=int, default=5,
+                   metavar="N",
+                   help="times a point may be requeued after lease "
+                        "losses before it quarantines as a "
+                        "structured failure (default 5)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SEC",
+                   help="max seconds a graceful --stop waits for "
+                        "leases and queue to empty (default 30)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="persistent result cache location "
                         "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
     p.add_argument("--no-cache", action="store_true",
                    help="serve without the persistent cache (memo "
                         "and in-flight dedup only)")
+
+    p = sub.add_parser("worker",
+                       help="distributed sweep worker: pull leased "
+                            "batches from a --distributed server, "
+                            "simulate through the hardened engine, "
+                            "stream results back")
+    p.add_argument("--connect", required=True, metavar="ADDR",
+                   help="server address (unix socket path, unix:PATH, "
+                        "or host:port)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="concurrent hardened simulations inside this "
+                        "worker (default 1)")
+    p.add_argument("--name", default="", metavar="NAME",
+                   help="worker name reported to the server "
+                        "(default worker-<pid>)")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                   help="per-point wall-clock bound (default: "
+                        "unbounded)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="max attempts per point before reporting it "
+                        "failed (default 3)")
+    p.add_argument("--poll", type=float, default=0.25, metavar="SEC",
+                   help="idle re-poll interval when the queue is "
+                        "empty (default 0.25)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent result cache location -- point "
+                        "it at the server's cache so results are "
+                        "shared (default ~/.cache/repro or "
+                        "$REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="simulate without the persistent cache (the "
+                        "server still stores shipped records)")
+    _add_fast_arg(p)
 
     p = sub.add_parser("verify",
                        help="differential conformance: traditional vs "
@@ -570,6 +649,17 @@ def cmd_sweep(args):
         print("FAIL: %d simulator invocation(s), expected at most %d"
               % (summary.misses, args.expect_sims), file=sys.stderr)
         ok = False
+    if args.expect_sims_exact is not None \
+            and summary.misses != args.expect_sims_exact:
+        print("FAIL: %d simulator invocation(s), expected exactly %d"
+              % (summary.misses, args.expect_sims_exact),
+              file=sys.stderr)
+        ok = False
+    if args.expect_points is not None \
+            and summary.points != args.expect_points:
+        print("FAIL: %d point(s) completed, expected exactly %d"
+              % (summary.points, args.expect_points), file=sys.stderr)
+        ok = False
     return 0 if ok else 1
 
 
@@ -579,15 +669,25 @@ def cmd_serve(args):
     from .serve import ServeClient, SweepServer
     from .serve.protocol import DEFAULT_PORT, ProtocolError, \
         parse_address
+    if args.status:
+        return _serve_status(args.status, as_json=args.json)
     if args.stop:
         try:
-            with ServeClient(args.stop, timeout=10.0) as client:
-                client.shutdown()
+            # a draining distributed server replies only once its
+            # queue is empty; wait at least the drain window
+            with ServeClient(args.stop,
+                             timeout=args.drain_timeout + 15.0) \
+                    as client:
+                reply = client.shutdown()
         except (OSError, ProtocolError) as exc:
             print("error: cannot reach server at %s: %s"
                   % (args.stop, exc), file=sys.stderr)
             return 1
-        print("stop sent to %s" % args.stop)
+        drained = reply.get("drained", True)
+        print("stop sent to %s%s"
+              % (args.stop,
+                 "" if drained else " (drain timed out; unfinished "
+                 "queue state is in the journal)"))
         return 0
     if args.cache_dir:
         diskcache.configure(cache_dir=args.cache_dir)
@@ -612,7 +712,13 @@ def cmd_serve(args):
         host, port = "127.0.0.1", DEFAULT_PORT
     server = SweepServer(jobs=args.jobs, timeout=args.timeout,
                          retries=args.retries,
-                         idle_exit=args.idle_exit)
+                         idle_exit=args.idle_exit,
+                         distributed=args.distributed
+                         or bool(args.journal),
+                         journal=args.journal,
+                         lease_ttl=args.lease_ttl,
+                         requeue_budget=args.requeue_budget,
+                         drain_timeout=args.drain_timeout)
     try:
         asyncio.run(server.serve(path=path, host=host, port=port,
                                  announce=print))
@@ -623,6 +729,78 @@ def cmd_serve(args):
           "%d in-flight joins, %d simulated, %d failed"
           % (c["points"], c["connections"], c["served_cache"],
              c["served_inflight"], c["simulated"], c["failed"]))
+    if server.queue is not None:
+        q = server.queue.counters
+        print("queue: %d enqueued, %d completed, %d requeued, "
+              "%d duplicate(s) discarded, %d expired lease(s), "
+              "%d worker loss(es), %d budget-exhausted"
+              % (q["enqueued"], q["completed"], q["requeued"],
+                 q["duplicates"], q["expired_leases"],
+                 q["worker_losses"], q["exhausted"]))
+    return 0
+
+
+def _serve_status(address, as_json=False):
+    """One-shot ``repro serve --status ADDR``."""
+    import json as json_mod
+    from .serve import ServeClient
+    from .serve.protocol import ProtocolError
+    try:
+        with ServeClient(address, timeout=10.0) as client:
+            stats = client.stats()
+    except (OSError, ProtocolError) as exc:
+        print("error: cannot reach server at %s: %s" % (address, exc),
+              file=sys.stderr)
+        return 1
+    if as_json:
+        print(json_mod.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    c = stats.get("counters", {})
+    q = stats.get("queue") or {}
+    qc = q.get("counters", {})
+    print("server %s (protocol %s, jobs %s%s)"
+          % (stats.get("version", "?"), stats.get("protocol", "?"),
+             stats.get("jobs", "?"),
+             ", distributed" if stats.get("distributed") else ""))
+    print("  points: %d total -- %d cache-served, %d in-flight "
+          "joins, %d simulated, %d failed"
+          % (c.get("points", 0), c.get("served_cache", 0),
+             c.get("served_inflight", 0), c.get("simulated", 0),
+             c.get("failed", 0)))
+    print("  inflight: %d   connections: %d   submissions: %d"
+          % (stats.get("inflight", 0), c.get("connections", 0),
+             c.get("submissions", 0)))
+    if stats.get("distributed"):
+        print("  queue: %d queued, %d leased, %d worker(s); "
+              "%d completed, %d requeued, %d duplicate(s)"
+              % (q.get("queued", 0), q.get("leased", 0),
+                 q.get("workers", 0), qc.get("completed", 0),
+                 qc.get("requeued", 0), qc.get("duplicates", 0)))
+    return 0
+
+
+def cmd_worker(args):
+    from .eval import diskcache
+    from .serve.protocol import ProtocolError
+    from .serve.worker import run_worker
+    _apply_fast_arg(args)
+    if args.cache_dir:
+        diskcache.configure(cache_dir=args.cache_dir)
+    if args.no_cache:
+        diskcache.configure(enabled=False)
+    try:
+        counters = run_worker(args.connect, jobs=args.jobs,
+                              name=args.name, timeout=args.timeout,
+                              retries=args.retries, poll=args.poll,
+                              announce=print)
+    except (OSError, ProtocolError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    print("worker done: %d lease(s), %d point(s), %d completed, "
+          "%d failed, %d reconnect(s)"
+          % (counters["leases"], counters["points"],
+             counters["completed"], counters["failed"],
+             counters["reconnects"]))
     return 0
 
 
@@ -908,7 +1086,8 @@ def cmd_isa(_args):
 _COMMANDS = {
     "compile": cmd_compile, "disasm": cmd_disasm, "run": cmd_run,
     "kernels": cmd_kernels, "kernel": cmd_kernel, "table": cmd_table,
-    "sweep": cmd_sweep, "serve": cmd_serve, "verify": cmd_verify,
+    "sweep": cmd_sweep, "serve": cmd_serve, "worker": cmd_worker,
+    "verify": cmd_verify,
     "prove": cmd_prove, "isa": cmd_isa,
     "cache": cmd_cache, "profile": cmd_profile, "inject": cmd_inject,
 }

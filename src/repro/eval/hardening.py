@@ -32,6 +32,16 @@ the attempts to sabotage, e.g.::
 Chaos is consulted *only inside worker children* (never in the parent
 or the serial path), so it exercises exactly the crash/hang recovery
 machinery.
+
+The distributed serve tier (:mod:`repro.serve.worker`) reads the same
+plan for three additional modes keyed by the *server-assigned requeue
+attempt* rather than the in-process retry attempt: ``kill_worker``
+(the worker process dies before touching the point), ``hang_worker``
+(the worker wedges -- heartbeats stop, the lease expires) and
+``sever`` (the worker's socket is cut mid-frame).  All three strike
+*before* the point simulates, so the requeued attempt is the first
+and only simulation -- the accounting invariant the chaos acceptance
+test pins down.
 """
 
 from __future__ import annotations
@@ -101,6 +111,18 @@ def chaos_plan():
     return plan if isinstance(plan, dict) else {}
 
 
+def chaos_modes(label):
+    """Every chaos mode whose pattern matches *label*, merged into one
+    ``{mode: [attempts]}`` map -- the shared lookup for the in-process
+    ladder here and the distributed worker's fault injection."""
+    merged = {}
+    for pattern, modes in chaos_plan().items():
+        if pattern in label and isinstance(modes, dict):
+            for mode, attempts in modes.items():
+                merged.setdefault(mode, []).extend(attempts or ())
+    return merged
+
+
 def _apply_chaos(label, attempt):
     """Sabotage this attempt if the plan says so.  Only ever acts
     inside a worker child: the parent and the serial path must stay
@@ -108,12 +130,11 @@ def _apply_chaos(label, attempt):
     import multiprocessing
     if multiprocessing.parent_process() is None:
         return
-    for pattern, modes in chaos_plan().items():
-        if pattern in label:
-            if attempt in modes.get("crash", ()):
-                os._exit(CHAOS_EXIT)
-            if attempt in modes.get("hang", ()):
-                time.sleep(3600)
+    modes = chaos_modes(label)
+    if attempt in modes.get("crash", ()):
+        os._exit(CHAOS_EXIT)
+    if attempt in modes.get("hang", ()):
+        time.sleep(3600)
 
 
 # ---------------------------------------------------------------------------

@@ -351,6 +351,35 @@ def seed_result(key, result):
     _RESULTS[key] = result
 
 
+def store_result(kernel_name, config_name, result, mode="traditional",
+                 binary="xloops", xi_enabled=True, scale="small",
+                 seed=0, schedule_cirs=False, backend=None, fast=None,
+                 approx=0.0):
+    """Install *result* for this point in both the in-process memo and
+    the disk cache -- the write-side twin of :func:`cached_result`.
+
+    The distributed sweep server calls this when a remote worker ships
+    a finished record back: the worker's own process already stored it
+    if it shares the cache directory, but the server must not *depend*
+    on that (a worker may run cache-disabled or on another filesystem),
+    so completion makes the result durable server-side before it is
+    credited."""
+    if backend is None and fast is None:
+        backend = default_backend()
+    resolved = resolve_backend(backend, fast)
+    key = (kernel_name, config_name, mode, binary, xi_enabled, scale,
+           seed, schedule_cirs, resolved.name, approx)
+    _RESULTS[key] = result
+    if not diskcache.enabled():
+        return
+    spec = get_kernel(kernel_name)
+    sysconfig = _resolve_config(config_name)
+    ckey = _fingerprint(spec, sysconfig, mode, binary, xi_enabled,
+                        scale, seed, schedule_cirs, resolved.name,
+                        approx)
+    diskcache.store(ckey, result)
+
+
 def memo_key(kernel_name, config_name, mode="traditional",
              binary="xloops", xi_enabled=True, scale="small", seed=0,
              schedule_cirs=False, backend=None, fast=None, approx=0.0):

@@ -10,9 +10,12 @@ Two halves, mirroring how real architecture groups qualify a design:
   invariant monitor.
 
 * :mod:`repro.resilience.watchdog` -- wall-clock deadlines for the
-  hardened evaluation runtime (:mod:`repro.eval.hardening`).
+  hardened evaluation runtime (:mod:`repro.eval.hardening`), and
+  :mod:`repro.resilience.backoff` -- the bounded exponential retry
+  schedule the distributed serve tier reconnects with.
 """
 
+from .backoff import Backoff, BackoffExhausted
 from .watchdog import DeadlineExceeded, deadline
 from .faults import (FAULT_TARGETS, FaultInjector, FaultSpec,
                      InjectionRecord)
@@ -21,6 +24,7 @@ from .campaign import (CampaignConfig, CampaignError, CampaignReport,
                        profile_kernel, run_campaign)
 
 __all__ = [
+    "Backoff", "BackoffExhausted",
     "DeadlineExceeded", "deadline",
     "FAULT_TARGETS", "FaultInjector", "FaultSpec", "InjectionRecord",
     "CampaignConfig", "CampaignError", "CampaignReport",

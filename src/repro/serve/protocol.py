@@ -8,16 +8,18 @@ wire bit-identical -- rides inside it as base64-encoded pickle, the
 same serialization the parallel sweep executor ships results over
 worker pipes with.
 
-Trust model: only the *client* ever unpickles, and only records from
-the server it chose to connect to (the same trust as importing the
-package).  The server parses nothing but JSON from clients -- a
-malicious client cannot make the server unpickle anything.
+Trust model: pickles only ever cross between parties that chose each
+other.  A *client* unpickles records only from the server it connected
+to (the same trust as importing the package); a *server* unpickles
+records only from ``complete`` ops -- i.e. from workers the operator
+launched against it.  A submitting client cannot make the server
+unpickle anything: submissions are pure JSON.
 
 Client -> server operations::
 
     {"op": "ping"}
     {"op": "stats"}
-    {"op": "shutdown"}
+    {"op": "shutdown"}              # distributed: drains first
     {"op": "submit", "points": [<wire point>, ...]}
 
 Server -> client, per submission, streamed as points complete::
@@ -30,9 +32,35 @@ Server -> client, per submission, streamed as points complete::
     {"type": "done", "points": N, "simulated": N, "failed": N,
      "jobs": N}
 
+Worker -> server operations (protocol 2, ``--distributed`` servers;
+every op is answered by exactly one reply frame, so one socket can be
+shared by a worker's main loop and its heartbeat thread under a
+lock)::
+
+    {"op": "register", "role": "worker", "name": ..., "pid": N,
+     "jobs": N}                  -> {"ok": true, "worker_id": W,
+                                     "lease_ttl": secs}
+    {"op": "lease", "worker_id": W, "max_points": N}
+        -> {"type": "lease", "lease_id": L, "points":
+            [{"qkey": ..., "wire": {...}, "attempt": N}, ...]}
+         | {"type": "empty"}     # nothing pending; poll again
+         | {"type": "drain"}     # server draining; exit clean
+    {"op": "heartbeat", "worker_id": W, "lease_id": L}
+        -> {"ok": bool}          # false: lease expired, keep going
+    {"op": "complete", "worker_id": W, "qkey": ..., "wall": secs,
+     "simulated": bool, "retries": N, "record": <base64 pickle>}
+        -> {"ok": true, "credited": bool}   # false: late duplicate
+    {"op": "fail", "worker_id": W, "qkey": ..., "kind": ...,
+     "error": ..., "attempts": N}
+        -> {"ok": true, "credited": bool}
+
 A *wire point* is the JSON image of a
 :class:`~repro.eval.parallel.SweepPoint` -- named configurations only
 (an ad-hoc :class:`SystemConfig` has no name to send).
+
+Any op may instead be answered ``{"error": ...}`` -- an explicit
+server verdict (unknown op, unknown worker, not distributed), raised
+client-side as :class:`RemoteError` and never blindly retried.
 """
 
 from __future__ import annotations
@@ -50,8 +78,10 @@ MAX_FRAME = 256 << 20
 
 _HEADER = struct.Struct("!I")
 
-#: bumped on incompatible message-shape changes; ping reports it
-PROTOCOL_VERSION = 1
+#: bumped on incompatible message-shape changes; ping reports it.
+#: 2 added the worker ops (register/lease/heartbeat/complete/fail)
+#: and the draining shutdown -- every protocol-1 op is unchanged.
+PROTOCOL_VERSION = 2
 
 #: default TCP port of ``repro serve --listen``
 DEFAULT_PORT = 7340
@@ -59,6 +89,14 @@ DEFAULT_PORT = 7340
 
 class ProtocolError(Exception):
     """A malformed, truncated, or oversized frame."""
+
+
+class RemoteError(ProtocolError):
+    """The server answered with an explicit ``{"error": ...}`` frame.
+
+    Distinct from a transport-level :class:`ProtocolError` because the
+    reconnecting client must treat them oppositely: a dead socket is
+    retried with backoff, a deliberate server verdict never is."""
 
 
 def encode_frame(msg):

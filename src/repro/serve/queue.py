@@ -1,0 +1,432 @@
+"""Durable shared work queue + lease table of the distributed tier.
+
+When a ``--distributed`` server misses the cache it does not simulate
+locally: the point is enqueued here, and ``repro worker`` processes
+pull *leased batches* over the wire, run them through the hardened
+engine, and stream completions back.  This module is the robustness
+core of that tier -- pure bookkeeping, no sockets, single-threaded
+(every call happens on the server's asyncio loop thread):
+
+* **Leases carry deadlines.**  A worker that leases a batch must
+  heartbeat before the deadline or the lease expires and every
+  uncompleted point in it is requeued.  A worker whose connection
+  drops is released immediately -- same requeue, no waiting for the
+  clock.  A point is therefore *never lost*.
+* **Completion is idempotent, first writer wins.**  An expired lease
+  does not invalidate a slow worker's result (results are
+  deterministic and bit-identical, so any writer's answer is THE
+  answer); but once one writer has completed a point, every later
+  completion is discarded and counted in ``duplicates``.  A point is
+  therefore *never double-credited*.
+* **A bounded requeue budget** turns a repeat worker-killer into a
+  structured :class:`~repro.eval.hardening.PointFailure` instead of
+  an infinite requeue loop.  Worker-*reported* failures (the hardened
+  engine already retried and quarantined the point worker-side) are
+  quarantined directly, exactly as a local sweep would.
+* **An append-only, fsync'd journal** (one JSON object per line)
+  records enqueue/complete/fail transitions.  On restart the queue
+  replays it and re-enqueues exactly the points that were pending --
+  completed work is never re-simulated, because the sharded disk
+  cache remains the durable *result* store and a resubmitted
+  completed point is cache-served.  A torn final line (crash mid
+  write) is ignored, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..eval.hardening import PointFailure
+
+#: default seconds a lease stays valid without a heartbeat
+DEFAULT_LEASE_TTL = 30.0
+
+#: default times a point may be requeued (lease expiry / worker loss /
+#: severed connection) before it is quarantined as a structured failure
+DEFAULT_REQUEUE_BUDGET = 5
+
+
+def qkey_of(wire):
+    """Canonical queue identity of a wire point: its sorted compact
+    JSON image.  Stable across processes and restarts (unlike the
+    in-process memo key, which is a Python tuple), faithful to it
+    one-to-one (every wire field feeds the memo key), and JSON-safe
+    for the journal."""
+    return json.dumps(wire, sort_keys=True, separators=(",", ":"))
+
+
+def label_of(wire):
+    """Human label of a wire point (mirrors ``SweepPoint.label``)."""
+    return "%s/%s/%s/%s/%s" % (
+        wire.get("kernel", "?"), wire.get("config", "?"),
+        wire.get("mode", "traditional"), wire.get("binary", "xloops"),
+        wire.get("scale", "small"))
+
+
+@dataclass
+class QueueEntry:
+    """One point somewhere between enqueue and completion."""
+
+    qkey: str
+    wire: dict
+    attempts: int = 0       # requeues consumed (NOT worker-side retries)
+    lease_id: int = 0       # 0 = pending, else the holding lease
+    last_error: str = ""    # why the last requeue happened
+    #: asyncio.Future the server attaches for client waiters; the
+    #: queue never touches it (journal-replayed entries have none)
+    future: object = None
+    #: PointFailure set when the entry quarantines (budget exhaustion
+    #: or a worker-reported failure) -- the server resolves waiters
+    failure: object = None
+
+
+@dataclass
+class Lease:
+    """One worker's claim on a batch of points."""
+
+    lease_id: int
+    worker_id: int
+    qkeys: set
+    deadline: float         # monotonic seconds; heartbeats extend it
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker connection."""
+
+    worker_id: int
+    name: str
+    pid: int
+    jobs: int
+    registered: float
+    leases: set = field(default_factory=set)
+
+
+class QueueJournal:
+    """Append-only crash-safe record of queue transitions.
+
+    Each line is one JSON object: ``{"op": "enqueue", "qkey": ...,
+    "wire": {...}}``, ``{"op": "complete", "qkey": ...}``, or
+    ``{"op": "fail", "qkey": ..., "kind": ..., "error": ...,
+    "attempts": N}``.  Every append is flushed and fsync'd before the
+    corresponding state transition is acknowledged, so a crash leaves
+    at worst one torn final line -- which replay ignores.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "ab")
+
+    def append(self, rec):
+        self._fh.write(json.dumps(
+            rec, separators=(",", ":")).encode("utf-8") + b"\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self):
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    @staticmethod
+    def replay(path):
+        """``(pending, completed, failed)`` reconstructed from the
+        journal at *path*: *pending* an ordered ``{qkey: wire}`` of
+        enqueued-but-unresolved points, *completed* a set of qkeys,
+        *failed* a ``{qkey: failure-record}``.  Garbage and torn lines
+        are skipped -- a journal is advice about what not to redo,
+        never a thing that can refuse to load."""
+        enqueued = {}
+        completed = set()
+        failed = {}
+        try:
+            with open(path, "rb") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            return {}, set(), {}
+        for line in lines:
+            try:
+                rec = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue        # torn final line from a crash mid-append
+            if not isinstance(rec, dict):
+                continue
+            op, qkey = rec.get("op"), rec.get("qkey")
+            if not qkey:
+                continue
+            if op == "enqueue" and isinstance(rec.get("wire"), dict):
+                enqueued[qkey] = rec["wire"]
+            elif op == "complete":
+                completed.add(qkey)
+            elif op == "fail":
+                failed[qkey] = rec
+        pending = {k: w for k, w in enqueued.items()
+                   if k not in completed and k not in failed}
+        return pending, completed, failed
+
+
+class WorkQueue:
+    """The server-side queue + lease table (see module docstring)."""
+
+    def __init__(self, journal_path=None, lease_ttl=DEFAULT_LEASE_TTL,
+                 requeue_budget=DEFAULT_REQUEUE_BUDGET,
+                 clock=time.monotonic):
+        self.lease_ttl = max(0.1, float(lease_ttl))
+        self.requeue_budget = max(0, int(requeue_budget))
+        self._clock = clock
+        self._next_worker = 0
+        self._next_lease = 0
+        self.pending = deque()       # qkeys awaiting a lease
+        self.entries = {}            # qkey -> QueueEntry (pending|leased)
+        self.completed = set()       # qkeys resolved ok (incl. replayed)
+        self.failed = {}             # qkey -> PointFailure
+        self.leases = {}             # lease_id -> Lease
+        self.workers = {}            # worker_id -> WorkerInfo
+        self.counters = {
+            "enqueued": 0, "completed": 0, "duplicates": 0,
+            "requeued": 0, "expired_leases": 0, "worker_losses": 0,
+            "exhausted": 0, "replayed": 0, "worker_failures": 0}
+        self.journal = None
+        if journal_path:
+            pending, done, failed = QueueJournal.replay(journal_path)
+            self.journal = QueueJournal(journal_path)
+            self.completed |= done
+            for qkey, wire in pending.items():
+                self.entries[qkey] = QueueEntry(qkey=qkey, wire=wire)
+                self.pending.append(qkey)
+                self.counters["replayed"] += 1
+            # journaled failures stay failed: their clients saw the
+            # quarantine record, and a fresh submission after a restart
+            # is a fresh enqueue (below) with a fresh budget
+            for qkey, rec in failed.items():
+                self.failed[qkey] = PointFailure(
+                    label=rec.get("label", qkey),
+                    attempts=int(rec.get("attempts", 0)),
+                    kind=rec.get("kind", "error"),
+                    error=rec.get("error", ""))
+
+    # -- client side (enqueue / join) -----------------------------------
+
+    def enqueue(self, wire):
+        """Queue one wire point; ``(entry, created)``.  A point
+        already pending or leased is joined, not duplicated.  A point
+        previously completed or failed is enqueued afresh: the server
+        only enqueues after a cache miss, so reaching here again means
+        the cached result is genuinely gone (or the client wants a
+        quarantined point retried) and recomputation is correct."""
+        qkey = qkey_of(wire)
+        entry = self.entries.get(qkey)
+        if entry is not None:
+            return entry, False
+        self.completed.discard(qkey)
+        self.failed.pop(qkey, None)
+        entry = QueueEntry(qkey=qkey, wire=dict(wire))
+        self.entries[qkey] = entry
+        self.pending.append(qkey)
+        self.counters["enqueued"] += 1
+        if self.journal is not None:
+            self.journal.append({"op": "enqueue", "qkey": qkey,
+                                 "wire": entry.wire})
+        return entry, True
+
+    @property
+    def queued(self):
+        """Points awaiting a lease right now."""
+        return sum(1 for k in self.pending
+                   if k in self.entries
+                   and self.entries[k].lease_id == 0)
+
+    # -- worker side (register / lease / heartbeat / complete) ----------
+
+    def register_worker(self, name="", pid=0, jobs=1):
+        self._next_worker += 1
+        wid = self._next_worker
+        self.workers[wid] = WorkerInfo(
+            worker_id=wid, name=str(name or "worker-%d" % wid),
+            pid=int(pid or 0), jobs=max(1, int(jobs or 1)),
+            registered=self._clock())
+        return wid
+
+    def lease(self, worker_id, max_points=1):
+        """Claim up to *max_points* pending points for *worker_id*;
+        a :class:`Lease`, or None when nothing is pending (or the
+        worker is unknown -- e.g. registered with a previous server
+        incarnation)."""
+        worker = self.workers.get(worker_id)
+        if worker is None:
+            return None
+        batch = []
+        while self.pending and len(batch) < max(1, int(max_points)):
+            qkey = self.pending.popleft()
+            entry = self.entries.get(qkey)
+            if entry is None or entry.lease_id:
+                continue        # resolved or re-leased while queued
+            batch.append(entry)
+        if not batch:
+            return None
+        self._next_lease += 1
+        lease = Lease(lease_id=self._next_lease, worker_id=worker_id,
+                      qkeys={e.qkey for e in batch},
+                      deadline=self._clock() + self.lease_ttl)
+        for entry in batch:
+            entry.lease_id = lease.lease_id
+        self.leases[lease.lease_id] = lease
+        worker.leases.add(lease.lease_id)
+        return lease
+
+    def heartbeat(self, worker_id, lease_id):
+        """Extend a live lease's deadline; False if the lease is gone
+        (expired and reclaimed -- the worker should keep going anyway:
+        its eventual completions are still honoured or deduped)."""
+        lease = self.leases.get(lease_id)
+        if lease is None or lease.worker_id != worker_id:
+            return False
+        lease.deadline = self._clock() + self.lease_ttl
+        return True
+
+    def complete(self, qkey):
+        """First-writer-wins completion; ``(entry, credited)``.
+
+        *credited* is False (and *entry* None) for a duplicate -- the
+        point was already completed (or failed) by someone else and
+        this late result is discarded, counted in ``duplicates``."""
+        entry = self.entries.pop(qkey, None)
+        if entry is None:
+            self.counters["duplicates"] += 1
+            return None, False
+        self._unlink_lease(entry)
+        self.completed.add(qkey)
+        self.counters["completed"] += 1
+        if self.journal is not None:
+            self.journal.append({"op": "complete", "qkey": qkey})
+        return entry, True
+
+    def fail(self, qkey, kind, error, attempts=0):
+        """Quarantine a point on a worker-reported failure (the
+        hardened engine worker-side already exhausted its per-point
+        retries); ``(entry, failure)`` or ``(None, None)`` for a
+        duplicate report."""
+        entry = self.entries.pop(qkey, None)
+        if entry is None:
+            self.counters["duplicates"] += 1
+            return None, None
+        self._unlink_lease(entry)
+        failure = PointFailure(label=label_of(entry.wire),
+                               attempts=max(1, int(attempts)),
+                               kind=str(kind or "error"),
+                               error=str(error or ""))
+        self._record_failure(entry, failure)
+        self.counters["worker_failures"] += 1
+        return entry, failure
+
+    # -- robustness (reclaim / release / requeue) -----------------------
+
+    def reclaim_expired(self, now=None):
+        """Requeue every point held by a lease past its deadline (the
+        worker missed its heartbeat: hung, wedged, or partitioned);
+        a list of :class:`QueueEntry` that exhausted their requeue
+        budget and became failures."""
+        now = self._clock() if now is None else now
+        exhausted = []
+        for lease in [l for l in self.leases.values()
+                      if l.deadline <= now]:
+            self.counters["expired_leases"] += 1
+            exhausted.extend(self._break_lease(
+                lease, "lease expired (missed heartbeat)"))
+        return exhausted
+
+    def release_worker(self, worker_id):
+        """Forget a worker whose connection dropped, requeueing every
+        point it still held; returns entries that exhausted their
+        budget (now failures)."""
+        worker = self.workers.pop(worker_id, None)
+        if worker is None:
+            return []
+        exhausted = []
+        if worker.leases:
+            self.counters["worker_losses"] += 1
+        for lease_id in list(worker.leases):
+            lease = self.leases.get(lease_id)
+            if lease is not None:
+                exhausted.extend(self._break_lease(
+                    lease, "worker connection lost"))
+        return exhausted
+
+    def _break_lease(self, lease, reason):
+        """Dissolve *lease*, requeueing (or exhausting) its points."""
+        exhausted = []
+        self.leases.pop(lease.lease_id, None)
+        worker = self.workers.get(lease.worker_id)
+        if worker is not None:
+            worker.leases.discard(lease.lease_id)
+        for qkey in lease.qkeys:
+            entry = self.entries.get(qkey)
+            if entry is None or entry.lease_id != lease.lease_id:
+                continue        # completed (or re-leased) meanwhile
+            entry.lease_id = 0
+            entry.attempts += 1
+            entry.last_error = reason
+            if entry.attempts > self.requeue_budget:
+                self.entries.pop(qkey, None)
+                failure = PointFailure(
+                    label=label_of(entry.wire),
+                    attempts=entry.attempts, kind="requeue-exhausted",
+                    error="requeue budget (%d) exhausted; last loss: %s"
+                          % (self.requeue_budget, reason))
+                self._record_failure(entry, failure)
+                self.counters["exhausted"] += 1
+                exhausted.append(entry)
+            else:
+                self.pending.append(qkey)
+                self.counters["requeued"] += 1
+        return exhausted
+
+    def _unlink_lease(self, entry):
+        lease = self.leases.get(entry.lease_id)
+        if lease is None:
+            return
+        lease.qkeys.discard(entry.qkey)
+        if not lease.qkeys:
+            self.leases.pop(lease.lease_id, None)
+            worker = self.workers.get(lease.worker_id)
+            if worker is not None:
+                worker.leases.discard(lease.lease_id)
+
+    def _record_failure(self, entry, failure):
+        self.failed[entry.qkey] = failure
+        entry.failure = failure     # for the server to resolve waiters
+        if self.journal is not None:
+            self.journal.append({
+                "op": "fail", "qkey": entry.qkey,
+                "label": failure.label, "kind": failure.kind,
+                "error": failure.error, "attempts": failure.attempts})
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def idle(self):
+        """Nothing pending, leased, or registered -- the condition an
+        ``--idle-exit`` server needs before it may exit (satellite
+        fix: an idle-exit server must never vanish beneath a worker
+        mid-lease or strand journal-replayed work)."""
+        return not self.entries and not self.leases and not self.workers
+
+    def stats_payload(self):
+        return {"queued": self.queued, "leased": len(self.leases),
+                "workers": len(self.workers),
+                "lease_ttl": self.lease_ttl,
+                "requeue_budget": self.requeue_budget,
+                "journal": self.journal.path
+                if self.journal is not None else None,
+                "counters": dict(self.counters)}
+
+    def close(self):
+        if self.journal is not None:
+            self.journal.close()

@@ -18,6 +18,8 @@ import pytest
 from repro.eval import diskcache, hardening, runner
 from repro.eval.parallel import SweepPoint
 from repro.serve import ServeClient, ServerThread
+from repro.serve import protocol
+from repro.serve.client import connect
 
 SCALE = "tiny"
 
@@ -159,6 +161,86 @@ class TestConcurrentDedup:
             assert summary.ok
             assert summary.points == 5
             assert summary.misses == 1   # one simulation, five answers
+
+
+class TestProtocolEdges:
+    """Hostile or broken bytes on the wire: the server must drop that
+    one connection (or answer an error frame) and keep serving every
+    other client untouched."""
+
+    def _assert_healthy(self, server):
+        with ServeClient(server.address, reconnects=0) as client:
+            assert client.ping()["ok"]
+
+    def test_garbage_bytes_on_connect(self, server):
+        sock = connect(server.address)
+        try:
+            # not even a plausible header: 4 bytes promising ~3.2 GB
+            sock.sendall(b"\xbe\xef\xca\xfe garbage that is not json")
+            assert protocol.recv_frame(sock) is None   # dropped
+        finally:
+            sock.close()
+        self._assert_healthy(server)
+
+    def test_oversized_frame_is_refused(self, server):
+        sock = connect(server.address)
+        try:
+            # header alone announces > MAX_FRAME; the server must bail
+            # before trying to buffer the body
+            sock.sendall(protocol._HEADER.pack(protocol.MAX_FRAME + 1))
+            assert protocol.recv_frame(sock) is None
+        finally:
+            sock.close()
+        self._assert_healthy(server)
+
+    def test_truncated_frame_mid_read(self, server):
+        sock = connect(server.address)
+        try:
+            # promise 64 bytes, deliver 10, hang up mid-frame
+            sock.sendall(protocol._HEADER.pack(64) + b'{"op": "pi')
+        finally:
+            sock.close()
+        self._assert_healthy(server)
+
+    def test_valid_frame_invalid_op_gets_error_frame(self, server):
+        sock = connect(server.address)
+        try:
+            protocol.send_frame(sock, {"op": "make-me-a-sandwich"})
+            reply = protocol.recv_frame(sock)
+            assert "error" in reply
+            # the connection itself survives a polite error
+            protocol.send_frame(sock, {"op": "ping"})
+            assert protocol.recv_frame(sock)["ok"]
+        finally:
+            sock.close()
+        self._assert_healthy(server)
+
+    def test_bad_frames_do_not_disturb_a_concurrent_client(self, server):
+        """A vandal floods junk while a healthy client submits a real
+        sweep on another connection."""
+        stop = threading.Event()
+
+        def vandal():
+            while not stop.is_set():
+                sock = connect(server.address)
+                try:
+                    sock.sendall(b"\x00\x00\x00\x08notjson!")
+                    protocol.recv_frame(sock)
+                except protocol.ProtocolError:
+                    pass
+                finally:
+                    sock.close()
+
+        thread = threading.Thread(target=vandal, daemon=True)
+        thread.start()
+        try:
+            with ServeClient(server.address) as client:
+                summary = client.submit(POINTS)
+            assert summary.ok, summary.render()
+            assert summary.points == len(POINTS)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
 
 
 class TestChaosThroughServer:

@@ -261,3 +261,44 @@ int total(int* a, int n) {
     assert rc == 0
     out = capsys.readouterr().out
     assert "return value:  0" in out
+
+
+def test_worker_parser_flags():
+    args = build_parser().parse_args(
+        ["worker", "--connect", "/tmp/s.sock", "--jobs", "3",
+         "--name", "w1", "--poll", "0.5"])
+    assert args.connect == "/tmp/s.sock"
+    assert args.jobs == 3 and args.name == "w1"
+    assert args.poll == 0.5
+
+
+def test_worker_requires_connect():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["worker"])
+
+
+def test_serve_distributed_flags():
+    args = build_parser().parse_args(
+        ["serve", "--socket", "/tmp/s.sock", "--distributed",
+         "--journal", "/tmp/q.journal", "--lease-ttl", "5",
+         "--requeue-budget", "3", "--drain-timeout", "10"])
+    assert args.distributed and args.journal == "/tmp/q.journal"
+    assert args.lease_ttl == 5.0 and args.requeue_budget == 3
+    assert args.drain_timeout == 10.0
+    status = build_parser().parse_args(
+        ["serve", "--status", "/tmp/s.sock", "--json"])
+    assert status.status == "/tmp/s.sock" and status.json
+
+
+def test_sweep_exact_accounting_flags():
+    args = build_parser().parse_args(
+        ["sweep", "table2", "--scale", "tiny",
+         "--expect-sims-exact", "24", "--expect-points", "28"])
+    assert args.expect_sims_exact == 24
+    assert args.expect_points == 28
+
+
+def test_serve_status_against_dead_socket(capsys):
+    assert main(["serve", "--status", "/tmp/no-such-repro.sock"]) == 1
+    err = capsys.readouterr().err
+    assert "error" in err
